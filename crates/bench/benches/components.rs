@@ -1,0 +1,163 @@
+//! Criterion microbenches for the simulator substrates themselves: cache
+//! access throughput per replacement policy, store-buffer operations,
+//! Optane media accounting, zipfian sampling and DirtBuster's passes.
+//! These track the cost of the building blocks the figure benches sit on.
+
+use cachesim::{Cache, CacheConfig, ReplacementKind, StoreBuffer, WriteCombiningBuffer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memdev::{MemDevice, OptanePmem};
+use simcore::rng::{SimRng, Zipfian};
+use simcore::Tracer;
+use std::time::Duration;
+
+fn cache_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_access");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    for kind in [
+        ReplacementKind::Lru,
+        ReplacementKind::TreePlru,
+        ReplacementKind::Fifo,
+        ReplacementKind::Random,
+        ReplacementKind::NruRandom,
+    ] {
+        g.bench_function(BenchmarkId::new("stream_64k_lines", format!("{kind:?}")), |b| {
+            b.iter(|| {
+                let mut cache =
+                    Cache::new(CacheConfig::from_capacity(1 << 20, 16, 64, kind), 7);
+                let mut dirty_evictions = 0u64;
+                for i in 0..65_536u64 {
+                    if let Some(v) = cache.access(i * 64, true).victim {
+                        dirty_evictions += v.dirty as u64;
+                    }
+                }
+                dirty_evictions
+            });
+        });
+    }
+    g.finish();
+}
+
+fn store_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_buffer");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    g.bench_function("push_drain_cycle", |b| {
+        b.iter(|| {
+            let mut sb = StoreBuffer::new(56);
+            let mut done = 0u64;
+            for i in 0..10_000u64 {
+                if sb.is_full() {
+                    done = done.max(sb.drain_head(i, |_| 400));
+                }
+                sb.push(i * 64, i);
+                sb.start_all(i, |_| 400);
+                sb.collect_completed(i);
+                let _ = sb.take_retired();
+            }
+            done
+        });
+    });
+    g.finish();
+}
+
+fn optane_accounting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optane_accounting");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    for (label, stride) in [("sequential", 64u64), ("strided_4k", 4096u64)] {
+        g.bench_function(BenchmarkId::new("writes_64k", label), |b| {
+            b.iter(|| {
+                let mut dev = OptanePmem::default();
+                for i in 0..65_536u64 {
+                    dev.receive_write(i * stride, 64);
+                }
+                dev.flush();
+                dev.stats().media_bytes_written
+            });
+        });
+    }
+    g.finish();
+}
+
+fn write_combining(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_combining");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    g.bench_function("nt_stream_64k", |b| {
+        b.iter(|| {
+            let mut wc = WriteCombiningBuffer::new(64, 10);
+            let mut flushes = 0usize;
+            for i in 0..65_536u64 {
+                flushes += wc.nt_write(i * 16, 16).len();
+            }
+            flushes + wc.flush_all().len()
+        });
+    });
+    g.finish();
+}
+
+fn zipfian_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipfian");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    g.bench_function("sample_1m", |b| {
+        let z = Zipfian::new(1_000_000, 0.99);
+        b.iter(|| {
+            let mut rng = SimRng::new(11);
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(z.sample(&mut rng));
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn tracer_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracer");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    g.bench_function("record_1m_events", |b| {
+        b.iter(|| {
+            let mut t = Tracer::with_capacity(1 << 20);
+            for i in 0..1_000_000u64 {
+                t.write(i * 64, 64);
+            }
+            t.finish().len()
+        });
+    });
+    g.finish();
+}
+
+fn dirtbuster_passes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dirtbuster_passes");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+    // A 500K-event trace with mixed patterns.
+    let mut reg = simcore::FuncRegistry::new();
+    let f = reg.register("writer", "bench.rs", 1);
+    let mut t = Tracer::with_capacity(500_000);
+    {
+        let mut guard = t.enter(f);
+        let mut rng = SimRng::new(3);
+        for i in 0..250_000u64 {
+            guard.write(i * 64, 64);
+            guard.read(rng.gen_range(1 << 24) * 64, 8);
+        }
+    }
+    let traces = simcore::TraceSet::new(vec![t.finish()]);
+    g.bench_function("sampling_500k", |b| {
+        b.iter(|| dirtbuster::sampling::profile(&traces, &Default::default()));
+    });
+    g.bench_function("full_analysis_500k", |b| {
+        b.iter(|| dirtbuster::analyze(&traces, &reg, &Default::default()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_access,
+    store_buffer,
+    optane_accounting,
+    write_combining,
+    zipfian_sampling,
+    tracer_throughput,
+    dirtbuster_passes
+);
+criterion_main!(benches);

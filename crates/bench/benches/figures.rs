@@ -1,0 +1,188 @@
+//! Criterion benches, one group per reproduced table/figure.
+//!
+//! Each group times the trace-generation + simulation pipeline behind the
+//! corresponding figure at a reduced, fixed size, so `cargo bench` tracks
+//! the cost of regenerating every result and catches performance
+//! regressions in the simulator itself. (The figure *values* are asserted
+//! by `tests/figure_shapes.rs`; these benches measure wall time.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machine::{simulate, MachineConfig};
+use prestore::PrestoreMode;
+use std::time::Duration;
+use workloads::microbench::{listing1, listing2, listing3, Listing1Params, Listing2Params};
+
+/// Figure 3: Listing 1 (random element writes) on Machine A.
+fn fig3_listing1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_listing1");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let cfg = MachineConfig::machine_a();
+    for mode in [PrestoreMode::None, PrestoreMode::Clean] {
+        g.bench_with_input(BenchmarkId::new("elem1k_2thr", mode.name()), &mode, |b, &mode| {
+            let mut p = Listing1Params::new(2, 1024);
+            p.footprint = 4 * 1024 * 1024;
+            p.iters = 2_048;
+            b.iter(|| simulate(&cfg, &listing1(&p, mode).traces));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: Listing 2 (write-demote-read-fence) on Machine B.
+fn fig5_listing2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_listing2");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (label, cfg) in [
+        ("fast", MachineConfig::machine_b_fast()),
+        ("slow", MachineConfig::machine_b_slow()),
+    ] {
+        g.bench_function(BenchmarkId::new("demote_n20", label), |b| {
+            let mut p = Listing2Params::new(20);
+            p.iters = 5_000;
+            b.iter(|| simulate(&cfg, &listing2(&p, true).traces));
+        });
+    }
+    g.finish();
+}
+
+/// Figures 7/8: the TensorFlow training step.
+fn fig7_tensor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_tensor");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let cfg = MachineConfig::machine_a();
+    for mode in [PrestoreMode::None, PrestoreMode::Clean, PrestoreMode::Skip] {
+        g.bench_with_input(BenchmarkId::new("batch16", mode.name()), &mode, |b, &mode| {
+            let mut p = workloads::tensor::TensorParams::new(16);
+            p.large_elems = 1 << 17;
+            p.small_ops = 2_000;
+            b.iter(|| simulate(&cfg, &workloads::tensor::training_step(&p, mode).traces));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: the NAS kernels on Machine A.
+fn fig9_nas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_nas");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let cfg = MachineConfig::machine_a();
+    for name in ["MG", "FT", "SP", "UA", "BT", "IS"] {
+        g.bench_function(BenchmarkId::new("clean", name), |b| {
+            b.iter(|| {
+                simulate(
+                    &cfg,
+                    &ps_bench::experiments::nas_figs::run_kernel(name, PrestoreMode::Clean, true)
+                        .traces,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figures 10-12: CLHT under YCSB A on Machine A.
+fn fig10_clht(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_clht");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let cfg = MachineConfig::machine_a();
+    for mode in [PrestoreMode::None, PrestoreMode::Clean, PrestoreMode::Skip] {
+        g.bench_with_input(BenchmarkId::new("ycsb_a_1k", mode.name()), &mode, |b, &mode| {
+            let mut p = workloads::kv::ycsb::YcsbParams::new(
+                workloads::kv::ycsb::YcsbKind::A,
+                1024,
+                10,
+            );
+            p.records = 4_000;
+            p.ops = 4_000;
+            b.iter(|| simulate(&cfg, &workloads::kv::ycsb::run_clht(&p, mode).traces));
+        });
+    }
+    g.finish();
+}
+
+/// Figures 11/14: Masstree under YCSB A.
+fn fig11_masstree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_masstree");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let cfg = MachineConfig::machine_a();
+    for mode in [PrestoreMode::None, PrestoreMode::Clean] {
+        g.bench_with_input(BenchmarkId::new("ycsb_a_1k", mode.name()), &mode, |b, &mode| {
+            let mut p = workloads::kv::ycsb::YcsbParams::new(
+                workloads::kv::ycsb::YcsbKind::A,
+                1024,
+                10,
+            );
+            p.records = 4_000;
+            p.ops = 4_000;
+            b.iter(|| simulate(&cfg, &workloads::kv::ycsb::run_masstree(&p, mode).traces));
+        });
+    }
+    g.finish();
+}
+
+/// Figures 13/14 (Machine B) and the §7.3.2 X9 experiment.
+fn x9_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x9_latency");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (label, cfg) in [
+        ("fast", MachineConfig::machine_b_fast()),
+        ("slow", MachineConfig::machine_b_slow()),
+    ] {
+        for mode in [PrestoreMode::None, PrestoreMode::Demote] {
+            g.bench_function(BenchmarkId::new(mode.name(), label), |b| {
+                let p = workloads::x9::X9Params {
+                    messages: 5_000,
+                    ..workloads::x9::X9Params::default_params()
+                };
+                b.iter(|| simulate(&cfg, &workloads::x9::run(&p, mode).traces));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// §5 pitfalls: Listing 3 and the skip-vs-clean variant.
+fn pitfalls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pitfalls");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let cfg = MachineConfig::machine_a();
+    g.bench_function("listing3_clean", |b| {
+        b.iter(|| simulate(&cfg, &listing3(10_000, true).traces));
+    });
+    g.bench_function("listing1_skip_64b", |b| {
+        let mut p = Listing1Params::new(2, 64);
+        p.footprint = 2 * 1024 * 1024;
+        p.iters = 16_384;
+        b.iter(|| simulate(&cfg, &listing1(&p, PrestoreMode::Skip).traces));
+    });
+    g.finish();
+}
+
+/// Tables 1/2: the DirtBuster classification pipeline.
+fn table2_dirtbuster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_dirtbuster");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    // Analysis cost on a mid-size trace (the TensorFlow step).
+    let mut p = workloads::tensor::TensorParams::quick();
+    p.large_elems = 1 << 16;
+    p.small_ops = 4_000;
+    let out = workloads::tensor::training_step(&p, PrestoreMode::None);
+    g.bench_function("analyze_tensorflow", |b| {
+        b.iter(|| dirtbuster::analyze(&out.traces, &out.registry, &Default::default()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig3_listing1,
+    fig5_listing2,
+    fig7_tensor,
+    fig9_nas,
+    fig10_clht,
+    fig11_masstree,
+    x9_latency,
+    pitfalls,
+    table2_dirtbuster
+);
+criterion_main!(benches);

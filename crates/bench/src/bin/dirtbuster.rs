@@ -1,0 +1,160 @@
+//! DirtBuster command-line tool: profile a built-in workload and print the
+//! pre-store recommendations in the paper's report format (§6).
+//!
+//! ```text
+//! dirtbuster <workload> [--sample-interval N] [--verbose] [--save-trace F]
+//! dirtbuster --from-trace FILE [--sample-interval N] [--verbose]
+//!
+//! workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9
+//!            listing1 listing3 pytorch numpy lzma ...
+//! ```
+
+use dirtbuster::{analyze, DirtBusterConfig};
+use prestore::PrestoreMode;
+use workloads::WorkloadOutput;
+
+fn workload_by_name(name: &str) -> Option<WorkloadOutput> {
+    use workloads::*;
+    let out = match name {
+        "mg" => nas::mg::run(&nas::mg::MgParams { n: 48, iters: 1, threads: 1 }, PrestoreMode::None),
+        "ft" => nas::ft::run(
+            &nas::ft::FtParams { n: 64, pencils: 1024, threads: 1, clean_scratch: false },
+            PrestoreMode::None,
+        ),
+        "sp" => nas::sp::run(&nas::sp::SpParams { n: 48, iters: 1, threads: 1 }, PrestoreMode::None),
+        "bt" => nas::bt::run(&nas::bt::BtParams { n: 48, iters: 1, threads: 1 }, PrestoreMode::None),
+        "ua" => nas::ua::run(
+            &nas::ua::UaParams { elements: 4096, elem_vals: 64, iters: 2, threads: 1, seed: 11 },
+            PrestoreMode::None,
+        ),
+        "is" => nas::is::run(
+            &nas::is::IsParams { keys: 1 << 19, max_key: 1 << 18, iters: 1, threads: 1, seed: 13 },
+            PrestoreMode::None,
+        ),
+        "lu" => nas::lu::run(&nas::lu::LuParams::default_params(), PrestoreMode::None),
+        "ep" => nas::ep::run(&nas::ep::EpParams::default_params(), PrestoreMode::None),
+        "cg" => nas::cg::run(&nas::cg::CgParams::default_params(), PrestoreMode::None),
+        "tensorflow" | "tf" => {
+            let mut p = tensor::TensorParams::new(16);
+            p.large_elems = 1 << 17;
+            p.small_ops = 8_000;
+            tensor::training_step(&p, PrestoreMode::None)
+        }
+        "clht" => {
+            let mut p = kv::ycsb::YcsbParams::new(kv::ycsb::YcsbKind::A, 1024, 4);
+            p.records = 8_000;
+            p.ops = 12_000;
+            kv::ycsb::run_clht(&p, PrestoreMode::None)
+        }
+        "masstree" => {
+            let mut p = kv::ycsb::YcsbParams::new(kv::ycsb::YcsbKind::A, 1024, 4);
+            p.records = 8_000;
+            p.ops = 12_000;
+            kv::ycsb::run_masstree(&p, PrestoreMode::None)
+        }
+        "x9" => x9::run(
+            &x9::X9Params { messages: 10_000, ..x9::X9Params::default_params() },
+            PrestoreMode::None,
+        ),
+        "listing1" => microbench::listing1(&microbench::Listing1Params::new(2, 1024), PrestoreMode::None),
+        "listing3" => microbench::listing3(50_000, false),
+        other if phoronix::names().contains(&other) => phoronix::run(other, 50_000),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let sample_interval =
+        flag_value(&args, "--sample-interval").and_then(|v| v.parse().ok()).unwrap_or(97);
+    let save_trace = flag_value(&args, "--save-trace").cloned();
+    let from_trace = flag_value(&args, "--from-trace").cloned();
+
+    let flag_values: Vec<&String> = ["--sample-interval", "--save-trace", "--from-trace"]
+        .iter()
+        .filter_map(|f| flag_value(&args, f))
+        .collect();
+    let positional = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !flag_values.contains(a));
+
+    let (name, out) = if let Some(path) = from_trace {
+        let (traces, registry) = match simcore::serialize::load_traces(&path) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                eprintln!("cannot load trace {path:?}: {e}");
+                std::process::exit(2);
+            }
+        };
+        ("<trace file>".to_owned(), WorkloadOutput { traces, registry, ops: 0 })
+    } else {
+        let name = match positional {
+            Some(n) => n.clone(),
+            None => {
+                eprintln!(
+                    "usage: dirtbuster <workload> [--sample-interval N] [--verbose] \
+                     [--save-trace FILE]\n       dirtbuster --from-trace FILE"
+                );
+                eprintln!(
+                    "workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9 \
+                     listing1 listing3 {}",
+                    workloads::phoronix::names().join(" ")
+                );
+                std::process::exit(2);
+            }
+        };
+        let Some(out) = workload_by_name(&name) else {
+            eprintln!("unknown workload {name:?}");
+            std::process::exit(2);
+        };
+        (name, out)
+    };
+    if let Some(path) = save_trace {
+        if let Err(e) = simcore::serialize::save_traces(&path, &out.traces, &out.registry) {
+            eprintln!("cannot save trace to {path:?}: {e}");
+            std::process::exit(1);
+        }
+        println!("trace saved to {path}");
+    }
+
+    let cfg = DirtBusterConfig { sample_interval, ..Default::default() };
+    let start = std::time::Instant::now();
+    let analysis = analyze(&out.traces, &out.registry, &cfg);
+    let elapsed = start.elapsed();
+
+    println!("== DirtBuster: {name} ==");
+    println!(
+        "{} events across {} thread(s); analysed in {elapsed:.2?}\n",
+        out.traces.total_events(),
+        out.traces.threads.len()
+    );
+    println!(
+        "step 1 (sampling): store fraction {:.1}% -> {}",
+        analysis.sampling.app_store_fraction * 100.0,
+        if analysis.write_intensive() { "write-intensive" } else { "NOT write-intensive" },
+    );
+    if verbose {
+        for f in &analysis.sampling.funcs {
+            println!(
+                "  {:<50} {:>5.1}% of stores",
+                out.registry.name(f.func),
+                f.store_share * 100.0
+            );
+            for &(caller, n) in f.callers.iter().take(2) {
+                println!("    called from {} ({n} samples)", out.registry.name(caller));
+            }
+        }
+    }
+    if analysis.reports.is_empty() {
+        println!("\nno write-intensive functions to instrument; nothing to patch.");
+        return;
+    }
+    println!("\nstep 2+3 (instrumentation + recommendations):\n");
+    print!("{}", analysis.render(&out.registry));
+}

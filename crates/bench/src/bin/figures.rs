@@ -1,0 +1,97 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [--json] [--chart] [--out DIR] [id ...]
+//! ```
+//!
+//! With no ids, every experiment runs. Results are printed as text tables
+//! and written as CSV files under `--out` (default `results/`); `--json`
+//! additionally writes machine-readable JSON next to each CSV.
+
+use ps_bench::experiments;
+use std::io::Write;
+
+/// An experiment id paired with the function regenerating it.
+type Experiment = (&'static str, fn(bool) -> ps_bench::FigureResult);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let chart = args.iter().any(|a| a == "--chart");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_owned());
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .filter(|s| *s != out_dir)
+        .collect();
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let known: &[Experiment] = &[
+        ("table1", |_| experiments::table1()),
+        ("table2", experiments::table2),
+        ("fig3a", experiments::fig3a),
+        ("fig3b", experiments::fig3b),
+        ("fig5", experiments::fig5),
+        ("fig7", experiments::fig7),
+        ("fig8", experiments::fig8),
+        ("fig9", experiments::fig9),
+        ("fig10", experiments::fig10),
+        ("fig11", experiments::fig11),
+        ("fig12", experiments::fig12),
+        ("fig13", experiments::fig13),
+        ("fig14", experiments::fig14),
+        ("x9", experiments::x9_latency),
+        ("listing3", experiments::listing3_pitfall),
+        ("skipvariant", experiments::skip_variant),
+        ("issuecost", experiments::prestore_issue_cost),
+        ("overheadB", experiments::overhead_on_machine_b),
+        ("badprestores", experiments::bad_prestores),
+        ("dbreports", |_| experiments::dirtbuster_reports()),
+        ("abl_granularity", experiments::granularity_sweep),
+        ("abl_replacement", experiments::replacement_policy_sweep),
+        ("abl_latency", experiments::fpga_latency_sweep),
+        ("abl_ycsb_mix", experiments::ycsb_mix_sweep),
+        ("abl_dram", experiments::dram_sanity),
+        ("ext_cxl_kv", experiments::cxl_kv),
+    ];
+
+    let selected: Vec<_> = if ids.is_empty() {
+        known.iter().collect()
+    } else {
+        known.iter().filter(|(id, _)| ids.contains(id)).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiments matched; known ids:");
+        for (id, _) in known {
+            eprintln!("  {id}");
+        }
+        std::process::exit(1);
+    }
+
+    for (id, f) in selected {
+        let start = std::time::Instant::now();
+        let fig = f(quick);
+        let elapsed = start.elapsed();
+        println!("{}", fig.render_text());
+        if chart {
+            println!("{}", ps_bench::chart::render_chart(&fig));
+        }
+        println!("({id} regenerated in {elapsed:.2?})\n");
+        let path = format!("{out_dir}/{id}.csv");
+        let mut file = std::fs::File::create(&path).expect("create CSV");
+        file.write_all(fig.render_csv().as_bytes()).expect("write CSV");
+        if json {
+            let path = format!("{out_dir}/{id}.json");
+            let mut file = std::fs::File::create(&path).expect("create JSON");
+            file.write_all(fig.render_json().as_bytes()).expect("write JSON");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Figures 3 and 5 plus the §5 pitfall experiments (Listings 1-3).
+
+use crate::{FigureResult, Series};
+use machine::{simulate, simulate_single, MachineConfig};
+use prestore::PrestoreMode;
+use workloads::microbench::{listing1, listing2, listing3, Listing1Params, Listing2Params};
+
+/// Element sizes swept by Figure 3 (64 B - 4 KB).
+pub const FIG3_SIZES: [u32; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Thread counts shown in Figure 3.
+pub const FIG3_THREADS: [usize; 3] = [1, 2, 5];
+
+fn listing1_params(threads: usize, elem_size: u32, quick: bool) -> Listing1Params {
+    let mut p = Listing1Params::new(threads, elem_size);
+    if quick {
+        p.footprint = 16 * 1024 * 1024;
+        p.iters = (p.footprint / elem_size as u64 / threads as u64).max(200);
+    }
+    p
+}
+
+/// Figure 3(a): speedup from `clean` pre-stores in Listing 1, by element
+/// size and thread count, on Machine A.
+pub fn fig3a(quick: bool) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "fig3a",
+        "Listing 1 on Machine A: improvement from cleaning",
+        "element size (B)",
+        "speedup (x)",
+    );
+    let cfg = MachineConfig::machine_a();
+    for &threads in &FIG3_THREADS {
+        let mut s = Series::new(format!("{threads} thread(s)"));
+        for &size in &FIG3_SIZES {
+            let p = listing1_params(threads, size, quick);
+            let base = simulate(&cfg, &listing1(&p, PrestoreMode::None).traces);
+            let clean = simulate(&cfg, &listing1(&p, PrestoreMode::Clean).traces);
+            s.points.push((size as f64, clean.speedup_vs(&base)));
+        }
+        fig.series.push(s);
+    }
+    fig.notes.push(
+        "paper: no gain at 1 thread, 2.2x at 2 threads, up to 3x at 5 threads (large elements)"
+            .into(),
+    );
+    fig
+}
+
+/// Figure 3(b): write amplification with and without cleaning.
+pub fn fig3b(quick: bool) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "fig3b",
+        "Listing 1 on Machine A: write amplification",
+        "element size (B)",
+        "write amplification (x)",
+    );
+    let cfg = MachineConfig::machine_a();
+    for (label, mode, threads) in [
+        ("baseline 1 thr", PrestoreMode::None, 1),
+        ("baseline 5 thr", PrestoreMode::None, 5),
+        ("clean 5 thr", PrestoreMode::Clean, 5),
+    ] {
+        let mut s = Series::new(label);
+        for &size in &FIG3_SIZES {
+            let p = listing1_params(threads, size, quick);
+            let stats = simulate(&cfg, &listing1(&p, mode).traces);
+            s.points.push((size as f64, stats.write_amplification()));
+        }
+        fig.series.push(s);
+    }
+    fig.notes
+        .push("paper: 1.8x at 1 thread, 3.3x at 2+ threads, ~1.0x with cleaning".into());
+    fig
+}
+
+/// Read counts swept by Figure 5.
+pub const FIG5_READS: [u64; 10] = [0, 5, 10, 20, 35, 50, 75, 100, 150, 250];
+
+/// Figure 5: relative improvement from demoting before the fence
+/// (Listing 2), on Machine B fast and slow.
+pub fn fig5(quick: bool) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "fig5",
+        "Listing 2 on Machine B: improvement from demoting",
+        "L1 reads between write and fence",
+        "improvement (%)",
+    );
+    for (label, cfg) in [
+        ("Machine B-fast", MachineConfig::machine_b_fast()),
+        ("Machine B-slow", MachineConfig::machine_b_slow()),
+    ] {
+        let mut s = Series::new(label);
+        for &n in &FIG5_READS {
+            let mut p = Listing2Params::new(n);
+            if quick {
+                p.iters = 2_000;
+            }
+            let base = simulate_single(&cfg, &listing2(&p, false).traces.threads[0]);
+            let demoted = simulate_single(&cfg, &listing2(&p, true).traces.threads[0]);
+            s.points.push((n as f64, demoted.improvement_pct_vs(&base)));
+        }
+        fig.series.push(s);
+    }
+    fig.notes.push(
+        "paper: up to 65% improvement; ~0% with no reads; slow FPGA peaks at larger read counts"
+            .into(),
+    );
+    fig
+}
+
+/// §5: cleaning a constantly rewritten line (Listing 3).
+pub fn listing3_pitfall(quick: bool) -> FigureResult {
+    let iters = if quick { 5_000 } else { 50_000 };
+    let cfg = MachineConfig::machine_a();
+    let base = simulate_single(&cfg, &listing3(iters, false).traces.threads[0]);
+    let cleaned = simulate_single(&cfg, &listing3(iters, true).traces.threads[0]);
+    let slowdown = cleaned.cycles as f64 / base.cycles as f64;
+    let mut fig = FigureResult::new(
+        "listing3",
+        "Listing 3: cleaning a hot line (pitfall)",
+        "variant (0=baseline, 1=clean)",
+        "slowdown (x)",
+    );
+    let mut s = Series::new("slowdown vs baseline");
+    s.points.push((0.0, 1.0));
+    s.points.push((1.0, slowdown));
+    fig.series.push(s);
+    fig.notes.push(format!("paper: ~75x slowdown; measured {slowdown:.0}x"));
+    fig
+}
+
+/// §5: Listing 1 with the re-read removed — skipping beats cleaning; with
+/// the re-read kept, skipping is ~2x slower than cleaning.
+pub fn skip_variant(quick: bool) -> FigureResult {
+    let cfg = MachineConfig::machine_a();
+    let mut fig = FigureResult::new(
+        "skipvariant",
+        "Listing 1: skip vs clean, with and without the re-read",
+        "variant (0=with re-read, 1=without)",
+        "skip time / clean time",
+    );
+    let mut s = Series::new("skip/clean runtime ratio");
+    for (x, reread) in [(0.0, true), (1.0, false)] {
+        let mut p = listing1_params(2, 64, quick);
+        p.reread = reread;
+        let clean = simulate(&cfg, &listing1(&p, PrestoreMode::Clean).traces);
+        let skip = simulate(&cfg, &listing1(&p, PrestoreMode::Skip).traces);
+        s.points.push((x, skip.cycles as f64 / clean.cycles as f64));
+    }
+    fig.series.push(s);
+    fig.notes.push(
+        "paper: with the re-read, skipping is 2x slower than cleaning; without it, skipping wins"
+            .into(),
+    );
+    fig
+}

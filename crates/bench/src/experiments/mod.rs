@@ -1,0 +1,53 @@
+//! One module per reproduced table/figure.
+
+pub mod ablation;
+pub mod microbench_figs;
+pub mod kv_figs;
+pub mod nas_figs;
+pub mod overhead;
+pub mod tables;
+pub mod tensor_figs;
+pub mod x9_figs;
+
+pub use ablation::{cxl_kv, dram_sanity, fpga_latency_sweep, granularity_sweep, replacement_policy_sweep, ycsb_mix_sweep};
+pub use kv_figs::{fig10, fig11, fig12, fig13, fig14};
+pub use microbench_figs::{fig3a, fig3b, fig5, listing3_pitfall, skip_variant};
+pub use nas_figs::fig9;
+pub use overhead::{bad_prestores, overhead_on_machine_b, prestore_issue_cost};
+pub use tables::{table1, table2, dirtbuster_reports};
+pub use tensor_figs::{fig7, fig8};
+pub use x9_figs::x9_latency;
+
+use crate::FigureResult;
+
+/// Run every experiment (quick = scaled-down parameters for CI).
+pub fn all(quick: bool) -> Vec<FigureResult> {
+    vec![
+        table1(),
+        table2(quick),
+        fig3a(quick),
+        fig3b(quick),
+        fig5(quick),
+        fig7(quick),
+        fig8(quick),
+        fig9(quick),
+        fig10(quick),
+        fig11(quick),
+        fig12(quick),
+        fig13(quick),
+        fig14(quick),
+        x9_latency(quick),
+        listing3_pitfall(quick),
+        skip_variant(quick),
+        prestore_issue_cost(quick),
+        overhead_on_machine_b(quick),
+        bad_prestores(quick),
+        dirtbuster_reports(),
+        granularity_sweep(quick),
+        replacement_policy_sweep(quick),
+        fpga_latency_sweep(quick),
+        ycsb_mix_sweep(quick),
+        dram_sanity(quick),
+        cxl_kv(quick),
+    ]
+}

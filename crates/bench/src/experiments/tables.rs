@@ -1,0 +1,209 @@
+//! Tables 1 and 2, plus the DirtBuster report outputs quoted in §6-§7.
+
+use crate::{FigureResult, Series};
+use dirtbuster::{analyze, DirtBusterConfig, Recommendation};
+use prestore::PrestoreMode;
+use workloads::{kv, microbench, nas, phoronix, tensor, x9, WorkloadOutput};
+
+/// Table 1: device internal granularities.
+pub fn table1() -> FigureResult {
+    let mut fig = FigureResult::new(
+        "table1",
+        "Internal read/write granularities (Table 1)",
+        "device index",
+        "granularity (B)",
+    );
+    let mut s = Series::new("internal granularity");
+    for (i, (dev, gran)) in memdev::table1().into_iter().enumerate() {
+        let bytes: f64 = match gran {
+            "64B" => 64.0,
+            "128B" => 128.0,
+            "256B" => 256.0,
+            "256B/512B" => 512.0,
+            other => panic!("unexpected granularity {other}"),
+        };
+        s.points.push((i as f64, bytes));
+        fig.notes.push(format!("{dev}: {gran}"));
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// One Table 2 row: the DirtBuster classification of an application.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Whether the app is write-intensive (>=10% stores).
+    pub write_intensive: bool,
+    /// Whether it performs sequential writes.
+    pub sequential_writes: bool,
+    /// Whether it writes before fences.
+    pub writes_before_fence: bool,
+}
+
+/// Run DirtBuster's classifier over every Table 2 application.
+pub fn table2_rows(quick: bool) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    let cfg = DirtBusterConfig::default();
+    let mut push = |name: &'static str, out: WorkloadOutput| {
+        let a = analyze(&out.traces, &out.registry, &cfg);
+        rows.push(Table2Row {
+            name,
+            write_intensive: a.write_intensive(),
+            sequential_writes: a.sequential_writes(),
+            writes_before_fence: a.writes_before_fence(),
+        });
+    };
+
+    let phoronix_iters = if quick { 5_000 } else { 50_000 };
+    push("pytorch", phoronix::run("pytorch", phoronix_iters));
+    push("numpy", phoronix::run("numpy", phoronix_iters));
+    push("lzma", phoronix::run("lzma", phoronix_iters));
+    push("c-ray", phoronix::run("c-ray", phoronix_iters));
+    push("arrayfire", phoronix::run("arrayfire", phoronix_iters));
+    push("build-kernel", phoronix::run("build-kernel", phoronix_iters));
+    push("build-gcc", phoronix::run("build-gcc", phoronix_iters));
+    push("gzip", phoronix::run("gzip", phoronix_iters));
+    push("go-bench", phoronix::run("go-bench", phoronix_iters));
+    push("rust-prime", phoronix::run("rust-prime", phoronix_iters));
+
+    let tp = if quick {
+        tensor::TensorParams::quick()
+    } else {
+        let mut p = tensor::TensorParams::new(16);
+        p.large_elems = 1 << 18;
+        p.small_ops = 8_000;
+        p
+    };
+    push("TensorFlow", tensor::training_step(&tp, PrestoreMode::None));
+
+    let mut xp = x9::X9Params::default_params();
+    if quick {
+        xp.messages = 2_000;
+    }
+    push("X9", x9::run(&xp, PrestoreMode::None));
+
+    let mut yp = kv::ycsb::YcsbParams::new(kv::ycsb::YcsbKind::A, 1024, 4);
+    if quick {
+        yp.records = 2_000;
+        yp.ops = 4_000;
+    }
+    push("Masstree", kv::ycsb::run_masstree(&yp, PrestoreMode::None));
+    push("CLHT", kv::ycsb::run_clht(&yp, PrestoreMode::None));
+
+    for name in ["UA", "LU", "EP", "IS", "FT", "CG", "BT", "MG", "SP"] {
+        let label: &'static str = name;
+        push(label, super::nas_figs::run_kernel(name, PrestoreMode::None, quick));
+    }
+
+    // The microbenchmarks are classified too (useful sanity rows).
+    push(
+        "listing1",
+        microbench::listing1(
+            &if quick {
+                microbench::Listing1Params::quick()
+            } else {
+                microbench::Listing1Params::new(2, 1024)
+            },
+            PrestoreMode::None,
+        ),
+    );
+    rows
+}
+
+/// Table 2 as a figure (1.0 = check mark, 0.0 = cross).
+pub fn table2(quick: bool) -> FigureResult {
+    let rows = table2_rows(quick);
+    let mut fig = FigureResult::new(
+        "table2",
+        "Application classification (Table 2)",
+        "application index",
+        "1 = yes",
+    );
+    let mut wi = Series::new("write-intensive");
+    let mut seq = Series::new("sequential writes");
+    let mut fence = Series::new("writes before fence");
+    for (i, r) in rows.iter().enumerate() {
+        wi.points.push((i as f64, r.write_intensive as u8 as f64));
+        seq.points.push((i as f64, r.sequential_writes as u8 as f64));
+        fence.points.push((i as f64, r.writes_before_fence as u8 as f64));
+        fig.notes.push(format!(
+            "{}: write-intensive={} sequential={} before-fence={}",
+            r.name, r.write_intensive, r.sequential_writes, r.writes_before_fence
+        ));
+    }
+    fig.series.push(wi);
+    fig.series.push(seq);
+    fig.series.push(fence);
+    fig
+}
+
+/// The DirtBuster report texts quoted in the paper (TensorFlow §7.2.1,
+/// MG §7.2.2), regenerated.
+pub fn dirtbuster_reports() -> FigureResult {
+    let mut fig = FigureResult::new(
+        "dbreports",
+        "DirtBuster reports (as quoted in the paper)",
+        "report index",
+        "recommendation (0=none 1=clean 2=skip 3=demote)",
+    );
+    let cfg = DirtBusterConfig::default();
+    let mut s = Series::new("recommendation");
+
+    // TensorFlow: the evaluator should be told to clean.
+    let mut tp = tensor::TensorParams::quick();
+    tp.large_elems = 1 << 16;
+    tp.small_ops = 2_000;
+    let out = tensor::training_step(&tp, PrestoreMode::None);
+    let a = analyze(&out.traces, &out.registry, &cfg);
+    fig.notes.push(a.render(&out.registry));
+    let eval_func = out
+        .registry
+        .iter()
+        .find(|(_, i)| i.name.contains("TensorEvaluator"))
+        .map(|(id, _)| id)
+        .expect("evaluator registered");
+    let rec = a.report_for(eval_func).map(|r| r.choice);
+    s.points.push((0.0, rec_code(rec)));
+
+    // MG: resid -> clean (its output is re-read by psinv), psinv -> skip.
+    let out = nas::mg::run(&nas::mg::MgParams { n: 48, iters: 1, threads: 1 }, PrestoreMode::None);
+    let a = analyze(&out.traces, &out.registry, &cfg);
+    fig.notes.push(a.render(&out.registry));
+    for (x, fname) in [(1.0, "resid"), (2.0, "psinv")] {
+        let f = out
+            .registry
+            .iter()
+            .find(|(_, i)| i.name == fname)
+            .map(|(id, _)| id)
+            .expect("registered");
+        s.points.push((x, rec_code(a.report_for(f).map(|r| r.choice))));
+    }
+
+    // X9: fill_msg -> demote.
+    let mut xp = x9::X9Params::default_params();
+    xp.messages = 4_000;
+    let out = x9::run(&xp, PrestoreMode::None);
+    let a = analyze(&out.traces, &out.registry, &cfg);
+    fig.notes.push(a.render(&out.registry));
+    let f = out
+        .registry
+        .iter()
+        .find(|(_, i)| i.name == "fill_msg")
+        .map(|(id, _)| id)
+        .expect("registered");
+    s.points.push((3.0, rec_code(a.report_for(f).map(|r| r.choice))));
+
+    fig.series.push(s);
+    fig
+}
+
+fn rec_code(r: Option<Recommendation>) -> f64 {
+    match r {
+        None | Some(Recommendation::NoPrestore) => 0.0,
+        Some(Recommendation::Clean) => 1.0,
+        Some(Recommendation::Skip) => 2.0,
+        Some(Recommendation::Demote) => 3.0,
+    }
+}

@@ -1,0 +1,35 @@
+//! §7.3.2: the X9 message-passing latency experiment.
+
+use crate::{FigureResult, Series};
+use machine::{simulate, MachineConfig};
+use prestore::PrestoreMode;
+use workloads::x9::{run, X9Params};
+
+/// X9 message latency on Machine B fast/slow, baseline vs demote.
+pub fn x9_latency(quick: bool) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "x9",
+        "X9 message passing on Machine B: send latency",
+        "machine (0=fast, 1=slow)",
+        "cycles per message",
+    );
+    let mut p = X9Params::default_params();
+    if quick {
+        p.messages = 4_000;
+    }
+    for mode in [PrestoreMode::None, PrestoreMode::Demote] {
+        let mut s = Series::new(mode.name());
+        for (x, cfg) in
+            [(0.0, MachineConfig::machine_b_fast()), (1.0, MachineConfig::machine_b_slow())]
+        {
+            let out = run(&p, mode);
+            let stats = simulate(&cfg, &out.traces);
+            s.points.push((x, stats.cycles as f64 / out.ops as f64));
+        }
+        fig.series.push(s);
+    }
+    fig.notes.push(
+        "paper: demoting reduces send latency by 62% on B-fast and 40% on B-slow".into(),
+    );
+    fig
+}

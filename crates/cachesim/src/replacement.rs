@@ -1,0 +1,260 @@
+//! Cache replacement policies.
+//!
+//! §4.1 of the paper: "Replacement in a bin is often modeled by simple LRU
+//! policy, but modern caches rely on much more complex strategies. For
+//! instance, Intel CPUs rely on a pseudo-LRU and 'random' evictions [...]
+//! ARM CPUs implement a mix of LRU, FIFO, and random evictions."
+//!
+//! The policy choice is what makes evictions of sequentially-written data
+//! non-sequential, which in turn causes write amplification on
+//! large-granularity memories. True-LRU largely preserves write order in
+//! the single-threaded case; tree-PLRU and random do not.
+
+use simcore::rng::SimRng;
+
+/// Which replacement policy a cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplacementKind {
+    /// True least-recently-used (an idealisation; preserves write order).
+    Lru,
+    /// Tree pseudo-LRU, as in Intel L1/L2 caches.
+    TreePlru,
+    /// Insertion-order FIFO, one of the modes of ARM's L2 controllers.
+    Fifo,
+    /// Uniform random victim selection, as in ARM's random mode and as an
+    /// approximation of Intel LLC adaptive policies.
+    Random,
+    /// Not-recently-used with random tie-breaking: an approximation of the
+    /// quad-age/SRRIP-style policies of modern Intel LLCs.
+    NruRandom,
+}
+
+/// Per-set replacement state.
+///
+/// A cache holds one `SetPolicy` per set; all methods take the number of
+/// ways so the state representation can stay compact.
+#[derive(Debug, Clone)]
+pub enum SetPolicy {
+    /// Timestamp-based true LRU.
+    Lru { stamps: Vec<u32>, clock: u32 },
+    /// Bit-tree pseudo-LRU (ways must be a power of two).
+    TreePlru { bits: u64 },
+    /// FIFO: next victim pointer, advanced on fill.
+    Fifo { next: u32 },
+    /// Random victim.
+    Random,
+    /// One reference bit per way; victims drawn randomly among clear bits.
+    NruRandom { refbits: u64 },
+}
+
+impl SetPolicy {
+    /// Create per-set state for `kind` with `ways` ways.
+    pub fn new(kind: ReplacementKind, ways: usize) -> Self {
+        match kind {
+            ReplacementKind::Lru => SetPolicy::Lru { stamps: vec![0; ways], clock: 0 },
+            ReplacementKind::TreePlru => {
+                assert!(ways.is_power_of_two(), "tree-PLRU requires power-of-two ways");
+                assert!(ways <= 64, "tree-PLRU supports at most 64 ways");
+                SetPolicy::TreePlru { bits: 0 }
+            }
+            ReplacementKind::Fifo => SetPolicy::Fifo { next: 0 },
+            ReplacementKind::Random => SetPolicy::Random,
+            ReplacementKind::NruRandom => {
+                assert!(ways <= 64, "NRU supports at most 64 ways");
+                SetPolicy::NruRandom { refbits: 0 }
+            }
+        }
+    }
+
+    /// Record a hit (or a fill) on `way`.
+    pub fn on_access(&mut self, way: usize, ways: usize) {
+        match self {
+            SetPolicy::Lru { stamps, clock } => {
+                *clock = clock.wrapping_add(1);
+                stamps[way] = *clock;
+            }
+            SetPolicy::TreePlru { bits } => {
+                // Walk from the root, flipping each node to point away from
+                // the accessed way.
+                let mut node = 0usize; // root at index 0 of implicit tree
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if way < mid {
+                        // Accessed left half: make the node point right.
+                        *bits |= 1 << node;
+                        node = 2 * node + 1;
+                        hi = mid;
+                    } else {
+                        *bits &= !(1 << node);
+                        node = 2 * node + 2;
+                        lo = mid;
+                    }
+                }
+            }
+            SetPolicy::Fifo { .. } | SetPolicy::Random => {}
+            SetPolicy::NruRandom { refbits } => {
+                *refbits |= 1 << way;
+                // All ways referenced: age everyone except the newcomer.
+                if *refbits == (1u64 << ways) - 1 {
+                    *refbits = 1 << way;
+                }
+            }
+        }
+    }
+
+    /// Choose a victim way among `ways` (all assumed valid).
+    pub fn victim(&mut self, ways: usize, rng: &mut SimRng) -> usize {
+        match self {
+            SetPolicy::Lru { stamps, .. } => stamps
+                .iter()
+                .take(ways)
+                .enumerate()
+                .min_by_key(|(_, &s)| s)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            SetPolicy::TreePlru { bits } => {
+                // Follow the PLRU bits: 1 means "go right", 0 "go left".
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if *bits & (1 << node) != 0 {
+                        node = 2 * node + 2;
+                        lo = mid;
+                    } else {
+                        node = 2 * node + 1;
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            SetPolicy::Fifo { next } => {
+                let v = *next as usize % ways;
+                *next = (*next + 1) % ways as u32;
+                v
+            }
+            SetPolicy::Random => rng.gen_range(ways as u64) as usize,
+            SetPolicy::NruRandom { refbits } => {
+                let unreferenced: Vec<usize> =
+                    (0..ways).filter(|&w| *refbits & (1 << w) == 0).collect();
+                if unreferenced.is_empty() {
+                    rng.gen_range(ways as u64) as usize
+                } else {
+                    unreferenced[rng.gen_range(unreferenced.len() as u64) as usize]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = SetPolicy::new(ReplacementKind::Lru, 4);
+        for w in 0..4 {
+            p.on_access(w, 4);
+        }
+        p.on_access(0, 4); // 1 is now the oldest
+        assert_eq!(p.victim(4, &mut rng()), 1);
+    }
+
+    #[test]
+    fn tree_plru_never_evicts_most_recent() {
+        let mut p = SetPolicy::new(ReplacementKind::TreePlru, 8);
+        let mut r = rng();
+        for round in 0..100u64 {
+            let way = (round % 8) as usize;
+            p.on_access(way, 8);
+            let v = p.victim(8, &mut r);
+            assert_ne!(v, way, "PLRU evicted the just-touched way");
+        }
+    }
+
+    #[test]
+    fn tree_plru_differs_from_lru_order() {
+        // Touch ways 0..8 in order; true LRU would evict 0, tree-PLRU may
+        // not — this "imperfection" is the §4.1 behaviour we rely on.
+        let mut plru = SetPolicy::new(ReplacementKind::TreePlru, 8);
+        for w in 0..8 {
+            plru.on_access(w, 8);
+        }
+        let v = plru.victim(8, &mut rng());
+        assert!(v < 8);
+        assert_ne!(v, 7);
+    }
+
+    #[test]
+    fn fifo_cycles_through_ways() {
+        let mut p = SetPolicy::new(ReplacementKind::Fifo, 4);
+        let mut r = rng();
+        let seq: Vec<usize> = (0..8).map(|_| p.victim(4, &mut r)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_covers_all_ways() {
+        let mut p = SetPolicy::new(ReplacementKind::Random, 4);
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[p.victim(4, &mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn nru_prefers_unreferenced() {
+        let mut p = SetPolicy::new(ReplacementKind::NruRandom, 4);
+        let mut r = rng();
+        p.on_access(0, 4);
+        p.on_access(1, 4);
+        p.on_access(2, 4);
+        for _ in 0..50 {
+            assert_eq!(p.victim(4, &mut r), 3);
+        }
+    }
+
+    #[test]
+    fn nru_reset_when_saturated() {
+        let mut p = SetPolicy::new(ReplacementKind::NruRandom, 2);
+        p.on_access(0, 2);
+        p.on_access(1, 2); // saturates, resets to only way 1 referenced
+        let mut r = rng();
+        assert_eq!(p.victim(2, &mut r), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_rejects_non_power_of_two() {
+        let _ = SetPolicy::new(ReplacementKind::TreePlru, 6);
+    }
+
+    #[test]
+    fn victims_in_range_for_all_policies() {
+        let mut r = rng();
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::TreePlru,
+            ReplacementKind::Fifo,
+            ReplacementKind::Random,
+            ReplacementKind::NruRandom,
+        ] {
+            let mut p = SetPolicy::new(kind, 8);
+            for i in 0..100u64 {
+                p.on_access((i % 8) as usize, 8);
+                let v = p.victim(8, &mut r);
+                assert!(v < 8, "{kind:?} produced out-of-range victim {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The CPU store buffer: private storage for not-yet-visible writes.
+//!
+//! §4.2 of the paper: "When writing data, CPUs are allowed to keep the
+//! changes private, as long as the changes do not break the memory ordering
+//! constraints of the architecture. Because cache coherence operations are
+//! expensive, CPUs tend to keep modifications private and only advertise
+//! them when they run out of private buffer space or when they are forced
+//! to by the memory model."
+//!
+//! The buffer is a FIFO of line-granular entries. *Draining* an entry makes
+//! the store globally visible: the cache must acquire the line in exclusive
+//! mode (directory lookup + line fill — both charged at the latency of the
+//! line's home device by the engine-supplied cost function). Drains are
+//! **pipelined** with bounded memory-level parallelism: the CPU keeps about
+//! [`DEFAULT_MLP`] ownership requests in flight, so consecutive drains may
+//! start `cost / MLP` cycles apart (cheap L1-owned drains stream back to
+//! back; device-missing RFOs are limited by the MSHRs). Each drain still
+//! takes its full ownership latency to complete. The pipeline only stalls
+//! when a fence (or a full buffer) forces a wait for a completion.
+//!
+//! * Under TSO (Machine A), drains start as soon as the store issues.
+//! * Under a weak model (Machine B), drains start only on demand: fence,
+//!   capacity pressure — or a *demote* pre-store, which is exactly the
+//!   paper's trick for overlapping the drain with later instructions.
+
+use simcore::{Addr, Cycles};
+use std::collections::VecDeque;
+
+/// One pending store (coalesced to cache-line granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbEntry {
+    /// Line-aligned address.
+    pub line: Addr,
+    /// Cycle at which the store issued.
+    pub issue: Cycles,
+    /// Completion time of the drain, once the drain has been started.
+    pub drain_done: Option<Cycles>,
+}
+
+/// A FIFO store buffer with pipelined background drains.
+///
+/// Drains always start in FIFO order, so the started entries form a prefix
+/// of the queue.
+///
+/// # Examples
+///
+/// ```
+/// let mut sb = cachesim::StoreBuffer::new(4);
+/// sb.push(0, 10);
+/// sb.push(64, 11);
+/// // A fence at cycle 20 with a 100-cycle ownership cost per line and the
+/// // default MLP of 10 (initiation interval 100/10 = 10 cycles):
+/// let done = sb.drain_all(20, |_| 100);
+/// assert_eq!(done, 20 + 10 + 100); // second drain starts at 30
+/// assert!(sb.is_empty());
+/// ```
+/// Default number of in-flight ownership requests (MSHR-bound).
+pub const DEFAULT_MLP: Cycles = 10;
+
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    entries: VecDeque<SbEntry>,
+    cap: usize,
+    /// Entries `[0, started)` have a scheduled drain.
+    started: usize,
+    /// Earliest start time of the next drain (pipelining constraint).
+    next_earliest: Cycles,
+    /// Latest completion time among scheduled drains.
+    last_done: Cycles,
+    /// Memory-level parallelism: a drain of cost `c` delays the next drain
+    /// start by `max(1, c / mlp)`.
+    mlp: Cycles,
+    /// Lines whose drains were scheduled (retired into the cache by the
+    /// engine when it collects them).
+    retired: Vec<Addr>,
+}
+
+impl StoreBuffer {
+    /// Create a buffer holding at most `cap` line entries, with the default
+    /// memory-level parallelism of [`DEFAULT_MLP`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        Self::with_mlp(cap, DEFAULT_MLP)
+    }
+
+    /// Create a buffer with an explicit memory-level parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` or `mlp` is zero.
+    pub fn with_mlp(cap: usize, mlp: Cycles) -> Self {
+        assert!(cap > 0, "store buffer capacity must be positive");
+        assert!(mlp > 0, "memory-level parallelism must be positive");
+        Self {
+            entries: VecDeque::with_capacity(cap),
+            cap,
+            started: 0,
+            next_earliest: 0,
+            last_done: 0,
+            mlp,
+            retired: Vec::new(),
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer has no pending entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.cap
+    }
+
+    /// Whether any pending entry covers `line` (store-to-load forwarding).
+    pub fn contains(&self, line: Addr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Record a store to `line` at cycle `now`.
+    ///
+    /// Returns `true` if the store coalesced into an existing entry whose
+    /// drain has not started yet. The caller must ensure the buffer is not
+    /// full first (see [`StoreBuffer::is_full`] /
+    /// [`StoreBuffer::drain_head`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full and the store does not coalesce.
+    pub fn push(&mut self, line: Addr, now: Cycles) -> bool {
+        if self
+            .entries
+            .iter()
+            .skip(self.started)
+            .any(|e| e.line == line)
+        {
+            return true;
+        }
+        assert!(!self.is_full(), "push into full store buffer");
+        self.entries.push_back(SbEntry { line, issue: now, drain_done: None });
+        false
+    }
+
+    /// Schedule the drain of entry `idx` (which must be the first
+    /// unscheduled one).
+    fn schedule(&mut self, idx: usize, now: Cycles, cost: Cycles) -> Cycles {
+        debug_assert_eq!(idx, self.started);
+        let e = self.entries[idx];
+        let start = now.max(e.issue).max(self.next_earliest);
+        let done = start + cost;
+        self.entries[idx].drain_done = Some(done);
+        self.next_earliest = start + (cost / self.mlp).max(1);
+        self.last_done = self.last_done.max(done);
+        self.started += 1;
+        done
+    }
+
+    /// Start the drain of every entry that has not started yet. `cost` maps
+    /// a line to its ownership-acquisition cost in cycles.
+    ///
+    /// Returns the completion time of the latest drain (at least `now`).
+    pub fn start_all(&mut self, now: Cycles, mut cost: impl FnMut(Addr) -> Cycles) -> Cycles {
+        while self.started < self.entries.len() {
+            let line = self.entries[self.started].line;
+            let c = cost(line);
+            self.schedule(self.started, now, c);
+        }
+        self.last_done.max(now)
+    }
+
+    /// Start the drain of the entry covering `line` (a *demote* pre-store).
+    /// Earlier un-started entries must drain first to preserve FIFO
+    /// visibility order, so they are started too.
+    ///
+    /// Returns the completion time of the demoted line's drain, or `now` if
+    /// the line was not in the buffer.
+    pub fn demote(
+        &mut self,
+        line: Addr,
+        now: Cycles,
+        mut cost: impl FnMut(Addr) -> Cycles,
+    ) -> Cycles {
+        let Some(pos) = self.entries.iter().position(|e| e.line == line) else {
+            return now;
+        };
+        while self.started <= pos {
+            let l = self.entries[self.started].line;
+            let c = cost(l);
+            self.schedule(self.started, now, c);
+        }
+        self.entries[pos].drain_done.unwrap_or(now)
+    }
+
+    /// Drain everything and empty the buffer (a fence). Returns the cycle
+    /// at which the last drain completes — the fence cannot retire earlier.
+    pub fn drain_all(&mut self, now: Cycles, cost: impl FnMut(Addr) -> Cycles) -> Cycles {
+        let done = self.start_all(now, cost);
+        self.retired.extend(self.entries.iter().map(|e| e.line));
+        self.entries.clear();
+        self.started = 0;
+        done
+    }
+
+    /// Force the head entry out (capacity pressure). Returns the cycle at
+    /// which the head's drain completes; the caller stalls until then.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn drain_head(&mut self, now: Cycles, mut cost: impl FnMut(Addr) -> Cycles) -> Cycles {
+        assert!(!self.entries.is_empty(), "drain_head on empty buffer");
+        let done = if self.started == 0 {
+            let line = self.entries[0].line;
+            let c = cost(line);
+            self.schedule(0, now, c)
+        } else {
+            self.entries[0].drain_done.expect("started entries are scheduled")
+        };
+        let head = self.entries.pop_front().expect("not empty");
+        self.started -= 1;
+        self.retired.push(head.line);
+        done
+    }
+
+    /// Pop entries whose drains completed at or before `now` (background
+    /// completion). Their lines are moved to the retired list.
+    pub fn collect_completed(&mut self, now: Cycles) {
+        while let Some(e) = self.entries.front() {
+            match e.drain_done {
+                Some(d) if d <= now => {
+                    self.retired.push(e.line);
+                    self.entries.pop_front();
+                    self.started -= 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Take the lines whose drains have been scheduled/completed since the
+    /// last call; the engine applies them to the cache hierarchy.
+    pub fn take_retired(&mut self) -> Vec<Addr> {
+        std::mem::take(&mut self.retired)
+    }
+
+    /// Completion time of the latest scheduled drain.
+    pub fn last_drain_done(&self) -> Cycles {
+        self.last_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_same_line() {
+        let mut sb = StoreBuffer::new(2);
+        assert!(!sb.push(0, 1));
+        assert!(sb.push(0, 2));
+        assert!(sb.push(0, 3));
+        assert_eq!(sb.len(), 1);
+        assert!(!sb.push(64, 4));
+        assert_eq!(sb.len(), 2);
+        assert!(sb.contains(0));
+        assert!(sb.contains(64));
+        assert!(!sb.contains(128));
+    }
+
+    #[test]
+    fn fence_pipelines_drains() {
+        let mut sb = StoreBuffer::with_mlp(8, 10);
+        sb.push(0, 0);
+        sb.push(64, 0);
+        sb.push(128, 0);
+        // II = 50/10 = 5: starts at 10, 15, 20; done at 60, 65, 70.
+        let done = sb.drain_all(10, |_| 50);
+        assert_eq!(done, 70);
+        assert!(sb.is_empty());
+        assert_eq!(sb.take_retired(), vec![0, 64, 128]);
+    }
+
+    #[test]
+    fn single_store_pays_full_latency_at_fence() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(0, 0);
+        let done = sb.drain_all(200, |_| 150);
+        assert_eq!(done, 350);
+    }
+
+    #[test]
+    fn early_demote_overlaps_with_later_fence() {
+        // The Listing-2 effect: demote at cycle 0, fence at cycle 200.
+        let mut sb = StoreBuffer::new(8);
+        sb.push(0, 0);
+        sb.demote(0, 0, |_| 150);
+        // By cycle 200 the drain (done at 150) has completed: the fence is
+        // free.
+        let done = sb.drain_all(200, |_| 150);
+        assert_eq!(done, 200);
+    }
+
+    #[test]
+    fn demote_respects_fifo_order() {
+        let mut sb = StoreBuffer::with_mlp(8, 10);
+        sb.push(0, 0);
+        sb.push(64, 0);
+        // Demoting the *second* line must drain the first too.
+        let done = sb.demote(64, 0, |_| 100);
+        assert_eq!(done, 110); // starts at 10 (100/10 after the first), +100
+        // Both drains scheduled; a fence at 250 is free.
+        assert_eq!(sb.drain_all(250, |_| 100), 250);
+    }
+
+    #[test]
+    fn demote_of_absent_line_is_noop() {
+        let mut sb = StoreBuffer::new(2);
+        sb.push(0, 0);
+        assert_eq!(sb.demote(4096, 7, |_| 100), 7);
+        assert_eq!(sb.len(), 1);
+    }
+
+    #[test]
+    fn capacity_pressure_stalls_on_head() {
+        let mut sb = StoreBuffer::new(2);
+        sb.push(0, 0);
+        sb.push(64, 1);
+        assert!(sb.is_full());
+        let done = sb.drain_head(5, |_| 100);
+        assert_eq!(done, 105);
+        assert!(!sb.is_full());
+        sb.push(128, 5);
+        assert!(sb.is_full());
+    }
+
+    #[test]
+    fn collect_completed_pops_only_done() {
+        let mut sb = StoreBuffer::with_mlp(8, 1);
+        sb.push(0, 0);
+        sb.push(64, 0);
+        sb.start_all(0, |_| 100); // II = 100: starts 0 and 100; done 100, 200
+        sb.collect_completed(150);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.take_retired(), vec![0]);
+        sb.collect_completed(250);
+        assert!(sb.is_empty());
+        assert_eq!(sb.take_retired(), vec![64]);
+    }
+
+    #[test]
+    fn store_after_started_drain_gets_new_entry() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(0, 0);
+        sb.start_all(0, |_| 100);
+        assert!(!sb.push(0, 5), "must not coalesce into an in-flight drain");
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full store buffer")]
+    fn push_into_full_panics() {
+        let mut sb = StoreBuffer::new(1);
+        sb.push(0, 0);
+        sb.push(64, 0);
+    }
+
+    #[test]
+    fn tso_style_eager_drain_makes_fence_cheap_when_spaced() {
+        // Under TSO the engine starts drains at issue time; a fence far in
+        // the future then costs nothing.
+        let mut sb = StoreBuffer::new(8);
+        sb.push(0, 0);
+        sb.start_all(0, |_| 100);
+        sb.push(64, 10);
+        sb.start_all(10, |_| 100);
+        let done = sb.drain_all(500, |_| 100);
+        assert_eq!(done, 500);
+    }
+
+    #[test]
+    fn pipelining_bounds_stream_throughput() {
+        // 32 stores with 400-cycle ownership and MLP 10 (II 40) finish in
+        // ~400 + 31*40 cycles, not 32*400.
+        let mut sb = StoreBuffer::new(32);
+        for i in 0..32u64 {
+            sb.push(i * 64, i);
+        }
+        let done = sb.drain_all(32, |_| 400);
+        assert!(done < 32 + 31 * 41 + 400, "pipelined drains took {done}");
+        assert!(done >= 400 + 31 * 40);
+    }
+
+    #[test]
+    fn drain_head_of_started_entry_reuses_schedule() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(0, 0);
+        sb.start_all(0, |_| 100);
+        let done = sb.drain_head(0, |_| panic!("already scheduled"));
+        assert_eq!(done, 100);
+    }
+}

@@ -1,0 +1,231 @@
+//! Applying DirtBuster's recommendations automatically.
+//!
+//! The paper's workflow is: profile, read the report, patch the source by
+//! hand (§6.2.3, "it is usually obvious to infer which variables are
+//! written, and so which variables to pre-store"). This module closes the
+//! loop mechanically: a [`PrestorePlan`] maps each write-intensive
+//! function to its recommended operation, and [`apply_plan`] rewrites a
+//! recorded trace as the patched binary would have produced it —
+//! inserting a `clean`/`demote` pre-store after each write of a planned
+//! function, or converting its writes to non-temporal stores for `skip`.
+//!
+//! This lets the effect of a recommendation be *measured* (by replaying
+//! the rewritten trace) without re-running or modifying the workload.
+
+use crate::{Analysis, Recommendation};
+use simcore::{Event, EventKind, FuncId, ThreadTrace, TraceSet};
+use std::collections::HashMap;
+
+/// The per-function patch decisions derived from an [`Analysis`].
+#[derive(Debug, Clone, Default)]
+pub struct PrestorePlan {
+    per_func: HashMap<FuncId, Recommendation>,
+}
+
+impl PrestorePlan {
+    /// Build a plan from an analysis: every function with an actionable
+    /// recommendation is included.
+    pub fn from_analysis(analysis: &Analysis) -> Self {
+        let per_func = analysis
+            .reports
+            .iter()
+            .filter(|r| r.choice != Recommendation::NoPrestore)
+            .map(|r| (r.func, r.choice))
+            .collect();
+        Self { per_func }
+    }
+
+    /// An empty plan (patches nothing).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Force a specific operation for `func` (overriding the analysis) —
+    /// how the paper evaluates deliberately wrong patches (§7.4.2).
+    pub fn force(&mut self, func: FuncId, op: Recommendation) -> &mut Self {
+        if op == Recommendation::NoPrestore {
+            self.per_func.remove(&func);
+        } else {
+            self.per_func.insert(func, op);
+        }
+        self
+    }
+
+    /// The planned operation for `func`, if any.
+    pub fn op_for(&self, func: FuncId) -> Option<Recommendation> {
+        self.per_func.get(&func).copied()
+    }
+
+    /// Number of patched functions.
+    pub fn len(&self) -> usize {
+        self.per_func.len()
+    }
+
+    /// Whether the plan patches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.per_func.is_empty()
+    }
+}
+
+/// Rewrite one thread's trace according to `plan`.
+///
+/// * `Clean` / `Demote`: a pre-store event covering each write of the
+///   planned function is inserted immediately after it (the paper's
+///   one-line patches).
+/// * `Skip`: the function's writes become non-temporal stores (the
+///   `craftValue` rewrite of §7.2.3).
+pub fn apply_plan_thread(trace: &ThreadTrace, plan: &PrestorePlan) -> ThreadTrace {
+    let mut events = Vec::with_capacity(trace.events.len() + trace.events.len() / 4);
+    for ev in &trace.events {
+        match (ev.kind, plan.op_for(ev.func)) {
+            (EventKind::Write, Some(Recommendation::Skip)) => {
+                events.push(Event { kind: EventKind::NtWrite, ..*ev });
+            }
+            (EventKind::Write, Some(Recommendation::Clean)) => {
+                events.push(*ev);
+                events.push(Event { kind: EventKind::PrestoreClean, ..*ev });
+            }
+            (EventKind::Write, Some(Recommendation::Demote)) => {
+                events.push(*ev);
+                events.push(Event { kind: EventKind::PrestoreDemote, ..*ev });
+            }
+            _ => events.push(*ev),
+        }
+    }
+    ThreadTrace { events }
+}
+
+/// Rewrite a whole trace set according to `plan`.
+pub fn apply_plan(traces: &TraceSet, plan: &PrestorePlan) -> TraceSet {
+    TraceSet::new(traces.threads.iter().map(|t| apply_plan_thread(t, plan)).collect())
+}
+
+/// One-call convenience: analyse `traces` and return the auto-patched
+/// version alongside the plan.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{FuncRegistry, TraceSet, Tracer};
+///
+/// let mut reg = FuncRegistry::new();
+/// let f = reg.register("stream", "app.rs", 1);
+/// let mut t = Tracer::new();
+/// {
+///     let mut g = t.enter(f);
+///     for i in 0..20_000u64 {
+///         g.write(i * 64, 64);
+///         g.read(i * 64, 8);
+///     }
+/// }
+/// let traces = TraceSet::new(vec![t.finish()]);
+/// let (patched, plan) = dirtbuster::auto_patch(&traces, &reg, &Default::default());
+/// assert_eq!(plan.len(), 1); // the streaming writer gets patched
+/// assert!(patched.total_events() > traces.total_events());
+/// ```
+pub fn auto_patch(
+    traces: &TraceSet,
+    registry: &simcore::FuncRegistry,
+    cfg: &crate::DirtBusterConfig,
+) -> (TraceSet, PrestorePlan) {
+    let analysis = crate::analyze(traces, registry, cfg);
+    let plan = PrestorePlan::from_analysis(&analysis);
+    (apply_plan(traces, &plan), plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{FuncRegistry, Tracer};
+
+    fn seq_writer_trace() -> (TraceSet, FuncRegistry, FuncId) {
+        let mut reg = FuncRegistry::new();
+        let f = reg.register("writer", "app.rs", 1);
+        let mut t = Tracer::new();
+        {
+            let mut g = t.enter(f);
+            for i in 0..30_000u64 {
+                g.write(i * 64, 64);
+            }
+        }
+        (TraceSet::new(vec![t.finish()]), reg, f)
+    }
+
+    #[test]
+    fn plan_from_analysis_includes_actionable_funcs() {
+        let (traces, reg, f) = seq_writer_trace();
+        let analysis = crate::analyze(&traces, &reg, &Default::default());
+        let plan = PrestorePlan::from_analysis(&analysis);
+        assert_eq!(plan.op_for(f), Some(Recommendation::Skip));
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn skip_plan_converts_writes_to_nt() {
+        let (traces, _, f) = seq_writer_trace();
+        let mut plan = PrestorePlan::empty();
+        plan.force(f, Recommendation::Skip);
+        let patched = apply_plan(&traces, &plan);
+        assert_eq!(patched.total_events(), traces.total_events());
+        assert!(patched.threads[0].events.iter().all(|e| e.kind != EventKind::Write));
+        assert!(patched.threads[0].events.iter().any(|e| e.kind == EventKind::NtWrite));
+    }
+
+    #[test]
+    fn clean_plan_inserts_prestores_after_writes() {
+        let (traces, _, f) = seq_writer_trace();
+        let mut plan = PrestorePlan::empty();
+        plan.force(f, Recommendation::Clean);
+        let patched = apply_plan(&traces, &plan);
+        assert_eq!(patched.total_events(), 2 * traces.total_events());
+        let evs = &patched.threads[0].events;
+        for pair in evs.chunks(2) {
+            assert_eq!(pair[0].kind, EventKind::Write);
+            assert_eq!(pair[1].kind, EventKind::PrestoreClean);
+            assert_eq!(pair[0].addr, pair[1].addr);
+            assert_eq!(pair[0].size, pair[1].size);
+        }
+    }
+
+    #[test]
+    fn unplanned_functions_are_untouched() {
+        let mut reg = FuncRegistry::new();
+        let a = reg.register("a", "x.rs", 1);
+        let b = reg.register("b", "x.rs", 2);
+        let mut t = Tracer::new();
+        {
+            let mut g = t.enter(a);
+            g.write(0, 64);
+        }
+        {
+            let mut g = t.enter(b);
+            g.write(64, 64);
+        }
+        let traces = TraceSet::new(vec![t.finish()]);
+        let mut plan = PrestorePlan::empty();
+        plan.force(a, Recommendation::Demote);
+        let patched = apply_plan(&traces, &plan);
+        let kinds: Vec<_> = patched.threads[0].events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Write, EventKind::PrestoreDemote, EventKind::Write]
+        );
+    }
+
+    #[test]
+    fn force_noprestore_removes_from_plan() {
+        let (_, _, f) = seq_writer_trace();
+        let mut plan = PrestorePlan::empty();
+        plan.force(f, Recommendation::Clean);
+        assert_eq!(plan.len(), 1);
+        plan.force(f, Recommendation::NoPrestore);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let (traces, _, _) = seq_writer_trace();
+        let patched = apply_plan(&traces, &PrestorePlan::empty());
+        assert_eq!(patched.threads[0].events, traces.threads[0].events);
+    }
+}

@@ -1,0 +1,892 @@
+//! The trace-replay engine: cycle-accounted execution of workload traces
+//! on a simulated machine.
+//!
+//! # Timing model
+//!
+//! Each core owns a local clock, a store buffer, a private L1 and a pool of
+//! write-combining buffers; all cores share the LLC and the memory device.
+//! Cores are interleaved by always stepping the core with the smallest
+//! local clock, so shared-cache contention follows simulated time.
+//!
+//! Latency effects (fence stalls, ownership acquisition, writeback-in-
+//! flight conflicts) are accounted on the core clocks. Bandwidth effects
+//! are analytic: the device's media-busy time is computed from the bytes it
+//! actually moved, and the run time is the slower of the CPU critical path
+//! and the media busy time. This hybrid keeps the simulation deterministic
+//! and fast while reproducing both of the paper's problem scenarios.
+//!
+//! # Store visibility
+//!
+//! Stores retire into the store buffer and become visible when *drained*:
+//! the core acquires the line in exclusive state (directory update + line
+//! fill, both charged at the home device's latency) and the line lands
+//! dirty in its L1. Drains are pipelined: consecutive drains can overlap,
+//! separated by an initiation interval, but each drain takes its full
+//! ownership latency to complete. Under [`MemModel::Tso`] drains start at
+//! issue; under [`MemModel::Weak`] they start at the first fence, atomic,
+//! capacity stall — or *demote* pre-store.
+
+use crate::config::{MachineConfig, MemModel};
+use crate::stats::{CoreStats, RunStats};
+use cachesim::{Cache, StoreBuffer, WriteCombiningBuffer};
+use cachesim::wcbuf::WcFlush;
+use memdev::{Device, MemDevice};
+use simcore::{blocks_touched, Addr, CoreId, Cycles, EventKind, ThreadTrace, TraceSet};
+use std::collections::HashMap;
+
+/// Streams tracked by the per-core hardware prefetcher.
+const STREAM_TRACKERS: usize = 16;
+
+/// Latency divisor for stream-prefetched device reads (the prefetcher
+/// keeps this many line fills in flight on a detected stream).
+const STREAM_MLP: Cycles = 16;
+
+/// Per-core mutable state.
+struct CoreState {
+    now: Cycles,
+    sb: StoreBuffer,
+    l1: Cache,
+    wc: WriteCombiningBuffer,
+    stats: CoreStats,
+    /// Index of the next event to replay.
+    pc: usize,
+    /// Next expected line of each detected read stream (hardware stream
+    /// prefetcher state).
+    streams: std::collections::VecDeque<Addr>,
+    /// Acquire this core is blocked on: (line, release sequence number).
+    blocked: Option<(Addr, u32)>,
+}
+
+/// The replay engine. Create one per run via [`simulate`].
+pub struct Engine<'a> {
+    cfg: &'a MachineConfig,
+    llc: Cache,
+    device: Device,
+    /// Which core's L1 holds a line dirty.
+    owner: HashMap<Addr, CoreId>,
+    /// In-flight writebacks (line -> completion time) started by cleans.
+    wb_inflight: HashMap<Addr, Cycles>,
+    /// Lines whose non-temporal store is still in flight to memory
+    /// (line -> completion time). Reading one stalls until the data lands
+    /// and then pays the full device read — the §5/§7.2.1 penalty of
+    /// skipping the cache for data that is re-read.
+    nt_inflight: HashMap<Addr, Cycles>,
+    /// Per line: how many times it was released by an atomic, and when the
+    /// latest release happened (acquire/release replay synchronization).
+    releases: HashMap<Addr, (u32, Cycles)>,
+    /// Cycles attributed to each traced function.
+    func_cycles: HashMap<simcore::FuncId, Cycles>,
+    cores: Vec<CoreState>,
+}
+
+/// Replay `traces` on the machine described by `cfg`.
+pub fn simulate(cfg: &MachineConfig, traces: &TraceSet) -> RunStats {
+    Engine::new(cfg, traces.threads.len()).run(&traces.threads)
+}
+
+/// Replay a single-threaded trace.
+pub fn simulate_single(cfg: &MachineConfig, trace: &ThreadTrace) -> RunStats {
+    Engine::new(cfg, 1).run(std::slice::from_ref(trace))
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a MachineConfig, cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        let cores = (0..cores)
+            .map(|i| CoreState {
+                now: 0,
+                sb: StoreBuffer::with_mlp(cfg.store_buffer_entries, cfg.sb_mlp),
+                l1: Cache::new(cfg.l1, cfg.seed ^ (i as u64).wrapping_mul(0x9E37)),
+                wc: WriteCombiningBuffer::new(cfg.line_size, cfg.wc_buffers),
+                stats: CoreStats::default(),
+                pc: 0,
+                streams: std::collections::VecDeque::with_capacity(STREAM_TRACKERS),
+                blocked: None,
+            })
+            .collect();
+        Self {
+            cfg,
+            llc: Cache::new(cfg.llc, cfg.seed ^ 0x5A5A),
+            device: cfg.device.clone(),
+            owner: HashMap::new(),
+            wb_inflight: HashMap::new(),
+            nt_inflight: HashMap::new(),
+            releases: HashMap::new(),
+            func_cycles: HashMap::new(),
+            cores,
+        }
+    }
+
+    fn run(mut self, traces: &[ThreadTrace]) -> RunStats {
+        assert_eq!(traces.len(), self.cores.len());
+        // Step the runnable core with the smallest clock that still has
+        // events; blocked cores wake up when their awaited release lands.
+        loop {
+            let mut best: Option<(CoreId, Cycles)> = None;
+            let mut any_left = false;
+            for (cid, core) in self.cores.iter_mut().enumerate() {
+                if core.pc >= traces[cid].events.len() {
+                    continue;
+                }
+                any_left = true;
+                if let Some((line, seq)) = core.blocked {
+                    match self.releases.get(&line) {
+                        Some(&(count, when)) if count >= seq => {
+                            // The release happened: wake up at its time.
+                            core.now = core.now.max(when);
+                            core.blocked = None;
+                        }
+                        _ => continue,
+                    }
+                }
+                if best.is_none_or(|(_, t)| core.now < t) {
+                    best = Some((cid, core.now));
+                }
+            }
+            let Some((cid, _)) = best else {
+                assert!(!any_left, "replay deadlock: all remaining cores blocked on acquires");
+                break;
+            };
+            let ev = traces[cid].events[self.cores[cid].pc];
+            self.cores[cid].pc += 1;
+            let before = self.cores[cid].now;
+            self.step(cid, ev);
+            let spent = self.cores[cid].now - before;
+            if spent > 0 {
+                *self.func_cycles.entry(ev.func).or_insert(0) += spent;
+            }
+        }
+        // Programs complete when their stores are globally visible.
+        for cid in 0..self.cores.len() {
+            self.fence(cid);
+        }
+        // Account (but do not time) the dirty data still cached at the end
+        // of the run: it will be written to the device eventually, and
+        // counting it keeps baseline-vs-prestore device traffic comparable
+        // at simulation scale (the paper's 6.4 GB working sets make cache
+        // residue negligible; our scaled ones do not).
+        let line_size = self.cfg.line_size;
+        let mut residual: Vec<Addr> = Vec::new();
+        for c in &self.cores {
+            residual.extend(c.l1.dirty_lines());
+        }
+        residual.extend(self.llc.dirty_lines());
+        residual.sort_unstable();
+        residual.dedup();
+        for line in residual {
+            self.device.receive_write(line, line_size);
+        }
+        self.device.flush();
+
+        let cpu_cycles = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
+        let dstats = *self.device.stats();
+        let wbw = self.device.media_write_bandwidth();
+        // Media reads (demand reads, RFOs and internal read-modify-write)
+        // are ~4x cheaper than media writes on the devices we model. On
+        // full-duplex links the two directions proceed independently.
+        let write_busy = dstats.media_bytes_written as f64 / wbw;
+        let read_busy = (dstats.bytes_read + dstats.media_bytes_rmw_read) as f64 / (4.0 * wbw);
+        let media_busy =
+            if self.device.duplex() { write_busy.max(read_busy) } else { write_busy + read_busy }
+                as Cycles;
+
+        let mut l1 = cachesim::CacheStats::default();
+        for c in &self.cores {
+            let s = c.l1.stats();
+            l1.hits += s.hits;
+            l1.misses += s.misses;
+            l1.evictions += s.evictions;
+            l1.dirty_evictions += s.dirty_evictions;
+            l1.cleans += s.cleans;
+        }
+        let mut cores_stats = Vec::with_capacity(self.cores.len());
+        for c in &mut self.cores {
+            c.stats.cycles = c.now;
+            cores_stats.push(c.stats);
+        }
+        RunStats {
+            cycles: cpu_cycles.max(media_busy),
+            cpu_cycles,
+            media_busy_cycles: media_busy,
+            cores: cores_stats,
+            l1,
+            llc: *self.llc.stats(),
+            device: dstats,
+            func_cycles: self.func_cycles,
+        }
+    }
+
+    fn step(&mut self, cid: CoreId, ev: simcore::Event) {
+        let line_size = self.cfg.line_size;
+        match ev.kind {
+            EventKind::Compute => {
+                self.cores[cid].now += ev.addr;
+            }
+            EventKind::Read => {
+                for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
+                    self.read_line(cid, line);
+                }
+                self.cores[cid].stats.read_lines +=
+                    blocks_touched(ev.addr, ev.size as u64, line_size).count() as u64;
+            }
+            EventKind::Write => {
+                for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
+                    self.write_line(cid, line);
+                }
+                self.cores[cid].stats.write_lines +=
+                    blocks_touched(ev.addr, ev.size as u64, line_size).count() as u64;
+            }
+            EventKind::NtWrite => {
+                self.nt_write(cid, ev.addr, ev.size as u64);
+            }
+            EventKind::PrestoreClean => {
+                for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
+                    self.prestore_clean(cid, line);
+                }
+                self.cores[cid].stats.prestores += 1;
+            }
+            EventKind::PrestoreDemote => {
+                for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
+                    self.prestore_demote(cid, line);
+                }
+                self.cores[cid].stats.prestores += 1;
+            }
+            EventKind::Fence => {
+                let stall = self.fence(cid);
+                self.cores[cid].stats.fence_stall_cycles += stall;
+                self.cores[cid].stats.fences += 1;
+            }
+            EventKind::Atomic => {
+                self.atomic(cid, ev.addr);
+                // An atomic releases its line for acquire/release replay
+                // synchronization.
+                let line = simcore::align_down(ev.addr, line_size);
+                let now = self.cores[cid].now;
+                let e = self.releases.entry(line).or_insert((0, 0));
+                e.0 += 1;
+                e.1 = now;
+            }
+            EventKind::Acquire => {
+                let line = simcore::align_down(ev.addr, line_size);
+                let seq = ev.size;
+                match self.releases.get(&line) {
+                    Some(&(count, when)) if count >= seq => {
+                        self.cores[cid].now = self.cores[cid].now.max(when);
+                    }
+                    _ => {
+                        // Not yet released: block and retry this event.
+                        self.cores[cid].blocked = Some((line, seq));
+                        self.cores[cid].pc -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert a line into the LLC, writing any dirty victim to the device.
+    fn llc_insert(&mut self, line: Addr, dirty: bool) {
+        if let Some(v) = self.llc.insert(line, dirty) {
+            if v.dirty {
+                self.device.receive_write(v.line, self.cfg.line_size);
+            }
+        }
+    }
+
+    /// Fill a line into `cid`'s L1 (counting the miss), spilling any dirty
+    /// victim to the LLC.
+    fn l1_fill(&mut self, cid: CoreId, line: Addr, dirty: bool) {
+        let victim = self.cores[cid].l1.access(line, dirty).victim;
+        if let Some(v) = victim {
+            if self.owner.get(&v.line) == Some(&cid) {
+                self.owner.remove(&v.line);
+            }
+            if v.dirty {
+                self.llc_insert(v.line, true);
+            }
+        }
+        if dirty {
+            self.owner.insert(line, cid);
+        }
+    }
+
+    /// Record `line` with the core's stream prefetcher. Returns whether the
+    /// access continued a detected stream (and advances that stream).
+    fn stream_check(&mut self, cid: CoreId, line: Addr) -> bool {
+        let line_size = self.cfg.line_size;
+        let streams = &mut self.cores[cid].streams;
+        if let Some(pos) = streams.iter().position(|&next| next == line) {
+            streams.remove(pos);
+            streams.push_back(line + line_size);
+            return true;
+        }
+        if streams.len() >= STREAM_TRACKERS {
+            streams.pop_front();
+        }
+        streams.push_back(line + line_size);
+        false
+    }
+
+    /// Read one line, charging the appropriate level's latency.
+    ///
+    /// Sequential misses are detected by a stream-prefetcher model: a miss
+    /// that continues a tracked stream costs `latency / STREAM_MLP` instead
+    /// of the full latency, reflecting the prefetch fills the hardware
+    /// keeps in flight ahead of a streaming reader.
+    fn read_line(&mut self, cid: CoreId, line: Addr) {
+        let costs = self.cfg.costs;
+        // Store-to-load forwarding: an un-drained entry in the own store
+        // buffer means the data is right here.
+        if self.cores[cid].sb.contains(line) {
+            self.cores[cid].now += costs.l1_hit;
+            return;
+        }
+        if self.cores[cid].l1.probe(line) {
+            self.cores[cid].now += costs.l1_hit;
+            self.cores[cid].l1.access(line, false);
+            return;
+        }
+        // A non-temporal store to this line may still be in flight: wait
+        // for it to land, then fetch from the device at full latency.
+        if let Some(&done) = self.nt_inflight.get(&line) {
+            let now = self.cores[cid].now;
+            if done > now {
+                self.cores[cid].stats.writeback_stall_cycles += done - now;
+                self.cores[cid].now = done;
+            }
+            self.nt_inflight.remove(&line);
+            self.cores[cid].now += self.device.read_latency();
+            self.device.receive_read(line, self.cfg.line_size);
+            self.llc_insert(line, false);
+            self.l1_fill(cid, line, false);
+            return;
+        }
+        let streamed = self.stream_check(cid, line);
+        if let Some(&o) = self.owner.get(&line) {
+            if o != cid {
+                // Dirty in a remote L1: directory lookup + transfer.
+                let cost = self.device.directory_latency() + costs.remote_transfer;
+                let dirty = self.cores[o].l1.invalidate(line).unwrap_or(false);
+                self.owner.remove(&line);
+                self.llc_insert(line, dirty);
+                self.cores[cid].now += cost;
+                self.l1_fill(cid, line, false);
+                return;
+            }
+        }
+        if self.llc.probe(line) {
+            let cost = if streamed { (costs.llc_hit / 4).max(costs.l1_hit) } else { costs.llc_hit };
+            self.cores[cid].now += cost;
+            self.llc.access(line, false);
+            self.l1_fill(cid, line, false);
+            return;
+        }
+        // Device read.
+        let lat = self.device.read_latency();
+        let cost = if streamed { (lat / STREAM_MLP).max(costs.l1_hit) } else { lat };
+        self.cores[cid].now += cost;
+        self.device.receive_read(line, self.cfg.line_size);
+        self.llc_insert(line, false);
+        self.l1_fill(cid, line, false);
+    }
+
+    /// Cost of acquiring `line` for writing, applying the cache effects.
+    ///
+    /// Called when a store-buffer entry drains: the line lands dirty in the
+    /// core's L1.
+    fn acquire_for_write(&mut self, cid: CoreId, line: Addr) -> Cycles {
+        let costs = self.cfg.costs;
+        // Under a weak model the coherence directory lives on the cached
+        // device and has no on-die cache: *every* visibility event pays a
+        // device round trip, even for lines the core already owns (§4.2 —
+        // "every cache line status change requires accessing the FPGA").
+        let visibility_floor = if self.cfg.mem_model == MemModel::Weak {
+            self.device.directory_latency()
+        } else {
+            0
+        };
+        if self.cores[cid].l1.probe(line) {
+            let already_owner = self.owner.get(&line) == Some(&cid);
+            self.cores[cid].l1.access(line, true);
+            self.owner.insert(line, cid);
+            return if already_owner {
+                costs.l1_hit + visibility_floor
+            } else {
+                // Upgrade: the directory must record the new owner.
+                costs.l1_hit + self.device.directory_latency()
+            };
+        }
+        if let Some(&o) = self.owner.get(&line) {
+            if o != cid {
+                let dirty = self.cores[o].l1.invalidate(line).unwrap_or(false);
+                self.owner.remove(&line);
+                self.llc_insert(line, dirty);
+                self.l1_fill(cid, line, true);
+                return self.device.directory_latency() + costs.remote_transfer;
+            }
+        }
+        if self.llc.probe(line) {
+            self.llc.access(line, false);
+            self.l1_fill(cid, line, true);
+            return costs.llc_hit + self.device.directory_latency();
+        }
+        // Write-allocate: read the full line from the device (RFO), plus
+        // the directory update.
+        self.device.receive_read(line, self.cfg.line_size);
+        self.llc_insert(line, false);
+        self.l1_fill(cid, line, true);
+        self.device.read_latency() + self.device.directory_latency()
+    }
+
+    /// Start the drains of all pending store-buffer entries of `cid`.
+    fn start_drains(&mut self, cid: CoreId) -> Cycles {
+        let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+        let now = self.cores[cid].now;
+        let done = sb.start_all(now, |line| self.acquire_for_write(cid, line));
+        sb.collect_completed(now);
+        let _ = sb.take_retired();
+        self.cores[cid].sb = sb;
+        done
+    }
+
+    /// Execute one line store.
+    fn write_line(&mut self, cid: CoreId, line: Addr) {
+        let costs = self.cfg.costs;
+        self.cores[cid].now += costs.store_issue;
+        // Rewriting a line whose clean-initiated writeback is in flight
+        // stalls until the writeback completes (the Listing-3 pitfall).
+        if let Some(&done) = self.wb_inflight.get(&line) {
+            let now = self.cores[cid].now;
+            if done > now {
+                self.cores[cid].stats.writeback_stall_cycles += done - now;
+                self.cores[cid].now = done;
+            }
+            self.wb_inflight.remove(&line);
+        }
+        // Capacity pressure: the hardware drains the whole buffer in the
+        // background once it fills; the pipeline waits for the head slot.
+        if self.cores[cid].sb.is_full() {
+            // Starting the pending drains may retire entries whose drains
+            // already completed in the past; only wait if still full.
+            self.start_drains(cid);
+            if self.cores[cid].sb.is_full() {
+                let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+                let now = self.cores[cid].now;
+                let done = sb.drain_head(now, |l| self.acquire_for_write(cid, l));
+                let _ = sb.take_retired();
+                self.cores[cid].sb = sb;
+                if done > self.cores[cid].now {
+                    self.cores[cid].stats.sb_pressure_stall_cycles += done - self.cores[cid].now;
+                    self.cores[cid].now = done;
+                }
+            }
+        }
+        let now = self.cores[cid].now;
+        self.cores[cid].sb.push(line, now);
+        if self.cfg.mem_model == MemModel::Tso {
+            // TSO: drains begin immediately (in order) in the background.
+            self.start_drains(cid);
+        }
+        self.cores[cid].sb.collect_completed(now);
+        let _ = self.cores[cid].sb.take_retired();
+    }
+
+    /// Non-temporal store: bypass the caches through the WC buffers.
+    fn nt_write(&mut self, cid: CoreId, addr: Addr, size: u64) {
+        let line_size = self.cfg.line_size;
+        for line in blocks_touched(addr, size, line_size) {
+            // NT stores invalidate any cached copy.
+            if let Some(true) = self.cores[cid].l1.invalidate(line) {
+                self.owner.remove(&line);
+            }
+            self.llc.invalidate(line);
+            self.cores[cid].now += self.cfg.costs.store_issue;
+            self.note_nt_write(cid, line);
+        }
+        self.cores[cid].stats.write_lines += blocks_touched(addr, size, line_size).count() as u64;
+        let flushes = self.cores[cid].wc.nt_write(addr, size);
+        self.apply_wc_flushes(&flushes);
+    }
+
+    fn apply_wc_flushes(&mut self, flushes: &[WcFlush]) {
+        for f in flushes {
+            match *f {
+                WcFlush::Full(line) => self.device.receive_write(line, self.cfg.line_size),
+                WcFlush::Partial(line, bytes) => self.device.receive_write(line, bytes),
+            }
+        }
+    }
+
+    /// Record that `line` was NT-written at `now` (its flush completes one
+    /// device write latency later).
+    fn note_nt_write(&mut self, cid: CoreId, line: Addr) {
+        let done = self.cores[cid].now + self.device.write_latency();
+        self.nt_inflight.insert(line, done);
+    }
+
+    /// A `clean` pre-store: write the dirty line back, keep it cached.
+    fn prestore_clean(&mut self, cid: CoreId, line: Addr) {
+        self.cores[cid].now += self.cfg.costs.prestore_issue;
+        // Order with respect to a pending private store: force its drain
+        // (asynchronously) first, like a demote.
+        let in_sb = self.cores[cid].sb.contains(line);
+        if in_sb {
+            let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+            let now = self.cores[cid].now;
+            sb.demote(line, now, |l| self.acquire_for_write(cid, l));
+            let _ = sb.take_retired();
+            self.cores[cid].sb = sb;
+        }
+        let dirty_l1 = self.cores[cid].l1.clean_line(line);
+        let dirty_llc = self.llc.clean_line(line);
+        if dirty_l1 || dirty_llc || in_sb {
+            if dirty_l1 {
+                self.owner.remove(&line);
+            }
+            self.device.receive_write(line, self.cfg.line_size);
+            let now = self.cores[cid].now;
+            let ready = now + self.device.write_latency();
+            self.wb_inflight.insert(line, ready);
+        }
+    }
+
+    /// A `demote` pre-store: push the line down to the shared level.
+    fn prestore_demote(&mut self, cid: CoreId, line: Addr) {
+        self.cores[cid].now += self.cfg.costs.prestore_issue;
+        // Start the background drain of the private store, if any.
+        {
+            let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+            let now = self.cores[cid].now;
+            sb.demote(line, now, |l| self.acquire_for_write(cid, l));
+            let _ = sb.take_retired();
+            self.cores[cid].sb = sb;
+        }
+        // Push the data down to the shared level so other cores can hit
+        // it there. ARM's `dc cvau` *cleans* to the point of unification:
+        // the L1 keeps a (now clean) copy, so the producer's next write to
+        // the same line still hits locally.
+        let was_dirty = self.cores[cid].l1.clean_line(line);
+        if was_dirty || self.cores[cid].l1.probe(line) {
+            self.owner.remove(&line);
+            self.llc_insert(line, was_dirty);
+        }
+    }
+
+    /// Full fence: wait for every pending store to become visible, flush
+    /// the WC buffers. Returns the stall in cycles.
+    fn fence(&mut self, cid: CoreId) -> Cycles {
+        let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+        let now = self.cores[cid].now;
+        let done = sb.drain_all(now, |l| self.acquire_for_write(cid, l));
+        let _ = sb.take_retired();
+        self.cores[cid].sb = sb;
+        let stall = done.saturating_sub(now);
+        self.cores[cid].now = now.max(done);
+        let flushes = self.cores[cid].wc.flush_all();
+        self.apply_wc_flushes(&flushes);
+        stall
+    }
+
+    /// Atomic RMW: fence semantics plus exclusive ownership of the line.
+    ///
+    /// The drain of the store buffer and the RFO of the atomic's own line
+    /// are independent cache operations and overlap; the atomic retires
+    /// when the slower of the two completes.
+    fn atomic(&mut self, cid: CoreId, addr: Addr) {
+        let start = self.cores[cid].now;
+        let stall = self.fence(cid);
+        let line = simcore::align_down(addr, self.cfg.line_size);
+        if let Some(&done) = self.wb_inflight.get(&line) {
+            let now = self.cores[cid].now;
+            if done > now {
+                self.cores[cid].stats.writeback_stall_cycles += done - now;
+                self.cores[cid].now = done;
+            }
+            self.wb_inflight.remove(&line);
+        }
+        let rfo = self.acquire_for_write(cid, line);
+        // Overlap the drain stall with the RFO.
+        self.cores[cid].now = (start + stall.max(rfo)).max(self.cores[cid].now - stall)
+            + self.cfg.costs.atomic_op;
+        let total = self.cores[cid].now - start;
+        self.cores[cid].stats.atomic_stall_cycles += total;
+        self.cores[cid].stats.atomics += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use simcore::{PrestoreOp, Tracer};
+
+    fn trace_of(f: impl FnOnce(&mut Tracer)) -> ThreadTrace {
+        let mut t = Tracer::new();
+        f(&mut t);
+        t.finish()
+    }
+
+    #[test]
+    fn empty_trace_runs() {
+        let cfg = MachineConfig::machine_a();
+        let r = simulate_single(&cfg, &ThreadTrace::default());
+        assert_eq!(r.cpu_cycles, 0);
+    }
+
+    #[test]
+    fn reads_hit_after_first_access() {
+        let cfg = MachineConfig::machine_a();
+        let r = simulate_single(&cfg, &trace_of(|t| {
+            t.read(0, 64);
+            t.read(0, 64);
+            t.read(0, 64);
+        }));
+        assert_eq!(r.l1.hits, 2);
+        assert_eq!(r.l1.misses, 1);
+        // First read pays device latency, the rest L1 hits.
+        assert!(r.cpu_cycles >= 350 && r.cpu_cycles < 400, "{}", r.cpu_cycles);
+    }
+
+    #[test]
+    fn demote_before_fence_hides_latency_on_weak_machine() {
+        let cfg = MachineConfig::machine_b_fast();
+        let reads_between = |demote: bool| {
+            trace_of(|t| {
+                for i in 0..1000u64 {
+                    t.write(i * 128, 128);
+                    if demote {
+                        t.prestore(i * 128, 128, PrestoreOp::Demote);
+                    }
+                    // 60 L1 reads of a small hot array to overlap with.
+                    for j in 0..60u64 {
+                        t.read(1 << 30 | (j * 128), 8);
+                    }
+                    t.fence();
+                }
+            })
+        };
+        let base = simulate_single(&cfg, &reads_between(false));
+        let demoted = simulate_single(&cfg, &reads_between(true));
+        assert!(
+            demoted.cycles < base.cycles,
+            "demote {} !< base {}",
+            demoted.cycles,
+            base.cycles
+        );
+        assert!(demoted.total_fence_stalls() < base.total_fence_stalls());
+    }
+
+    #[test]
+    fn demote_gains_nothing_without_overlap_window() {
+        let cfg = MachineConfig::machine_b_fast();
+        let mk = |demote: bool| {
+            trace_of(|t| {
+                for i in 0..200u64 {
+                    t.write(i * 128, 128);
+                    if demote {
+                        t.prestore(i * 128, 128, PrestoreOp::Demote);
+                    }
+                    t.fence();
+                }
+            })
+        };
+        let base = simulate_single(&cfg, &mk(false));
+        let demoted = simulate_single(&cfg, &mk(true));
+        let gain = demoted.improvement_pct_vs(&base);
+        assert!(gain.abs() < 5.0, "no-overlap gain should be ~0, got {gain:.1}%");
+    }
+
+    #[test]
+    fn tso_machine_fences_are_cheap_when_spaced() {
+        // On Machine A (TSO) drains start eagerly; a fence after enough
+        // other work stalls very little.
+        let cfg = MachineConfig::machine_a();
+        let r = simulate_single(&cfg, &trace_of(|t| {
+            t.write(0, 64);
+            t.compute(2000);
+            t.fence();
+        }));
+        assert!(
+            r.total_fence_stalls() < 50,
+            "TSO fence stall {} should be small",
+            r.total_fence_stalls()
+        );
+    }
+
+    #[test]
+    fn weak_machine_fence_pays_ownership_latency() {
+        let cfg = MachineConfig::machine_b_slow();
+        let r = simulate_single(&cfg, &trace_of(|t| {
+            t.write(0, 128);
+            t.compute(2000);
+            t.fence();
+        }));
+        // Ownership = directory (200) + read (200): the fence pays it all.
+        assert!(
+            r.total_fence_stalls() >= 300,
+            "weak fence stall {} should pay device latency",
+            r.total_fence_stalls()
+        );
+    }
+
+    #[test]
+    fn sequential_writeback_has_low_amplification_after_clean() {
+        let cfg = MachineConfig::machine_a();
+        // Write 4 MB sequentially (2x the LLC) and clean each element.
+        let mk = |clean: bool| {
+            trace_of(|t| {
+                for i in 0..(4 * 1024 * 1024 / 256) as u64 {
+                    t.write(i * 256, 256);
+                    if clean {
+                        t.prestore(i * 256, 256, PrestoreOp::Clean);
+                    }
+                }
+            })
+        };
+        let base = simulate_single(&cfg, &mk(false));
+        let cleaned = simulate_single(&cfg, &mk(true));
+        assert!(
+            cleaned.write_amplification() < 1.1,
+            "cleaned WA {}",
+            cleaned.write_amplification()
+        );
+        assert!(
+            base.write_amplification() > cleaned.write_amplification(),
+            "base WA {} vs cleaned {}",
+            base.write_amplification(),
+            cleaned.write_amplification()
+        );
+    }
+
+    #[test]
+    fn cleaning_hot_line_stalls_rewrites() {
+        // Listing 3: cleaning a constantly rewritten line is catastrophic.
+        let cfg = MachineConfig::machine_a();
+        let mk = |clean: bool| {
+            trace_of(|t| {
+                for _ in 0..10_000 {
+                    t.write(0, 64);
+                    if clean {
+                        t.prestore(0, 64, PrestoreOp::Clean);
+                    }
+                }
+            })
+        };
+        let base = simulate_single(&cfg, &mk(false));
+        let cleaned = simulate_single(&cfg, &mk(true));
+        let slowdown = cleaned.cycles as f64 / base.cycles as f64;
+        assert!(
+            slowdown > 20.0,
+            "hot-line cleaning slowdown {slowdown:.0}x should be large"
+        );
+    }
+
+    #[test]
+    fn skipping_is_slower_than_cleaning_when_data_is_reread() {
+        // §5: in Listing 1 with the re-read kept, skipping the cache makes
+        // the re-read fetch from memory instead of the cache.
+        // Random element addresses, as in Listing 1 (sequential re-reads
+        // would be hidden by the stream prefetcher).
+        let addr = |i: u64| (i.wrapping_mul(0x9E37_79B9) % 100_000) * 64;
+        let cfg = MachineConfig::machine_a();
+        let skip = simulate_single(&cfg, &trace_of(|t| {
+            for i in 0..2000u64 {
+                t.nt_write(addr(i), 64);
+                t.read(addr(i), 8);
+            }
+        }));
+        let clean = simulate_single(&cfg, &trace_of(|t| {
+            for i in 0..2000u64 {
+                t.write(addr(i), 64);
+                t.prestore(addr(i), 64, PrestoreOp::Clean);
+                t.read(addr(i), 8);
+            }
+        }));
+        assert!(
+            skip.cycles as f64 > 1.5 * clean.cycles as f64,
+            "skip {} !>> clean {}",
+            skip.cycles,
+            clean.cycles
+        );
+    }
+
+    #[test]
+    fn cross_core_read_of_demoted_line_is_cheaper() {
+        let cfg = MachineConfig::machine_b_fast();
+        let mk = |demote: bool| {
+            let mut producer = Tracer::new();
+            let mut consumer = Tracer::new();
+            for i in 0..500u64 {
+                producer.write(i * 128, 128);
+                if demote {
+                    producer.prestore(i * 128, 128, PrestoreOp::Demote);
+                }
+                // Ring management work between crafting and publishing —
+                // the window the demote overlaps with.
+                producer.compute(200);
+                producer.atomic(1 << 30, 8);
+                // Consumer polls the flag then reads the payload.
+                consumer.compute(50);
+                consumer.read(i * 128, 128);
+            }
+            TraceSet::new(vec![producer.finish(), consumer.finish()])
+        };
+        let base = simulate(&cfg, &mk(false));
+        let demoted = simulate(&cfg, &mk(true));
+        assert!(
+            demoted.cycles < base.cycles,
+            "demoted message passing {} !< {}",
+            demoted.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn multi_core_clocks_all_advance() {
+        let cfg = MachineConfig::machine_a();
+        let mk = || {
+            trace_of(|t| {
+                for i in 0..100u64 {
+                    t.write(i * 64, 64);
+                }
+            })
+        };
+        let r = simulate(&cfg, &TraceSet::new(vec![mk(), mk(), mk()]));
+        assert_eq!(r.cores.len(), 3);
+        assert!(r.cores.iter().all(|c| c.cycles > 0));
+    }
+
+    #[test]
+    fn media_bound_run_reports_bandwidth_time() {
+        let cfg = MachineConfig::machine_a();
+        // 8 cores streaming NT writes: far beyond Optane bandwidth.
+        let mk = |c: u64| {
+            trace_of(move |t| {
+                for i in 0..20_000u64 {
+                    t.nt_write((c << 32) + i * 64, 64);
+                }
+            })
+        };
+        let r = simulate(&cfg, &TraceSet::new((0..8).map(mk).collect()));
+        assert!(r.is_media_bound());
+        assert!(r.cycles >= r.media_busy_cycles);
+    }
+
+    #[test]
+    fn prestore_issue_cost_is_one_cycle() {
+        let cfg = MachineConfig::machine_a();
+        let with = simulate_single(&cfg, &trace_of(|t| {
+            for i in 0..1000u64 {
+                t.write(i * 64, 64);
+                t.prestore(i * 64, 64, PrestoreOp::Clean);
+            }
+        }));
+        let without = simulate_single(&cfg, &trace_of(|t| {
+            for i in 0..1000u64 {
+                t.write(i * 64, 64);
+            }
+        }));
+        // 1000 extra pre-stores cost ~1 cycle each on the CPU side.
+        let delta = with.cpu_cycles as i64 - without.cpu_cycles as i64;
+        assert!(delta.abs() < 5_000, "prestore issue overhead {delta} cycles for 1000 ops");
+    }
+}

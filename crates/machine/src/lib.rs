@@ -1,0 +1,35 @@
+//! Machine assembly and trace-replay execution for the pre-stores
+//! simulator.
+//!
+//! The crate exposes:
+//!
+//! * [`MachineConfig`] — descriptions of the paper's evaluation platforms:
+//!   [`MachineConfig::machine_a`] (Xeon + Optane PMEM, §3 "Machine A") and
+//!   [`MachineConfig::machine_b_fast`] / [`MachineConfig::machine_b_slow`]
+//!   (ThunderX + FPGA, "Machine B"), plus DRAM and CXL-SSD variants.
+//! * [`simulate`] — replay a [`simcore::TraceSet`] on a machine, producing
+//!   [`RunStats`]: run time in cycles, fence/atomic stall breakdowns, cache
+//!   counters and device-side write amplification.
+//!
+//! # Examples
+//!
+//! ```
+//! use machine::{simulate_single, MachineConfig};
+//! use simcore::Tracer;
+//!
+//! let mut t = Tracer::new();
+//! for i in 0..1024u64 {
+//!     t.write(i * 64, 64);
+//! }
+//! let stats = simulate_single(&MachineConfig::machine_a(), &t.finish());
+//! assert!(stats.cycles > 0);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod stats;
+
+pub use config::{CostModel, MachineConfig, MemModel};
+pub use engine::{simulate, simulate_single, Engine};
+pub use stats::{CoreStats, RunStats};

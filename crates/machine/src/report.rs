@@ -1,0 +1,104 @@
+//! Human-readable breakdowns of a [`RunStats`] — the simulator's
+//! equivalent of a `perf` profile plus `ipmctl` media counters.
+
+use crate::config::MachineConfig;
+use crate::stats::RunStats;
+use std::fmt::Write as _;
+
+/// Render a multi-line summary of `stats` for `cfg`.
+///
+/// # Examples
+///
+/// ```
+/// use machine::{report::summarize, simulate_single, MachineConfig};
+/// use simcore::Tracer;
+///
+/// let mut t = Tracer::new();
+/// t.write(0, 64);
+/// t.fence();
+/// let cfg = MachineConfig::machine_a();
+/// let stats = simulate_single(&cfg, &t.finish());
+/// let text = summarize(&stats, &cfg);
+/// assert!(text.contains("write amplification"));
+/// ```
+pub fn summarize(stats: &RunStats, cfg: &MachineConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "machine: {}", cfg.name);
+    let _ = writeln!(
+        out,
+        "run time: {} cycles ({:.3} ms at {:.1} GHz) — {}",
+        stats.cycles,
+        cfg.cycles_to_seconds(stats.cycles) * 1e3,
+        cfg.freq_ghz,
+        if stats.is_media_bound() { "MEDIA-bound" } else { "CPU-bound" },
+    );
+    let _ = writeln!(
+        out,
+        "  cpu critical path {:>12} cycles | media busy {:>12} cycles",
+        stats.cpu_cycles, stats.media_busy_cycles
+    );
+    let _ = writeln!(
+        out,
+        "stalls: fence {} | atomic {} | store-buffer pressure {} | writeback conflicts {}",
+        stats.total_fence_stalls(),
+        stats.total_atomic_stalls(),
+        stats.cores.iter().map(|c| c.sb_pressure_stall_cycles).sum::<u64>(),
+        stats.cores.iter().map(|c| c.writeback_stall_cycles).sum::<u64>(),
+    );
+    let _ = writeln!(
+        out,
+        "caches: L1 hit rate {:.1}% ({} evictions, {} dirty) | LLC hit rate {:.1}% ({} dirty evictions)",
+        stats.l1.hit_rate() * 100.0,
+        stats.l1.evictions,
+        stats.l1.dirty_evictions,
+        stats.llc.hit_rate() * 100.0,
+        stats.llc.dirty_evictions,
+    );
+    let d = &stats.device;
+    let _ = writeln!(
+        out,
+        "device: received {} B, media wrote {} B, read {} B (+{} B RMW) — write amplification {:.2}x",
+        d.bytes_received, d.media_bytes_written, d.bytes_read, d.media_bytes_rmw_read,
+        stats.write_amplification(),
+    );
+    for (i, c) in stats.cores.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  core {i}: {:>12} cycles | {} reads {} writes {} prestores {} fences {} atomics",
+            c.cycles, c.read_lines, c.write_lines, c.prestores, c.fences, c.atomics
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_single;
+    use simcore::Tracer;
+
+    #[test]
+    fn summary_contains_all_sections() {
+        let cfg = MachineConfig::machine_a();
+        let mut t = Tracer::new();
+        for i in 0..100u64 {
+            t.write(i * 64, 64);
+            t.read(i * 64, 8);
+        }
+        t.fence();
+        let stats = simulate_single(&cfg, &t.finish());
+        let text = summarize(&stats, &cfg);
+        for needle in ["machine:", "run time:", "stalls:", "caches:", "device:", "core 0:"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn bound_classification_is_printed() {
+        let cfg = MachineConfig::machine_a();
+        let mut t = Tracer::new();
+        t.compute(1_000_000);
+        let stats = simulate_single(&cfg, &t.finish());
+        assert!(summarize(&stats, &cfg).contains("CPU-bound"));
+    }
+}

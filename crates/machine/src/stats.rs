@@ -1,0 +1,147 @@
+//! Run statistics: what the paper measures with `perf` and `ipmctl`.
+
+use cachesim::CacheStats;
+use memdev::DeviceStats;
+use simcore::{Cycles, FuncId};
+use std::collections::HashMap;
+
+/// Counters of a single simulated core.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct CoreStats {
+    /// Final local clock of the core.
+    pub cycles: Cycles,
+    /// Cycles stalled in fences waiting for store-buffer drains (§4.2).
+    pub fence_stall_cycles: Cycles,
+    /// Cycles stalled in atomic operations (drain + ownership).
+    pub atomic_stall_cycles: Cycles,
+    /// Cycles stalled on a full store buffer.
+    pub sb_pressure_stall_cycles: Cycles,
+    /// Cycles stalled waiting for an in-flight writeback of a line being
+    /// rewritten (the Listing-3 pitfall).
+    pub writeback_stall_cycles: Cycles,
+    /// Lines read.
+    pub read_lines: u64,
+    /// Lines written.
+    pub write_lines: u64,
+    /// Pre-store operations issued.
+    pub prestores: u64,
+    /// Fences executed.
+    pub fences: u64,
+    /// Atomics executed.
+    pub atomics: u64,
+}
+
+/// Aggregate result of replaying one workload on one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Wall-clock cycles of the run: the slower of the CPU side and the
+    /// bandwidth-saturated device side.
+    pub cycles: Cycles,
+    /// Longest per-core cycle count (CPU-side critical path).
+    pub cpu_cycles: Cycles,
+    /// Cycles the device media was busy (bandwidth model).
+    pub media_busy_cycles: Cycles,
+    /// Per-core counters.
+    pub cores: Vec<CoreStats>,
+    /// Aggregated private-cache counters.
+    pub l1: CacheStats,
+    /// Shared-cache counters.
+    pub llc: CacheStats,
+    /// Device counters (write amplification lives here).
+    pub device: DeviceStats,
+    /// Cycles attributed to each traced function (the simulator's `perf`
+    /// profile): every event's cost is charged to the function that issued
+    /// it, so claims like "pre-storing reduces the time spent in the
+    /// atomic instructions of the lock" (§7.3.1) can be checked directly.
+    pub func_cycles: HashMap<FuncId, Cycles>,
+}
+
+impl RunStats {
+    /// Write amplification observed at the device.
+    pub fn write_amplification(&self) -> f64 {
+        self.device.write_amplification()
+    }
+
+    /// Speedup of this run relative to `baseline` (>1 means faster).
+    pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Relative improvement over `baseline` in percent (the paper's
+    /// "demotion is up to 65% faster" metric).
+    pub fn improvement_pct_vs(&self, baseline: &RunStats) -> f64 {
+        (self.speedup_vs(baseline) - 1.0) * 100.0
+    }
+
+    /// Throughput in operations per second given `ops` performed and the
+    /// machine frequency in GHz.
+    pub fn ops_per_sec(&self, ops: u64, freq_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        ops as f64 * freq_ghz * 1e9 / self.cycles as f64
+    }
+
+    /// Total fence stall cycles across cores.
+    pub fn total_fence_stalls(&self) -> Cycles {
+        self.cores.iter().map(|c| c.fence_stall_cycles).sum()
+    }
+
+    /// Total atomic stall cycles across cores.
+    pub fn total_atomic_stalls(&self) -> Cycles {
+        self.cores.iter().map(|c| c.atomic_stall_cycles).sum()
+    }
+
+    /// Whether the run was limited by device bandwidth rather than CPU.
+    pub fn is_media_bound(&self) -> bool {
+        self.media_busy_cycles > self.cpu_cycles
+    }
+
+    /// Cycles attributed to `func` (0 if never seen).
+    pub fn cycles_in(&self, func: FuncId) -> Cycles {
+        self.func_cycles.get(&func).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: Cycles) -> RunStats {
+        RunStats {
+            cycles,
+            cpu_cycles: cycles,
+            media_busy_cycles: 0,
+            cores: vec![CoreStats { cycles, ..Default::default() }],
+            l1: CacheStats::default(),
+            llc: CacheStats::default(),
+            device: DeviceStats::default(),
+            func_cycles: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn speedup_and_improvement() {
+        let base = stats(200);
+        let fast = stats(100);
+        assert_eq!(fast.speedup_vs(&base), 2.0);
+        assert_eq!(fast.improvement_pct_vs(&base), 100.0);
+        assert_eq!(base.improvement_pct_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn ops_per_sec() {
+        let r = stats(2_000_000_000);
+        let t = r.ops_per_sec(1_000_000, 2.0);
+        assert!((t - 1_000_000.0).abs() < 1.0);
+        assert_eq!(stats(0).ops_per_sec(5, 2.0), 0.0);
+    }
+
+    #[test]
+    fn media_bound_flag() {
+        let mut r = stats(100);
+        assert!(!r.is_media_bound());
+        r.media_busy_cycles = 500;
+        assert!(r.is_media_bound());
+    }
+}

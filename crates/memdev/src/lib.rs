@@ -1,0 +1,244 @@
+//! Memory device models.
+//!
+//! §3 of the paper: caches increasingly front memories whose
+//! characteristics diverge from classic DRAM, along two axes this crate
+//! models explicitly:
+//!
+//! 1. **Internal write granularity** larger than the CPU cache line
+//!    (Table 1: Intel 64 B vs Optane 256 B vs CXL SSD 256/512 B). A device
+//!    receiving non-sequential line writebacks suffers *write
+//!    amplification*: each 64 B line closes a 256 B internal block. The
+//!    [`OptanePmem`] model reproduces the `ipmctl`-style media-write
+//!    counters the paper measures.
+//! 2. **Latency** of the device, including the cost of coherence-directory
+//!    updates when the directory is stored *on* the device ([`FpgaMem`] —
+//!    the Enzian configuration of Machine B).
+//!
+//! All devices implement [`MemDevice`]; [`Device`] provides enum dispatch.
+
+pub mod cxl_ssd;
+pub mod dram;
+pub mod fpga;
+pub mod optane;
+
+pub use cxl_ssd::CxlSsd;
+pub use dram::Dram;
+pub use fpga::FpgaMem;
+pub use optane::OptanePmem;
+
+use simcore::{Addr, Cycles};
+
+/// Counters every device keeps; mirrors what `ipmctl` exposes on Optane.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct DeviceStats {
+    /// Bytes received from the cache hierarchy (line writebacks, NT stores).
+    pub bytes_received: u64,
+    /// Bytes actually written to the media (internal-granularity blocks).
+    pub media_bytes_written: u64,
+    /// Bytes read from the media on behalf of the CPU.
+    pub bytes_read: u64,
+    /// Bytes read internally for read-modify-write of partial blocks.
+    pub media_bytes_rmw_read: u64,
+    /// Number of write requests received.
+    pub writes_received: u64,
+    /// Number of read requests received.
+    pub reads_received: u64,
+}
+
+impl DeviceStats {
+    /// Write amplification: media bytes written per byte received.
+    ///
+    /// The paper reports this as a percentage (§4.1: "180% write
+    /// amplification" = every 64 B writeback writes 115 B of media); here
+    /// 1.0 means no amplification. Returns 1.0 when nothing was written.
+    pub fn write_amplification(&self) -> f64 {
+        if self.bytes_received == 0 {
+            1.0
+        } else {
+            self.media_bytes_written as f64 / self.bytes_received as f64
+        }
+    }
+}
+
+/// Behaviour required of a cacheable memory device.
+pub trait MemDevice {
+    /// Short device name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Latency of a read reaching the device, in CPU cycles.
+    fn read_latency(&self) -> Cycles;
+
+    /// Latency to accept a write into the device's internal buffer.
+    fn write_accept_latency(&self) -> Cycles;
+
+    /// Latency for a write to fully complete at the media.
+    ///
+    /// A store to a line whose writeback is still in flight must wait this
+    /// long — the mechanism behind the paper's Listing-3 pitfall, where
+    /// cleaning a constantly rewritten line costs "the ratio between the
+    /// latency of writing to memory vs. writing to the cache" (§5).
+    fn write_latency(&self) -> Cycles;
+
+    /// Latency of a coherence-directory lookup/update.
+    ///
+    /// Modern implementations store the directory on the cached device
+    /// (§4.2: Intel in DRAM/PMEM, the ARM core in the FPGA), so every cache
+    /// line status change pays a device round-trip.
+    fn directory_latency(&self) -> Cycles;
+
+    /// Internal write granularity in bytes (Table 1).
+    fn internal_granularity(&self) -> u64;
+
+    /// Sustainable media write bandwidth in bytes per CPU cycle.
+    fn media_write_bandwidth(&self) -> f64;
+
+    /// Whether reads and writes use independent channels (full duplex).
+    ///
+    /// Link-attached memories (the Enzian FPGA, CXL) have separate
+    /// directions; Optane's media contends for the same internal
+    /// resources in both directions.
+    fn duplex(&self) -> bool {
+        false
+    }
+
+    /// Deliver a write of `bytes` at `addr` (a line writeback or an NT
+    /// store flush).
+    fn receive_write(&mut self, addr: Addr, bytes: u64);
+
+    /// Deliver a read of `bytes` at `addr`.
+    fn receive_read(&mut self, addr: Addr, bytes: u64);
+
+    /// Close any internally buffered blocks (end of run).
+    fn flush(&mut self);
+
+    /// Counters so far.
+    fn stats(&self) -> &DeviceStats;
+
+    /// Zero the counters.
+    fn reset_stats(&mut self);
+}
+
+/// Enum dispatch over the concrete device models.
+#[derive(Debug, Clone)]
+pub enum Device {
+    /// Conventional DRAM.
+    Dram(Dram),
+    /// Intel Optane persistent memory.
+    Optane(OptanePmem),
+    /// FPGA-backed cache-coherent memory (Machine B).
+    Fpga(FpgaMem),
+    /// CXL-attached SSD memory.
+    CxlSsd(CxlSsd),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $d:ident => $e:expr) => {
+        match $self {
+            Device::Dram($d) => $e,
+            Device::Optane($d) => $e,
+            Device::Fpga($d) => $e,
+            Device::CxlSsd($d) => $e,
+        }
+    };
+}
+
+impl MemDevice for Device {
+    fn name(&self) -> &'static str {
+        dispatch!(self, d => d.name())
+    }
+
+    fn read_latency(&self) -> Cycles {
+        dispatch!(self, d => d.read_latency())
+    }
+
+    fn write_accept_latency(&self) -> Cycles {
+        dispatch!(self, d => d.write_accept_latency())
+    }
+
+    fn write_latency(&self) -> Cycles {
+        dispatch!(self, d => d.write_latency())
+    }
+
+    fn directory_latency(&self) -> Cycles {
+        dispatch!(self, d => d.directory_latency())
+    }
+
+    fn internal_granularity(&self) -> u64 {
+        dispatch!(self, d => d.internal_granularity())
+    }
+
+    fn media_write_bandwidth(&self) -> f64 {
+        dispatch!(self, d => d.media_write_bandwidth())
+    }
+
+    fn duplex(&self) -> bool {
+        dispatch!(self, d => d.duplex())
+    }
+
+    fn receive_write(&mut self, addr: Addr, bytes: u64) {
+        dispatch!(self, d => d.receive_write(addr, bytes))
+    }
+
+    fn receive_read(&mut self, addr: Addr, bytes: u64) {
+        dispatch!(self, d => d.receive_read(addr, bytes))
+    }
+
+    fn flush(&mut self) {
+        dispatch!(self, d => d.flush())
+    }
+
+    fn stats(&self) -> &DeviceStats {
+        dispatch!(self, d => d.stats())
+    }
+
+    fn reset_stats(&mut self) {
+        dispatch!(self, d => d.reset_stats())
+    }
+}
+
+/// Table 1 of the paper: internal read/write granularities.
+///
+/// Returns `(device, granularity description)` rows.
+pub fn table1() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("Intel CPU", "64B"),
+        ("ThunderX ARM CPU", "128B"),
+        ("Optane PMEM", "256B"),
+        ("CXL SSD", "256B/512B"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_defaults_to_one() {
+        let s = DeviceStats::default();
+        assert_eq!(s.write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn write_amplification_ratio() {
+        let s = DeviceStats { bytes_received: 64, media_bytes_written: 256, ..Default::default() };
+        assert_eq!(s.write_amplification(), 4.0);
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], ("Intel CPU", "64B"));
+        assert_eq!(t[2], ("Optane PMEM", "256B"));
+    }
+
+    #[test]
+    fn enum_dispatch_works() {
+        let mut d = Device::Dram(Dram::default());
+        d.receive_write(0, 64);
+        assert_eq!(d.stats().bytes_received, 64);
+        assert_eq!(d.internal_granularity(), 64);
+        d.reset_stats();
+        assert_eq!(d.stats().bytes_received, 0);
+    }
+}

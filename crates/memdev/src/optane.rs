@@ -1,0 +1,276 @@
+//! Intel Optane persistent memory model.
+//!
+//! Optane DIMMs internally read and write 256 B blocks but receive 64 B
+//! cache-line writebacks from the CPU. A small on-DIMM write-combining
+//! buffer (the "XPBuffer") merges line writes that target the *same* 256 B
+//! block while the block is open; when a block is evicted from that buffer
+//! it costs one 256 B media write (plus a media read-modify-write if the
+//! block was not fully covered).
+//!
+//! Consequence (§4.1): if the CPU evicts lines sequentially, four 64 B
+//! writebacks merge into one 256 B media write — write amplification 1.0.
+//! If evictions are in random order, every 64 B writeback closes its own
+//! block — write amplification up to 4.0. This is exactly the number the
+//! paper reads out of `ipmctl`.
+
+use crate::{DeviceStats, MemDevice};
+use simcore::{align_down, Addr, Cycles};
+use std::collections::VecDeque;
+
+/// An Optane persistent-memory module set.
+#[derive(Debug, Clone)]
+pub struct OptanePmem {
+    read_latency: Cycles,
+    directory_latency: Cycles,
+    /// Aggregate media write bandwidth, bytes per CPU cycle.
+    bandwidth: f64,
+    block: u64,
+    buffer_blocks: usize,
+    /// Open blocks: (block address, bytes covered), oldest first.
+    open: VecDeque<(Addr, u64)>,
+    stats: DeviceStats,
+}
+
+impl Default for OptanePmem {
+    fn default() -> Self {
+        // ~170 ns read at 2.1 GHz (~350 cycles); aggregate media write
+        // bandwidth ~12.6 GB/s (6 B/cycle) for the 8 interleaved DIMMs,
+        // tuned so that one random writer stays CPU-bound and two or more
+        // saturate the device, as on the paper's Machine A (§4.1).
+        // The XPBuffer is 16 KB = 64 open blocks.
+        Self::new(350, 60, 6.0, 256, 64)
+    }
+}
+
+impl OptanePmem {
+    /// Create a module set.
+    ///
+    /// * `read_latency` — CPU-visible read latency in cycles.
+    /// * `directory_latency` — coherence directory update cost.
+    /// * `bandwidth` — aggregate media write bandwidth in bytes/cycle.
+    /// * `block` — internal granularity in bytes (256 for Optane).
+    /// * `buffer_blocks` — open blocks the internal buffer can hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a power of two or `buffer_blocks` is zero.
+    pub fn new(
+        read_latency: Cycles,
+        directory_latency: Cycles,
+        bandwidth: f64,
+        block: u64,
+        buffer_blocks: usize,
+    ) -> Self {
+        assert!(block.is_power_of_two(), "internal granularity must be a power of two");
+        assert!(buffer_blocks > 0, "need at least one internal buffer block");
+        Self {
+            read_latency,
+            directory_latency,
+            bandwidth,
+            block,
+            buffer_blocks,
+            open: VecDeque::new(),
+            stats: DeviceStats::default(),
+        }
+    }
+
+    fn close_block(&mut self, covered: u64) {
+        self.stats.media_bytes_written += self.block;
+        if covered < self.block {
+            // Partially covered block: the device must read the rest first.
+            self.stats.media_bytes_rmw_read += self.block;
+        }
+    }
+}
+
+impl MemDevice for OptanePmem {
+    fn name(&self) -> &'static str {
+        "Optane PMEM"
+    }
+
+    fn read_latency(&self) -> Cycles {
+        self.read_latency
+    }
+
+    fn write_accept_latency(&self) -> Cycles {
+        2
+    }
+
+    fn write_latency(&self) -> Cycles {
+        // ~150 ns media write at 2.1 GHz.
+        300
+    }
+
+    fn directory_latency(&self) -> Cycles {
+        self.directory_latency
+    }
+
+    fn internal_granularity(&self) -> u64 {
+        self.block
+    }
+
+    fn media_write_bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    fn receive_write(&mut self, addr: Addr, bytes: u64) {
+        self.stats.writes_received += 1;
+        self.stats.bytes_received += bytes;
+        // Spread the write over the internal blocks it touches.
+        let mut cur = addr;
+        let end = addr + bytes.max(1);
+        while cur < end {
+            let blk = align_down(cur, self.block);
+            let chunk = (blk + self.block - cur).min(end - cur);
+            if let Some(pos) = self.open.iter().position(|&(b, _)| b == blk) {
+                // Merge into the open block and refresh its position (LRU).
+                let (b, covered) = self.open.remove(pos).expect("pos is valid");
+                self.open.push_back((b, (covered + chunk).min(self.block)));
+            } else {
+                if self.open.len() >= self.buffer_blocks {
+                    let (_, covered) = self.open.pop_front().expect("buffer not empty");
+                    self.close_block(covered);
+                }
+                self.open.push_back((blk, chunk.min(self.block)));
+            }
+            cur += chunk;
+        }
+    }
+
+    fn receive_read(&mut self, _addr: Addr, bytes: u64) {
+        self.stats.reads_received += 1;
+        self.stats.bytes_read += bytes;
+    }
+
+    fn flush(&mut self) {
+        while let Some((_, covered)) = self.open.pop_front() {
+            self.close_block(covered);
+        }
+    }
+
+    fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+        self.open.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> OptanePmem {
+        // 4 open blocks to make eviction pressure easy to trigger.
+        OptanePmem::new(350, 60, 6.0, 256, 4)
+    }
+
+    #[test]
+    fn sequential_writebacks_have_no_amplification() {
+        let mut d = tiny();
+        // 64 lines written in order: 16 blocks, each fully covered.
+        for i in 0..64u64 {
+            d.receive_write(i * 64, 64);
+        }
+        d.flush();
+        let s = d.stats();
+        assert_eq!(s.bytes_received, 64 * 64);
+        assert_eq!(s.media_bytes_written, 64 * 64);
+        assert_eq!(s.write_amplification(), 1.0);
+        assert_eq!(s.media_bytes_rmw_read, 0, "no partial blocks");
+    }
+
+    #[test]
+    fn strided_writebacks_amplify_4x() {
+        let mut d = tiny();
+        // One 64 B line per 256 B block, far apart: every line closes its
+        // own block once the buffer overflows.
+        for i in 0..64u64 {
+            d.receive_write(i * 4096, 64);
+        }
+        d.flush();
+        let s = d.stats();
+        assert_eq!(s.write_amplification(), 4.0);
+        assert!(s.media_bytes_rmw_read > 0, "partial blocks require RMW");
+    }
+
+    #[test]
+    fn interleaved_streams_amplify_when_buffer_small() {
+        // Two interleaved sequential streams fit in the buffer: no
+        // amplification. Eight streams overflow a 4-block buffer: blocks
+        // close before they fill.
+        let mut ok = tiny();
+        for i in 0..32u64 {
+            for s in 0..2u64 {
+                ok.receive_write(s * 1_048_576 + i * 64, 64);
+            }
+        }
+        ok.flush();
+        assert_eq!(ok.stats().write_amplification(), 1.0);
+
+        let mut bad = tiny();
+        for i in 0..32u64 {
+            for s in 0..8u64 {
+                bad.receive_write(s * 1_048_576 + i * 64, 64);
+            }
+        }
+        bad.flush();
+        assert!(
+            bad.stats().write_amplification() > 2.0,
+            "WA {} with 8 streams over 4 buffers",
+            bad.stats().write_amplification()
+        );
+    }
+
+    #[test]
+    fn rewriting_open_block_does_not_amplify() {
+        let mut d = tiny();
+        for _ in 0..100 {
+            d.receive_write(0, 64);
+        }
+        d.flush();
+        // 100 x 64 B received, one 256 B media write.
+        let s = d.stats();
+        assert_eq!(s.media_bytes_written, 256);
+        assert!(s.write_amplification() < 0.05);
+    }
+
+    #[test]
+    fn large_write_spans_blocks() {
+        let mut d = tiny();
+        d.receive_write(0, 1024);
+        d.flush();
+        let s = d.stats();
+        assert_eq!(s.bytes_received, 1024);
+        assert_eq!(s.media_bytes_written, 1024);
+        assert_eq!(s.media_bytes_rmw_read, 0);
+    }
+
+    #[test]
+    fn unaligned_write_pays_rmw() {
+        let mut d = tiny();
+        d.receive_write(128, 256); // covers halves of two blocks
+        d.flush();
+        let s = d.stats();
+        assert_eq!(s.media_bytes_written, 512);
+        assert_eq!(s.media_bytes_rmw_read, 512);
+    }
+
+    #[test]
+    fn defaults_match_table1() {
+        let d = OptanePmem::default();
+        assert_eq!(d.internal_granularity(), 256);
+        assert_eq!(d.name(), "Optane PMEM");
+    }
+
+    #[test]
+    fn reset_clears_open_blocks() {
+        let mut d = tiny();
+        d.receive_write(0, 64);
+        d.reset_stats();
+        d.flush();
+        assert_eq!(d.stats().media_bytes_written, 0);
+    }
+}

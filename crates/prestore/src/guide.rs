@@ -1,0 +1,69 @@
+//! # Choosing a pre-store: a practitioner's guide
+//!
+//! This module holds no code — it is the decision knowledge of the paper's
+//! §5 and §6.2.3 in rustdoc form, next to the API it applies to.
+//!
+//! ## The decision table
+//!
+//! For a write site that either writes **sequentially** or is followed by
+//! a **fence/atomic**, ask how the written data is re-used:
+//!
+//! | re-written soon? | re-read soon? | use | why |
+//! |---|---|---|---|
+//! | yes | — | [`Demote`](crate::PrestoreOp::Demote) *if fence-bound*, else nothing | visibility starts early but the data stays cached for the re-write; cleaning would push every version to memory |
+//! | no | yes | [`Clean`](crate::PrestoreOp::Clean) | the writeback starts early, the cached copy keeps serving reads |
+//! | no | no | skip ([`PrestoreMode::Skip`](crate::PrestoreMode::Skip)) | nothing will ever want the cached copy; don't pollute the cache at all |
+//!
+//! If the write site is neither sequential nor fence-bound, **do nothing**:
+//! a pre-store cannot help and may hurt.
+//!
+//! "Soon" is measured in instructions between accesses to the same cache
+//! line — DirtBuster's re-read / re-write distances
+//! ([`dirtbuster`-crate](https://docs.rs/dirtbuster), §6.2.3). The
+//! defaults treat a re-write within ~50 K instructions as "soon" (cleaning
+//! it would thrash) and a re-read within ~1 M instructions as worth
+//! keeping cached.
+//!
+//! ## Which machines benefit
+//!
+//! The *same patch* pays off differently per platform (§6.2.3):
+//!
+//! * On a strongly-ordered CPU over a **large-granularity memory**
+//!   (Machine A: x86 + Optane), `clean` and skip pay by restoring
+//!   *eviction sequentiality*: the device coalesces in-order line
+//!   writebacks into full internal blocks. `demote` gains ~nothing — TSO
+//!   already drains stores eagerly.
+//! * On a weakly-ordered CPU over a **long-latency coherent memory**
+//!   (Machine B: ARM + FPGA/CXL), `demote` (and `clean`, which implies the
+//!   drain) pays by starting the visibility work before the fence or CAS
+//!   that would otherwise stall for it. Sequentiality is irrelevant there.
+//! * On plain DRAM, pre-stores are neutral: issue them freely from shared
+//!   code paths; they cost ~1 cycle.
+//!
+//! ## The three pitfalls
+//!
+//! 1. **Cleaning a hot line** (the paper's Listing 3): every clean starts
+//!    a writeback; the next store to that line waits for it. Measured at
+//!    ~100x in this reproduction (paper: ~75x). If the data is re-written,
+//!    never clean it.
+//! 2. **Skipping re-read data**: a non-temporal store evicts the line, so
+//!    the re-read pays a full memory access (and, while the NT store is in
+//!    flight, waits for it first). This is why DirtBuster chose `clean`
+//!    for the TensorFlow evaluator even though its big tensors are
+//!    write-once — the *dominant* small tensors are consumed immediately.
+//! 3. **Trusting the source code**: both mistakes above looked fine in the
+//!    source (§7.4.2). Measure; the re-use may happen in another function
+//!    or another file. That is the whole reason DirtBuster exists.
+//!
+//! ## Hardware cheat sheet
+//!
+//! | operation | x86-64 | aarch64 | this crate |
+//! |---|---|---|---|
+//! | demote | `cldemote` (no-op hint if absent) | `dc cvau` | [`hw::demote_line`](crate::hw::demote_line) |
+//! | clean | `clwb` (**faults** if absent — probe [`hw::supports_clwb`](crate::hw::supports_clwb)) | `dc cvac` | [`hw::clean_line`](crate::hw::clean_line) |
+//! | skip | `movnti` / `movntdq` | `stnp` | [`hw::nt_store_u64`](crate::hw::nt_store_u64) |
+//! | order | `sfence` | `dmb ishst` | [`hw::store_fence`](crate::hw::store_fence) |
+//!
+//! All are non-blocking: they enqueue work and return, which is exactly
+//! what makes pre-storing free when used correctly and effective when the
+//! alternative is a last-minute stall.

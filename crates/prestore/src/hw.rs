@@ -1,0 +1,212 @@
+//! Hardware backend: the real pre-store instructions.
+//!
+//! §2 of the paper: "Common architectures such as x86 and ARM offer
+//! instructions that allow easy implementation of pre-stores" — `cldemote`
+//! and `clwb` on Intel, `dc cvau` (clean to the point of unification) and
+//! `dc cvac` (clean to the point of coherency) on ARM.
+//!
+//! Everything here is gated behind `feature = "hw"` *and* the matching
+//! target architecture. The simulation experiments never use this module;
+//! it exists so that the same library runs natively on machines that have
+//! the instructions (the paper's Machine A / Machine B), and as executable
+//! documentation of exactly which instructions implement each operation.
+//!
+//! Note that `cldemote` executes as a no-op hint on CPUs without the
+//! CLDEMOTE feature flag, and `clwb` faults on CPUs without the CLWB flag —
+//! callers should check CPUID (see [`supports_clwb`]) before using
+//! [`clean_line`] in production code.
+
+#![allow(unused_variables)]
+
+/// Size in bytes of the cache line assumed by the line-walking helpers.
+pub const HW_LINE: usize = 64;
+
+/// Whether this CPU supports `clwb` (CPUID leaf 7, EBX bit 24).
+///
+/// Always `false` off x86-64. `clwb` raises `#UD` on CPUs without the
+/// flag, so probe before calling [`clean_line`] on unknown hardware.
+pub fn supports_clwb() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let leaf7 = core::arch::x86_64::__cpuid_count(7, 0);
+        leaf7.ebx & (1 << 24) != 0
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+/// Whether this CPU supports `cldemote` (CPUID leaf 7, ECX bit 25).
+///
+/// `cldemote` is defined to execute as a no-op hint on CPUs without the
+/// flag, so calling [`demote_line`] is safe either way; the probe tells
+/// you whether it will do anything.
+pub fn supports_cldemote() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let leaf7 = core::arch::x86_64::__cpuid_count(7, 0);
+        leaf7.ecx & (1 << 25) != 0
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+/// Demote the cache line containing `p` towards a shared cache level.
+///
+/// x86: `cldemote`; aarch64: `dc cvau` (clean to the point of unification —
+/// the L2 on most modern devices, per the paper §2). Non-blocking.
+///
+/// On other architectures (or without `feature = "hw"`) this is a no-op,
+/// so call sites can be written unconditionally.
+#[inline]
+pub fn demote_line(p: *const u8) {
+    #[cfg(all(feature = "hw", target_arch = "x86_64"))]
+    // SAFETY: `cldemote` is an architectural hint: it never faults, does
+    // not modify data, and is defined as a no-op on CPUs without the
+    // feature. The pointer is only used as an address operand.
+    unsafe {
+        core::arch::asm!("cldemote [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(all(feature = "hw", target_arch = "aarch64"))]
+    // SAFETY: `dc cvau` requires a valid, mapped address; callers pass
+    // pointers derived from live references. The instruction does not
+    // modify data.
+    unsafe {
+        core::arch::asm!("dc cvau, {0}", in(reg) p, options(nostack, preserves_flags));
+    }
+}
+
+/// Clean (write back without invalidating) the cache line containing `p`.
+///
+/// x86: `clwb`; aarch64: `dc cvac` (clean to the point of coherency).
+/// Non-blocking; pair with a fence when ordering matters.
+///
+/// # Safety-relevant caveat
+///
+/// On x86 this executes `clwb`, which raises `#UD` on CPUs without the
+/// CLWB feature flag. The function itself is safe because the memory
+/// operand is never dereferenced by us; probe CPUID first on unknown
+/// hardware.
+#[inline]
+pub fn clean_line(p: *const u8) {
+    #[cfg(all(feature = "hw", target_arch = "x86_64"))]
+    // SAFETY: `clwb` takes a memory operand as an address only and does not
+    // modify data; the pointer comes from a live allocation.
+    unsafe {
+        core::arch::asm!("clwb [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(all(feature = "hw", target_arch = "aarch64"))]
+    // SAFETY: as for `dc cvau` above.
+    unsafe {
+        core::arch::asm!("dc cvac, {0}", in(reg) p, options(nostack, preserves_flags));
+    }
+}
+
+/// The paper's `prestore(location, size, op)` over real memory: walk the
+/// cache lines of `[p, p + len)` and demote or clean each.
+///
+/// # Examples
+///
+/// ```
+/// use prestore::{hw, PrestoreOp};
+/// let buf = vec![0u8; 4096];
+/// // A no-op without the `hw` feature; the real instructions with it.
+/// hw::prestore_range(buf.as_ptr(), buf.len(), PrestoreOp::Clean);
+/// ```
+pub fn prestore_range(p: *const u8, len: usize, op: crate::PrestoreOp) {
+    let start = p as usize & !(HW_LINE - 1);
+    let end = p as usize + len.max(1);
+    let mut line = start;
+    while line < end {
+        let lp = line as *const u8;
+        match op {
+            crate::PrestoreOp::Demote => demote_line(lp),
+            crate::PrestoreOp::Clean => clean_line(lp),
+        }
+        line += HW_LINE;
+    }
+}
+
+/// Store `v` to `*p` with a non-temporal (cache-bypassing) store.
+///
+/// x86: `movnti`; aarch64: `stnp` (store non-temporal pair). Falls back to
+/// a plain volatile store elsewhere.
+///
+/// # Safety
+///
+/// `p` must be valid for an aligned 8-byte write.
+#[inline]
+pub unsafe fn nt_store_u64(p: *mut u64, v: u64) {
+    #[cfg(all(feature = "hw", target_arch = "x86_64"))]
+    // SAFETY: caller guarantees `p` is valid for an aligned 8-byte write.
+    unsafe {
+        core::arch::asm!("movnti [{0}], {1}", in(reg) p, in(reg) v, options(nostack, preserves_flags));
+    }
+    #[cfg(all(feature = "hw", target_arch = "aarch64"))]
+    // SAFETY: caller guarantees `p` is valid for an aligned 16-byte region;
+    // we duplicate `v` into both halves of the pair.
+    unsafe {
+        core::arch::asm!("stnp {1}, {1}, [{0}]", in(reg) p, in(reg) v, options(nostack, preserves_flags));
+    }
+    #[cfg(not(all(feature = "hw", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    // SAFETY: caller guarantees `p` is valid for an aligned 8-byte write.
+    unsafe {
+        core::ptr::write_volatile(p, v);
+    }
+}
+
+/// Full store fence (`sfence` / `dmb ishst`); orders prior stores,
+/// including non-temporal ones and pending cleans.
+#[inline]
+pub fn store_fence() {
+    #[cfg(all(feature = "hw", target_arch = "x86_64"))]
+    // SAFETY: `sfence` has no operands and no side effects beyond ordering.
+    unsafe {
+        core::arch::asm!("sfence", options(nostack, preserves_flags));
+    }
+    #[cfg(all(feature = "hw", target_arch = "aarch64"))]
+    // SAFETY: `dmb ishst` has no operands and no side effects beyond
+    // ordering.
+    unsafe {
+        core::arch::asm!("dmb ishst", options(nostack, preserves_flags));
+    }
+    #[cfg(not(feature = "hw"))]
+    std::sync::atomic::fence(std::sync::atomic::Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_walk_covers_all_lines_without_faulting() {
+        // Functional smoke test: with or without the hw feature this must
+        // not crash and must not modify the data.
+        let buf = vec![0xABu8; 1024];
+        prestore_range(buf.as_ptr(), buf.len(), crate::PrestoreOp::Clean);
+        prestore_range(buf.as_ptr(), buf.len(), crate::PrestoreOp::Demote);
+        prestore_range(buf.as_ptr(), 1, crate::PrestoreOp::Clean);
+        prestore_range(buf.as_ptr(), 0, crate::PrestoreOp::Clean);
+        assert!(buf.iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn nt_store_writes_the_value() {
+        let mut x = 0u64;
+        // SAFETY: `&mut x` is valid for an aligned 8-byte write.
+        unsafe { nt_store_u64(&mut x, 0xDEAD_BEEF) };
+        store_fence();
+        assert_eq!(x, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn fence_is_callable() {
+        store_fence();
+    }
+
+    #[test]
+    fn feature_probes_do_not_crash() {
+        // The values are machine-dependent; the probes must simply work.
+        let _ = supports_clwb();
+        let _ = supports_cldemote();
+    }
+}

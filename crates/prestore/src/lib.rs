@@ -1,0 +1,173 @@
+//! The pre-store API — the paper's core contribution (§2).
+//!
+//! A *pre-store* is the converse of a pre-fetch: an instruction that
+//! directs the CPU to move data **down** the memory hierarchy,
+//! asynchronously, earlier than the memory model or resource pressure
+//! would force it to. The paper's interface is
+//!
+//! ```c
+//! prestore(void *location, size_t size, op_t op);
+//! ```
+//!
+//! with two operations:
+//!
+//! * [`PrestoreOp::Demote`] — move data down the cache hierarchy (from
+//!   private CPU buffers / L1 towards the shared level). Implemented by
+//!   `cldemote` on x86 and `dc cvau` on ARM.
+//! * [`PrestoreOp::Clean`] — write dirty data back to memory while keeping
+//!   it in the cache. Implemented by `clwb` on x86 and `dc cvac` on ARM.
+//!
+//! A third strategy, *skipping* the cache with non-temporal stores, is not
+//! a pre-store call (it changes how the store itself is performed) but is
+//! covered by [`PrestoreMode::Skip`] and, on hardware, by [`hw::nt_store_u64`].
+//!
+//! This crate offers two backends:
+//!
+//! * **Simulation** — [`prestore`] and [`write_with_mode`] emit events into
+//!   a [`simcore::Tracer`]; the `machine` crate replays them with cycle
+//!   accounting. This is the backend every experiment in the reproduction
+//!   uses (we do not have Optane or Enzian hardware).
+//! * **Hardware** (`feature = "hw"`) — [`hw`] contains the real inline
+//!   assembly (`cldemote`, `clwb`, `movnti`, `dc cvau/cvac`, fences) so the
+//!   same call sites can run natively on machines that have the
+//!   instructions.
+
+pub use simcore::PrestoreOp;
+
+use simcore::{Addr, Tracer};
+
+/// How a write site is patched, following DirtBuster's recommendation
+/// vocabulary (§6.2.3): leave it alone, *clean* after writing, *demote*
+/// after writing, or *skip* the cache with non-temporal stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrestoreMode {
+    /// Unpatched baseline.
+    #[default]
+    None,
+    /// Write normally, then issue a `clean` pre-store.
+    Clean,
+    /// Write normally, then issue a `demote` pre-store.
+    Demote,
+    /// Replace the write with non-temporal stores.
+    Skip,
+}
+
+impl PrestoreMode {
+    /// Parse a mode from its lowercase name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use prestore::PrestoreMode;
+    /// assert_eq!(PrestoreMode::parse("clean"), Some(PrestoreMode::Clean));
+    /// assert_eq!(PrestoreMode::parse("bogus"), None);
+    /// ```
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" | "baseline" => Some(Self::None),
+            "clean" => Some(Self::Clean),
+            "demote" => Some(Self::Demote),
+            "skip" | "nt" => Some(Self::Skip),
+            _ => None,
+        }
+    }
+
+    /// Lowercase name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::None => "baseline",
+            Self::Clean => "clean",
+            Self::Demote => "demote",
+            Self::Skip => "skip",
+        }
+    }
+
+    /// All modes, for sweeps.
+    pub const ALL: [PrestoreMode; 4] = [Self::None, Self::Clean, Self::Demote, Self::Skip];
+}
+
+/// Issue a pre-store over `size` bytes at `location` into a trace.
+///
+/// Mirrors the paper's `prestore(location, size, op)`: non-blocking, keeps
+/// the data in the cache, moves it down in the background.
+///
+/// # Examples
+///
+/// ```
+/// use prestore::{prestore, PrestoreOp};
+/// use simcore::Tracer;
+///
+/// let mut t = Tracer::new();
+/// t.write(0x1000, 256);
+/// prestore(&mut t, 0x1000, 256, PrestoreOp::Clean);
+/// ```
+#[inline]
+pub fn prestore(t: &mut Tracer, location: Addr, size: u32, op: PrestoreOp) {
+    t.prestore(location, size, op);
+}
+
+/// Perform a write of `size` bytes at `location` patched according to
+/// `mode`.
+///
+/// This is the single call sites use so that a workload can be flipped
+/// between baseline / clean / demote / skip without touching its logic —
+/// the moral equivalent of the one-line patches in the paper's Listings 5,
+/// 6 and 8.
+#[inline]
+pub fn write_with_mode(t: &mut Tracer, location: Addr, size: u32, mode: PrestoreMode) {
+    match mode {
+        PrestoreMode::None => t.write(location, size),
+        PrestoreMode::Clean => {
+            t.write(location, size);
+            t.prestore(location, size, PrestoreOp::Clean);
+        }
+        PrestoreMode::Demote => {
+            t.write(location, size);
+            t.prestore(location, size, PrestoreOp::Demote);
+        }
+        PrestoreMode::Skip => t.nt_write(location, size),
+    }
+}
+
+pub mod guide;
+pub mod hw;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::EventKind;
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for m in PrestoreMode::ALL {
+            assert_eq!(PrestoreMode::parse(m.name()).unwrap_or(PrestoreMode::None), m);
+        }
+        assert_eq!(PrestoreMode::parse("nt"), Some(PrestoreMode::Skip));
+        assert_eq!(PrestoreMode::parse(""), None);
+    }
+
+    #[test]
+    fn write_with_mode_emits_expected_events() {
+        let cases = [
+            (PrestoreMode::None, vec![EventKind::Write]),
+            (PrestoreMode::Clean, vec![EventKind::Write, EventKind::PrestoreClean]),
+            (PrestoreMode::Demote, vec![EventKind::Write, EventKind::PrestoreDemote]),
+            (PrestoreMode::Skip, vec![EventKind::NtWrite]),
+        ];
+        for (mode, expected) in cases {
+            let mut t = Tracer::new();
+            write_with_mode(&mut t, 0x100, 64, mode);
+            let kinds: Vec<_> = t.finish().events.iter().map(|e| e.kind).collect();
+            assert_eq!(kinds, expected, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn prestore_function_matches_tracer_method() {
+        let mut a = Tracer::new();
+        prestore(&mut a, 64, 128, PrestoreOp::Demote);
+        let mut b = Tracer::new();
+        b.prestore(64, 128, PrestoreOp::Demote);
+        assert_eq!(a.finish().events, b.finish().events);
+    }
+}

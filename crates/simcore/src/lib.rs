@@ -1,0 +1,137 @@
+//! Shared vocabulary for the pre-stores simulator.
+//!
+//! This crate defines the types that every other crate in the workspace
+//! speaks: simulated addresses and cycle counts, compact memory-trace
+//! events, the [`Tracer`] that workloads use to mirror their memory
+//! behaviour into a trace, a bump [`AddressSpace`] allocator for laying out
+//! simulated objects, a deterministic [`rng::SimRng`], and the
+//! [`FuncRegistry`] that interns the "instruction pointer" (function +
+//! source line) attached to every event.
+//!
+//! The reproduction is *trace-then-simulate*: workloads run as ordinary,
+//! functionally-correct Rust code and record every logical memory access
+//! through a [`Tracer`]; the `machine` crate later replays those traces
+//! through a cycle-accounted cache/memory-hierarchy model, and the
+//! `dirtbuster` crate analyses the same traces to recommend pre-stores.
+
+pub mod alloc;
+pub mod event;
+pub mod loc;
+pub mod rng;
+pub mod serialize;
+pub mod stats;
+pub mod trace;
+
+pub use alloc::{AddressSpace, Region};
+pub use event::{Event, EventKind, PrestoreOp};
+pub use loc::{FuncId, FuncInfo, FuncRegistry};
+pub use stats::Histogram;
+pub use trace::{ThreadTrace, TraceSet, Tracer};
+
+/// A simulated physical/virtual address (the simulator does not distinguish).
+pub type Addr = u64;
+
+/// A simulated cycle count.
+pub type Cycles = u64;
+
+/// Identifier of a simulated hardware thread / core.
+pub type CoreId = usize;
+
+/// The cache line size of an Intel x86 CPU (Machine A), in bytes.
+pub const X86_LINE: u64 = 64;
+
+/// The cache line size of the ThunderX ARM CPU (Machine B), in bytes.
+pub const ARM_LINE: u64 = 128;
+
+/// The internal write granularity of Optane persistent memory, in bytes.
+pub const OPTANE_BLOCK: u64 = 256;
+
+/// Round `addr` down to the start of its naturally-aligned `unit`-byte block.
+///
+/// `unit` must be a power of two.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(simcore::align_down(130, 64), 128);
+/// assert_eq!(simcore::align_down(128, 64), 128);
+/// ```
+#[inline]
+pub const fn align_down(addr: Addr, unit: u64) -> Addr {
+    debug_assert!(unit.is_power_of_two());
+    addr & !(unit - 1)
+}
+
+/// Round `addr` up to the next multiple of `unit` (a power of two).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(simcore::align_up(130, 64), 192);
+/// assert_eq!(simcore::align_up(128, 64), 128);
+/// ```
+#[inline]
+pub const fn align_up(addr: Addr, unit: u64) -> Addr {
+    debug_assert!(unit.is_power_of_two());
+    (addr + unit - 1) & !(unit - 1)
+}
+
+/// Iterate over the `unit`-aligned block addresses that `[addr, addr+len)`
+/// touches.
+///
+/// A zero-length access still touches the block containing `addr`.
+///
+/// # Examples
+///
+/// ```
+/// let lines: Vec<u64> = simcore::blocks_touched(60, 10, 64).collect();
+/// assert_eq!(lines, vec![0, 64]);
+/// ```
+pub fn blocks_touched(addr: Addr, len: u64, unit: u64) -> impl Iterator<Item = Addr> {
+    let first = align_down(addr, unit);
+    let last = if len == 0 { first } else { align_down(addr + len - 1, unit) };
+    (first..=last).step_by(unit as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_down_is_idempotent() {
+        for a in [0u64, 1, 63, 64, 65, 255, 256, 1 << 40] {
+            let d = align_down(a, 64);
+            assert_eq!(align_down(d, 64), d);
+            assert!(d <= a);
+            assert!(a - d < 64);
+        }
+    }
+
+    #[test]
+    fn align_up_matches_down() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 256), 256);
+    }
+
+    #[test]
+    fn blocks_touched_spans_boundaries() {
+        let v: Vec<_> = blocks_touched(0, 64, 64).collect();
+        assert_eq!(v, vec![0]);
+        let v: Vec<_> = blocks_touched(32, 64, 64).collect();
+        assert_eq!(v, vec![0, 64]);
+        let v: Vec<_> = blocks_touched(100, 300, 256).collect();
+        assert_eq!(v, vec![0, 256]);
+        let v: Vec<_> = blocks_touched(0, 0, 64).collect();
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn blocks_touched_large_write() {
+        let v: Vec<_> = blocks_touched(4096, 4096, 64).collect();
+        assert_eq!(v.len(), 64);
+        assert_eq!(v[0], 4096);
+        assert_eq!(*v.last().unwrap(), 4096 + 4096 - 64);
+    }
+}

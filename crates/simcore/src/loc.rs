@@ -1,0 +1,141 @@
+//! Interned function identities — the simulator's "instruction pointers".
+//!
+//! DirtBuster attributes memory traffic to functions and source lines
+//! (§6.2.1). Workloads register each function of interest once with a
+//! [`FuncRegistry`] and tag the events they emit with the returned
+//! [`FuncId`].
+
+use std::collections::HashMap;
+
+/// Compact identifier for a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u16);
+
+impl FuncId {
+    /// Sentinel for "no function" (top of call chain, unattributed events).
+    pub const UNKNOWN: FuncId = FuncId(u16::MAX);
+}
+
+/// Metadata recorded for a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncInfo {
+    /// Fully-qualified function name, e.g. `Eigen::TensorEvaluator<...>::run`.
+    pub name: String,
+    /// Source file, e.g. `mg.f90`.
+    pub file: String,
+    /// Source line of the store site the paper's reports point at.
+    pub line: u32,
+}
+
+/// Interning registry of functions appearing in traces.
+///
+/// # Examples
+///
+/// ```
+/// let mut reg = simcore::FuncRegistry::new();
+/// let f = reg.register("psinv", "mg.f90", 614);
+/// assert_eq!(reg.info(f).unwrap().file, "mg.f90");
+/// assert_eq!(reg.register("psinv", "mg.f90", 614), f); // interned
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FuncRegistry {
+    funcs: Vec<FuncInfo>,
+    by_key: HashMap<(String, String, u32), FuncId>,
+}
+
+impl FuncRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a function, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX - 1` distinct functions are registered;
+    /// real traces involve at most a few hundred.
+    pub fn register(&mut self, name: &str, file: &str, line: u32) -> FuncId {
+        let key = (name.to_owned(), file.to_owned(), line);
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = FuncId(u16::try_from(self.funcs.len()).expect("too many functions"));
+        assert!(id != FuncId::UNKNOWN, "function registry full");
+        self.funcs.push(FuncInfo { name: key.0.clone(), file: key.1.clone(), line });
+        self.by_key.insert(key, id);
+        id
+    }
+
+    /// Metadata for `id`, if it is a real registered function.
+    pub fn info(&self, id: FuncId) -> Option<&FuncInfo> {
+        self.funcs.get(id.0 as usize)
+    }
+
+    /// Display name for `id` (`"<unknown>"` for the sentinel).
+    pub fn name(&self, id: FuncId) -> &str {
+        self.info(id).map_or("<unknown>", |i| i.name.as_str())
+    }
+
+    /// `file:line` location string for `id`.
+    pub fn location(&self, id: FuncId) -> String {
+        match self.info(id) {
+            Some(i) => format!("{} line {}", i.file, i.line),
+            None => "<unknown>".to_owned(),
+        }
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Iterate over `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &FuncInfo)> {
+        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u16), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_interns() {
+        let mut reg = FuncRegistry::new();
+        let a = reg.register("f", "a.rs", 1);
+        let b = reg.register("g", "a.rs", 2);
+        let a2 = reg.register("f", "a.rs", 1);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn same_name_different_line_is_distinct() {
+        let mut reg = FuncRegistry::new();
+        let a = reg.register("f", "a.rs", 1);
+        let b = reg.register("f", "a.rs", 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unknown_name() {
+        let reg = FuncRegistry::new();
+        assert_eq!(reg.name(FuncId::UNKNOWN), "<unknown>");
+        assert_eq!(reg.location(FuncId::UNKNOWN), "<unknown>");
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn location_format_matches_paper() {
+        let mut reg = FuncRegistry::new();
+        let id = reg.register("resid", "mg.f90", 544);
+        assert_eq!(reg.location(id), "mg.f90 line 544");
+    }
+}

@@ -1,0 +1,226 @@
+//! Trace (de)serialization: record a workload once, analyse and replay it
+//! many times.
+//!
+//! The format is a dense little-endian binary layout (24 bytes per event
+//! after a small header), not serde-JSON — traces run to millions of
+//! events and the figure harness re-reads them in sweeps. The
+//! [`FuncRegistry`] is stored alongside as a compact text section so that
+//! reports resolve function names after a round trip.
+
+use crate::{Event, EventKind, FuncId, FuncRegistry, ThreadTrace, TraceSet};
+use std::io::{self, Read, Write};
+
+/// Magic bytes identifying a trace file.
+const MAGIC: &[u8; 8] = b"PSTRACE1";
+
+fn kind_to_u8(kind: EventKind) -> u8 {
+    kind as u8
+}
+
+fn kind_from_u8(v: u8) -> io::Result<EventKind> {
+    Ok(match v {
+        0 => EventKind::Read,
+        1 => EventKind::Write,
+        2 => EventKind::NtWrite,
+        3 => EventKind::PrestoreClean,
+        4 => EventKind::PrestoreDemote,
+        5 => EventKind::Fence,
+        6 => EventKind::Atomic,
+        7 => EventKind::Compute,
+        8 => EventKind::Acquire,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown event kind {other}"),
+            ))
+        }
+    })
+}
+
+/// Write `traces` (and the registry resolving its function ids) to `w`.
+pub fn write_traces(
+    w: &mut impl Write,
+    traces: &TraceSet,
+    registry: &FuncRegistry,
+) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    // Registry section.
+    w.write_all(&(registry.len() as u32).to_le_bytes())?;
+    for (_, info) in registry.iter() {
+        for field in [info.name.as_str(), info.file.as_str()] {
+            let bytes = field.as_bytes();
+            w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            w.write_all(bytes)?;
+        }
+        w.write_all(&info.line.to_le_bytes())?;
+    }
+    // Threads.
+    w.write_all(&(traces.threads.len() as u32).to_le_bytes())?;
+    for t in &traces.threads {
+        w.write_all(&(t.events.len() as u64).to_le_bytes())?;
+        for ev in &t.events {
+            w.write_all(&ev.addr.to_le_bytes())?;
+            w.write_all(&ev.size.to_le_bytes())?;
+            w.write_all(&[kind_to_u8(ev.kind)])?;
+            w.write_all(&ev.func.0.to_le_bytes())?;
+            w.write_all(&ev.caller.0.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_exact<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_string(r: &mut impl Read) -> io::Result<String> {
+    let len = u32::from_le_bytes(read_exact(r)?) as usize;
+    if len > 1 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "string too long"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Read a trace set and its registry written by [`write_traces`].
+pub fn read_traces(r: &mut impl Read) -> io::Result<(TraceSet, FuncRegistry)> {
+    let magic = read_exact::<8>(r)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PSTRACE1 file"));
+    }
+    let mut registry = FuncRegistry::new();
+    let nfuncs = u32::from_le_bytes(read_exact(r)?);
+    for _ in 0..nfuncs {
+        let name = read_string(r)?;
+        let file = read_string(r)?;
+        let line = u32::from_le_bytes(read_exact(r)?);
+        registry.register(&name, &file, line);
+    }
+    let nthreads = u32::from_le_bytes(read_exact(r)?) as usize;
+    if nthreads > 1 << 16 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible thread count"));
+    }
+    let mut threads = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        let nevents = u64::from_le_bytes(read_exact(r)?) as usize;
+        let mut events = Vec::with_capacity(nevents.min(1 << 24));
+        for _ in 0..nevents {
+            let addr = u64::from_le_bytes(read_exact(r)?);
+            let size = u32::from_le_bytes(read_exact(r)?);
+            let kind = kind_from_u8(read_exact::<1>(r)?[0])?;
+            let func = FuncId(u16::from_le_bytes(read_exact(r)?));
+            let caller = FuncId(u16::from_le_bytes(read_exact(r)?));
+            events.push(Event { addr, size, kind, func, caller });
+        }
+        threads.push(ThreadTrace { events });
+    }
+    Ok((TraceSet::new(threads), registry))
+}
+
+/// Save to a file path.
+pub fn save_traces(
+    path: impl AsRef<std::path::Path>,
+    traces: &TraceSet,
+    registry: &FuncRegistry,
+) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_traces(&mut f, traces, registry)
+}
+
+/// Load from a file path.
+pub fn load_traces(
+    path: impl AsRef<std::path::Path>,
+) -> io::Result<(TraceSet, FuncRegistry)> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_traces(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PrestoreOp, Tracer};
+
+    fn sample() -> (TraceSet, FuncRegistry) {
+        let mut reg = FuncRegistry::new();
+        let f = reg.register("writer", "app.rs", 42);
+        let g = reg.register("reader", "app.rs", 99);
+        let mut a = Tracer::new();
+        {
+            let mut guard = a.enter(f);
+            guard.write(0x1000, 256);
+            guard.prestore(0x1000, 256, PrestoreOp::Clean);
+            guard.fence();
+            guard.atomic(0x2000, 8);
+            guard.compute(500);
+            guard.acquire(0x2000, 3);
+        }
+        let mut b = Tracer::new();
+        {
+            let mut guard = b.enter(g);
+            guard.read(0x1000, 8);
+            guard.nt_write(0x3000, 64);
+        }
+        (TraceSet::new(vec![a.finish(), b.finish()]), reg)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (traces, reg) = sample();
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces, &reg).expect("write");
+        let (traces2, reg2) = read_traces(&mut buf.as_slice()).expect("read");
+        assert_eq!(traces.threads.len(), traces2.threads.len());
+        for (a, b) in traces.threads.iter().zip(&traces2.threads) {
+            assert_eq!(a.events, b.events);
+        }
+        assert_eq!(reg.len(), reg2.len());
+        for ((ia, a), (_, b)) in reg.iter().zip(reg2.iter()) {
+            assert_eq!(a, b, "function {ia:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_traces(&mut &b"not a trace"[..]).is_err());
+        assert!(read_traces(&mut &b"PSTRACE1"[..]).is_err()); // truncated
+        let mut bad_kind = Vec::new();
+        let (traces, reg) = sample();
+        write_traces(&mut bad_kind, &traces, &reg).expect("write");
+        // Corrupt the first event's kind byte (offset: find it by writing
+        // a single-event trace instead for a stable offset).
+        let mut reg2 = FuncRegistry::new();
+        reg2.register("f", "x", 1);
+        let mut t = Tracer::new();
+        t.write(0, 8);
+        let traces2 = TraceSet::new(vec![t.finish()]);
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces2, &reg2).expect("write");
+        let kind_off = buf.len() - 4 /* func+caller */ - 1;
+        buf[kind_off] = 200;
+        assert!(read_traces(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (traces, reg) = sample();
+        let dir = std::env::temp_dir().join("pstrace_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("sample.pstrace");
+        save_traces(&path, &traces, &reg).expect("save");
+        let (traces2, _) = load_traces(&path).expect("load");
+        assert_eq!(traces.total_events(), traces2.total_events());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_set_round_trips() {
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &TraceSet::default(), &FuncRegistry::new()).expect("write");
+        let (traces, reg) = read_traces(&mut buf.as_slice()).expect("read");
+        assert_eq!(traces.total_events(), 0);
+        assert!(reg.is_empty());
+    }
+}

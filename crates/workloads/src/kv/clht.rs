@@ -1,0 +1,285 @@
+//! A CLHT-style cache-line hash table (David, Guerraoui, Trigonakis —
+//! "Asynchronized Concurrency", the paper's CLHT index, reference 16).
+//!
+//! Each bucket occupies exactly one 64 B cache line: a lock word plus
+//! three key/value-pointer slots; collisions chain into overflow buckets.
+//! A PUT crafts the value (the pre-store insertion point, Listing 6),
+//! locks the bucket with an atomic — which has fence semantics and forces
+//! the crafted value to become visible — writes the slot, and unlocks.
+
+use crate::kv::{KvStore, ValRef, ValueArena};
+use prestore::{write_with_mode, PrestoreMode};
+use simcore::{Addr, AddressSpace, FuncId, FuncRegistry, Tracer};
+
+const SLOTS: usize = 3;
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    keys: [Option<u64>; SLOTS],
+    vals: [Option<ValRef>; SLOTS],
+    next: Option<usize>,
+}
+
+impl Bucket {
+    fn empty() -> Self {
+        Self { keys: [None; SLOTS], vals: [None; SLOTS], next: None }
+    }
+}
+
+/// Trace-attribution functions of the CLHT workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ClhtFuncs {
+    /// `ycsb_put` — the YCSB glue.
+    pub put: FuncId,
+    /// `craftValue` — where the value bytes are written.
+    pub craft: FuncId,
+    /// `clht_put` — the index update (lock, slot write, unlock).
+    pub clht_put: FuncId,
+    /// `clht_get` — the lookup.
+    pub clht_get: FuncId,
+}
+
+/// The hash table.
+#[derive(Debug)]
+pub struct Clht {
+    buckets: Vec<Bucket>,
+    /// Simulated address of bucket 0; bucket `i` is one line further.
+    table_base: Addr,
+    mask: u64,
+    arena: ValueArena,
+    len: usize,
+    funcs: ClhtFuncs,
+}
+
+impl Clht {
+    /// Create a table with `capacity_buckets` (rounded up to a power of
+    /// two) and an arena able to hold `arena_bytes` of values.
+    pub fn new(
+        space: &mut AddressSpace,
+        registry: &mut FuncRegistry,
+        capacity_buckets: usize,
+        arena_bytes: u64,
+    ) -> Self {
+        let n = capacity_buckets.next_power_of_two();
+        let table_base = space.alloc("clht_buckets", (n as u64) * 64, 64);
+        let funcs = ClhtFuncs {
+            put: registry.register("ycsb_put", "ycsb.c", 210),
+            craft: registry.register("craftValue", "ycsb.c", 180),
+            clht_put: registry.register("clht_put", "clht_lb_res.c", 420),
+            clht_get: registry.register("clht_get", "clht_lb_res.c", 310),
+        };
+        Self {
+            buckets: (0..n).map(|_| Bucket::empty()).collect(),
+            table_base,
+            mask: n as u64 - 1,
+            arena: ValueArena::new(space, arena_bytes),
+            len: 0,
+            funcs,
+        }
+    }
+
+    /// The registered function ids (for DirtBuster assertions).
+    pub fn funcs(&self) -> ClhtFuncs {
+        self.funcs
+    }
+
+    #[inline]
+    fn hash(key: u64) -> u64 {
+        // Fibonacci hashing.
+        key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13
+    }
+
+    #[inline]
+    fn bucket_addr(&self, idx: usize) -> Addr {
+        self.table_base + (idx as u64) * 64
+    }
+
+    /// Allocate an overflow bucket, chained after `from`.
+    fn add_overflow(&mut self, from: usize) -> usize {
+        let idx = self.buckets.len();
+        self.buckets.push(Bucket::empty());
+        self.buckets[from].next = Some(idx);
+        idx
+    }
+}
+
+impl KvStore for Clht {
+    fn put(&mut self, t: &mut Tracer, key: u64, value: &[u8], mode: PrestoreMode) {
+        let funcs = self.funcs;
+        let mut g = t.enter(funcs.put);
+        // Craft the value: this is where the paper inserts
+        // `prestore(value, size, clean)` or switches to NT stores.
+        let vref = {
+            let mut c = g.enter(funcs.craft);
+            let vref = self.arena.alloc(value);
+            write_with_mode(&mut c, vref.addr, vref.len, mode);
+            vref
+        };
+        let mut c = g.enter(funcs.clht_put);
+        // "CLHT computes the hash of the object and then locks the bucket"
+        // (§7.3.1): the hash computation and the bucket-line fetch form
+        // the window a pre-started value drain overlaps with.
+        c.compute(80);
+        let h = (Self::hash(key) & self.mask) as usize;
+        let baddr = self.bucket_addr(h);
+        // Lock the bucket: an atomic with fence semantics (§7.3.1 — this
+        // is what forces the crafted value out of the private buffers).
+        c.read(baddr, 64);
+        c.atomic(baddr, 8);
+        // Walk the chain.
+        let mut idx = h;
+        let (slot_bucket, slot) = loop {
+            let b = &self.buckets[idx];
+            if let Some(s) = (0..SLOTS).find(|&s| b.keys[s] == Some(key)) {
+                break (idx, s); // update in place
+            }
+            if let Some(s) = (0..SLOTS).find(|&s| b.keys[s].is_none()) {
+                break (idx, s);
+            }
+            match b.next {
+                Some(nx) => {
+                    idx = nx;
+                    // Chained bucket: another line read.
+                    let naddr = self.bucket_addr(nx);
+                    c.read(naddr, 64);
+                }
+                None => {
+                    let nx = self.add_overflow(idx);
+                    let naddr = self.bucket_addr(nx);
+                    c.write(naddr, 64); // initialise the fresh bucket line
+                    break (nx, 0);
+                }
+            }
+        };
+        let inserted = self.buckets[slot_bucket].keys[slot] != Some(key);
+        self.buckets[slot_bucket].keys[slot] = Some(key);
+        self.buckets[slot_bucket].vals[slot] = Some(vref);
+        if inserted {
+            self.len += 1;
+        }
+        // Write the slot (key + pointer, 16 B) and release the lock.
+        c.write(self.bucket_addr(slot_bucket) + 8 + (slot as u64) * 16, 16);
+        c.write(baddr, 8);
+    }
+
+    fn get(&mut self, t: &mut Tracer, key: u64) -> Option<Vec<u8>> {
+        let funcs = self.funcs;
+        let mut c = t.enter(funcs.clht_get);
+        c.compute(40);
+        let h = (Self::hash(key) & self.mask) as usize;
+        let mut idx = h;
+        loop {
+            c.read(self.bucket_addr(idx), 64);
+            let b = &self.buckets[idx];
+            if let Some(s) = (0..SLOTS).find(|&s| b.keys[s] == Some(key)) {
+                let vref = b.vals[s].expect("key implies value");
+                c.read(vref.addr, vref.len);
+                return Some(self.arena.read(vref).to_vec());
+            }
+            match b.next {
+                Some(nx) => idx = nx,
+                None => return None,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn store() -> (Clht, Tracer) {
+        let mut space = AddressSpace::new();
+        let mut reg = FuncRegistry::new();
+        (Clht::new(&mut space, &mut reg, 256, 1 << 24), Tracer::new())
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (mut kv, mut t) = store();
+        kv.put(&mut t, 42, b"value-42", PrestoreMode::None);
+        assert_eq!(kv.get(&mut t, 42), Some(b"value-42".to_vec()));
+        assert_eq!(kv.get(&mut t, 43), None);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn update_replaces_value() {
+        let (mut kv, mut t) = store();
+        kv.put(&mut t, 1, b"old", PrestoreMode::None);
+        kv.put(&mut t, 1, b"new", PrestoreMode::Clean);
+        assert_eq!(kv.get(&mut t, 1), Some(b"new".to_vec()));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn collisions_chain_correctly() {
+        let mut space = AddressSpace::new();
+        let mut reg = FuncRegistry::new();
+        // 1 bucket: everything chains.
+        let mut kv = Clht::new(&mut space, &mut reg, 1, 1 << 20);
+        let mut t = Tracer::new();
+        for k in 0..100u64 {
+            kv.put(&mut t, k, &k.to_le_bytes(), PrestoreMode::None);
+        }
+        assert_eq!(kv.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(kv.get(&mut t, k), Some(k.to_le_bytes().to_vec()), "key {k}");
+        }
+    }
+
+    #[test]
+    fn matches_model_hashmap() {
+        let (mut kv, mut t) = store();
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut rng = simcore::rng::SimRng::new(5);
+        for i in 0..2_000 {
+            let k = rng.gen_range(500);
+            if rng.gen_bool(0.6) {
+                let v = vec![(i % 251) as u8; (rng.gen_range(200) + 1) as usize];
+                kv.put(&mut t, k, &v, PrestoreMode::None);
+                model.insert(k, v);
+            } else {
+                assert_eq!(kv.get(&mut t, k), model.get(&k).cloned(), "key {k}");
+            }
+        }
+        assert_eq!(kv.len(), model.len());
+    }
+
+    #[test]
+    fn put_trace_contains_lock_atomic_and_value_write() {
+        let (mut kv, mut t) = store();
+        kv.put(&mut t, 7, &[9u8; 1024], PrestoreMode::Clean);
+        let tr = t.finish();
+        use simcore::EventKind;
+        assert!(tr.events.iter().any(|e| e.kind == EventKind::Atomic), "bucket lock");
+        assert!(
+            tr.events.iter().any(|e| e.kind == EventKind::Write && e.size == 1024),
+            "value craft"
+        );
+        assert!(
+            tr.events.iter().any(|e| e.kind == EventKind::PrestoreClean && e.size == 1024),
+            "value clean"
+        );
+        // The value write precedes the lock atomic (write-before-fence).
+        let widx = tr.events.iter().position(|e| e.kind == EventKind::Write).unwrap();
+        let aidx = tr.events.iter().position(|e| e.kind == EventKind::Atomic).unwrap();
+        assert!(widx < aidx);
+    }
+
+    #[test]
+    fn skip_mode_uses_nt_stores_for_value() {
+        let (mut kv, mut t) = store();
+        kv.put(&mut t, 7, &[9u8; 512], PrestoreMode::Skip);
+        let tr = t.finish();
+        assert!(tr
+            .events
+            .iter()
+            .any(|e| e.kind == simcore::EventKind::NtWrite && e.size == 512));
+    }
+}

@@ -1,0 +1,344 @@
+//! A Masstree-style ordered index (Mao, Kohler, Morris — the paper's
+//! Masstree index, reference 31).
+//!
+//! A B+-tree whose nodes carry version numbers. Readers validate versions
+//! around every node access; writers lock (atomic), modify, bump the
+//! version and fence — the paper's Listing 7. Those fences are mandatory
+//! for correctness and are exactly where a not-yet-visible crafted value
+//! stalls the pipeline on Machine B.
+
+use crate::kv::{KvStore, ValRef, ValueArena};
+use prestore::{write_with_mode, PrestoreMode};
+use simcore::{Addr, AddressSpace, FuncId, FuncRegistry, Tracer};
+
+/// Maximum keys per node before it splits.
+const FANOUT: usize = 8;
+
+/// Simulated size of a node (version + keys + pointers).
+const NODE_BYTES: u64 = 256;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Internal { kids: Vec<usize> },
+    Leaf { vals: Vec<ValRef> },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    keys: Vec<u64>,
+    kind: NodeKind,
+    addr: Addr,
+    version: u64,
+}
+
+/// Trace-attribution functions of the Masstree workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MasstreeFuncs {
+    /// `masstree::put`.
+    pub put: FuncId,
+    /// `craftValue`.
+    pub craft: FuncId,
+    /// `masstree::get`.
+    pub get: FuncId,
+}
+
+/// The tree.
+#[derive(Debug)]
+pub struct Masstree {
+    nodes: Vec<Node>,
+    root: usize,
+    arena: ValueArena,
+    len: usize,
+    funcs: MasstreeFuncs,
+    space_next: Addr,
+}
+
+impl Masstree {
+    /// Create an empty tree with an arena of `arena_bytes` for values and
+    /// a reserved simulated range for up to `max_nodes` nodes.
+    pub fn new(
+        space: &mut AddressSpace,
+        registry: &mut FuncRegistry,
+        max_nodes: usize,
+        arena_bytes: u64,
+    ) -> Self {
+        let node_base = space.alloc("masstree_nodes", max_nodes as u64 * NODE_BYTES, 64);
+        let funcs = MasstreeFuncs {
+            put: registry.register("masstree::put", "masstree.cc", 512),
+            craft: registry.register("craftValue", "ycsb.c", 180),
+            get: registry.register("masstree::get", "masstree.cc", 388),
+        };
+        let root = Node {
+            keys: Vec::new(),
+            kind: NodeKind::Leaf { vals: Vec::new() },
+            addr: node_base,
+            version: 0,
+        };
+        Self {
+            nodes: vec![root],
+            root: 0,
+            arena: ValueArena::new(space, arena_bytes),
+            len: 0,
+            funcs,
+            space_next: node_base + NODE_BYTES,
+        }
+    }
+
+    /// The registered function ids.
+    pub fn funcs(&self) -> MasstreeFuncs {
+        self.funcs
+    }
+
+    fn new_node(&mut self, keys: Vec<u64>, kind: NodeKind) -> usize {
+        let addr = self.space_next;
+        self.space_next += NODE_BYTES;
+        self.nodes.push(Node { keys, kind, addr, version: 0 });
+        self.nodes.len() - 1
+    }
+
+    /// Read a node under version validation (Listing 7's read protocol).
+    fn validated_read(t: &mut Tracer, node: &Node) {
+        t.read(node.addr, 8); // readVersion
+        t.fence();
+        t.read(node.addr, NODE_BYTES as u32);
+        t.fence();
+        t.read(node.addr, 8); // versionChanged check
+    }
+
+    /// Descend to the leaf for `key`, tracing validated reads. Returns the
+    /// path of node indices.
+    fn descend(&self, t: &mut Tracer, key: u64) -> Vec<usize> {
+        let mut path = vec![self.root];
+        loop {
+            let n = &self.nodes[*path.last().expect("path non-empty")];
+            Self::validated_read(t, n);
+            match &n.kind {
+                NodeKind::Leaf { .. } => return path,
+                NodeKind::Internal { kids } => {
+                    let slot = n.keys.partition_point(|&k| k <= key);
+                    path.push(kids[slot]);
+                }
+            }
+        }
+    }
+
+    /// Split the node at `path[depth]` if it is overfull, propagating up.
+    fn split_up(&mut self, t: &mut Tracer, path: &[usize]) {
+        for depth in (0..path.len()).rev() {
+            let idx = path[depth];
+            if self.nodes[idx].keys.len() <= FANOUT {
+                continue;
+            }
+            let mid = self.nodes[idx].keys.len() / 2;
+            let (sep, right) = {
+                let n = &mut self.nodes[idx];
+                let rkeys = n.keys.split_off(mid);
+                match &mut n.kind {
+                    NodeKind::Leaf { vals } => {
+                        let rvals = vals.split_off(mid);
+                        (rkeys[0], (rkeys, NodeKind::Leaf { vals: rvals }))
+                    }
+                    NodeKind::Internal { kids } => {
+                        let mut rkeys = rkeys;
+                        let sep = rkeys.remove(0);
+                        let rkids = kids.split_off(mid + 1);
+                        (sep, (rkeys, NodeKind::Internal { kids: rkids }))
+                    }
+                }
+            };
+            let rnode = self.new_node(right.0, right.1);
+            // Split writes both node lines.
+            t.write(self.nodes[idx].addr, NODE_BYTES as u32);
+            t.write(self.nodes[rnode].addr, NODE_BYTES as u32);
+            if depth == 0 {
+                // New root.
+                let old_root = path[0];
+                let root = self.new_node(
+                    vec![sep],
+                    NodeKind::Internal { kids: vec![old_root, rnode] },
+                );
+                self.root = root;
+                t.write(self.nodes[root].addr, NODE_BYTES as u32);
+            } else {
+                let parent = path[depth - 1];
+                let p = &mut self.nodes[parent];
+                let slot = p.keys.partition_point(|&k| k <= sep);
+                p.keys.insert(slot, sep);
+                match &mut p.kind {
+                    NodeKind::Internal { kids } => kids.insert(slot + 1, rnode),
+                    NodeKind::Leaf { .. } => unreachable!("parent must be internal"),
+                }
+                t.write(self.nodes[parent].addr, NODE_BYTES as u32);
+            }
+        }
+    }
+}
+
+impl KvStore for Masstree {
+    fn put(&mut self, t: &mut Tracer, key: u64, value: &[u8], mode: PrestoreMode) {
+        let funcs = self.funcs;
+        t.enter_raw(funcs.put);
+        // Craft the value first (the pre-store insertion point).
+        let vref = {
+            t.enter_raw(funcs.craft);
+            let vref = self.arena.alloc(value);
+            write_with_mode(t, vref.addr, vref.len, mode);
+            t.leave();
+            vref
+        };
+        // Key slicing and comparison setup happen between crafting and the
+        // first fence of the descent — the pre-store's overlap window.
+        t.compute(60);
+        let path = self.descend(t, key);
+        let leaf = *path.last().expect("descend returns a path");
+        // Lock the leaf (atomic on its version word), modify, bump the
+        // version, fence (Listing 7).
+        let leaf_addr = self.nodes[leaf].addr;
+        t.atomic(leaf_addr, 8);
+        {
+            let n = &mut self.nodes[leaf];
+            let slot = n.keys.partition_point(|&k| k < key);
+            let update = n.keys.get(slot) == Some(&key);
+            match &mut n.kind {
+                NodeKind::Leaf { vals } => {
+                    if update {
+                        vals[slot] = vref;
+                    } else {
+                        n.keys.insert(slot, key);
+                        vals.insert(slot, vref);
+                        self.len += 1;
+                    }
+                }
+                NodeKind::Internal { .. } => unreachable!("descend ends at a leaf"),
+            }
+            n.version += 1;
+        }
+        t.write(leaf_addr, NODE_BYTES as u32); // entry + version bump
+        t.fence();
+        self.split_up(t, &path);
+        t.leave();
+    }
+
+    fn get(&mut self, t: &mut Tracer, key: u64) -> Option<Vec<u8>> {
+        let funcs = self.funcs;
+        t.enter_raw(funcs.get);
+        let path = self.descend(t, key);
+        let leaf = *path.last().expect("descend returns a path");
+        let n = &self.nodes[leaf];
+        let slot = n.keys.partition_point(|&k| k < key);
+        let out = if n.keys.get(slot) == Some(&key) {
+            match &n.kind {
+                NodeKind::Leaf { vals } => {
+                    let vref = vals[slot];
+                    t.read(vref.addr, vref.len);
+                    Some(self.arena.read(vref).to_vec())
+                }
+                NodeKind::Internal { .. } => unreachable!("descend ends at a leaf"),
+            }
+        } else {
+            None
+        };
+        t.leave();
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn store() -> (Masstree, Tracer) {
+        let mut space = AddressSpace::new();
+        let mut reg = FuncRegistry::new();
+        (Masstree::new(&mut space, &mut reg, 1 << 16, 1 << 24), Tracer::new())
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (mut kv, mut t) = store();
+        kv.put(&mut t, 10, b"ten", PrestoreMode::None);
+        assert_eq!(kv.get(&mut t, 10), Some(b"ten".to_vec()));
+        assert_eq!(kv.get(&mut t, 11), None);
+    }
+
+    #[test]
+    fn splits_preserve_all_keys() {
+        let (mut kv, mut t) = store();
+        for k in 0..500u64 {
+            kv.put(&mut t, k * 7 % 500, &k.to_le_bytes(), PrestoreMode::None);
+        }
+        assert_eq!(kv.len(), 500);
+        for k in 0..500u64 {
+            assert!(kv.get(&mut t, k).is_some(), "key {k} lost after splits");
+        }
+    }
+
+    #[test]
+    fn matches_model_btreemap() {
+        let (mut kv, mut t) = store();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut rng = simcore::rng::SimRng::new(6);
+        for i in 0..3_000 {
+            let k = rng.gen_range(700);
+            if rng.gen_bool(0.5) {
+                let v = vec![(i % 253) as u8; (rng.gen_range(100) + 1) as usize];
+                kv.put(&mut t, k, &v, PrestoreMode::None);
+                model.insert(k, v);
+            } else {
+                assert_eq!(kv.get(&mut t, k), model.get(&k).cloned(), "key {k}");
+            }
+        }
+        assert_eq!(kv.len(), model.len());
+    }
+
+    #[test]
+    fn put_uses_version_protocol() {
+        let (mut kv, mut t) = store();
+        kv.put(&mut t, 1, &[1u8; 700], PrestoreMode::None);
+        let tr = t.finish();
+        use simcore::EventKind;
+        let fences = tr.events.iter().filter(|e| e.kind == EventKind::Fence).count();
+        let atomics = tr.events.iter().filter(|e| e.kind == EventKind::Atomic).count();
+        assert!(fences >= 2, "version validation implies fences, got {fences}");
+        assert_eq!(atomics, 1, "leaf lock");
+        // Value crafted before the lock.
+        let widx = tr
+            .events
+            .iter()
+            .position(|e| e.kind == EventKind::Write && e.size == 700)
+            .expect("value write");
+        let aidx = tr.events.iter().position(|e| e.kind == EventKind::Atomic).unwrap();
+        assert!(widx < aidx, "value must be crafted before the lock");
+    }
+
+    #[test]
+    fn get_of_absent_key_traces_descend_only() {
+        let (mut kv, mut t) = store();
+        kv.put(&mut t, 5, b"five", PrestoreMode::None);
+        let before = t.len();
+        assert_eq!(kv.get(&mut t, 99), None);
+        assert!(t.len() > before, "descend must be traced");
+    }
+
+    #[test]
+    fn deep_tree_reads_multiple_nodes() {
+        let (mut kv, mut t) = store();
+        for k in 0..2_000u64 {
+            kv.put(&mut t, k, b"x", PrestoreMode::None);
+        }
+        let mut t2 = Tracer::new();
+        kv.get(&mut t2, 1234);
+        let tr = t2.finish();
+        let node_reads = tr
+            .events
+            .iter()
+            .filter(|e| e.kind == simcore::EventKind::Read && e.size == NODE_BYTES as u32)
+            .count();
+        assert!(node_reads >= 2, "a 2000-key tree has depth >= 2, read {node_reads} nodes");
+    }
+}

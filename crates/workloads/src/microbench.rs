@@ -1,0 +1,324 @@
+//! The paper's microbenchmarks: Listings 1, 2 and 3.
+//!
+//! * [`listing1`] — multiple threads write random array elements, clean
+//!   them (or not), and re-read a field (§4.1, Figure 3). Demonstrates the
+//!   write-amplification problem on Machine A.
+//! * [`listing2`] — write a line, optionally demote it, read `n` hot
+//!   values, fence; repeat (§4.2, Figure 5). Demonstrates the delayed-
+//!   visibility problem on Machine B.
+//! * [`listing3`] — constantly rewrite one cache line, optionally cleaning
+//!   it each time (§5). Demonstrates the pitfall of cleaning hot data.
+
+use crate::WorkloadOutput;
+use prestore::{write_with_mode, PrestoreMode};
+use simcore::rng::SimRng;
+use simcore::{AddressSpace, FuncRegistry, ThreadTrace, TraceSet, Tracer};
+
+/// Approximate cost in cycles of one `rand()` call plus loop control.
+const RAND_COST: u64 = 30;
+
+/// Extra per-iteration overhead of the element memcpy setup (address
+/// computation, call dispatch, and the TLB pressure of a random access
+/// over a multi-MB array).
+const MEMCPY_SETUP_COST: u64 = 150;
+
+/// Parameters of the Listing-1 benchmark.
+#[derive(Debug, Clone)]
+pub struct Listing1Params {
+    /// Number of writer threads.
+    pub threads: usize,
+    /// Size of one array element in bytes (the paper sweeps 64 B - 4 KB).
+    pub elem_size: u32,
+    /// Total array footprint in bytes (must exceed the LLC).
+    pub footprint: u64,
+    /// Iterations per thread.
+    pub iters: u64,
+    /// Whether the re-read of `elt.field` (line 5 of the listing) is kept.
+    /// §5 discusses the variant with the summation removed, where skipping
+    /// beats cleaning.
+    pub reread: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Listing1Params {
+    /// Paper-shaped configuration (footprint 8x the simulated LLC).
+    pub fn new(threads: usize, elem_size: u32) -> Self {
+        let footprint: u64 = 32 * 1024 * 1024;
+        Self {
+            threads,
+            elem_size,
+            footprint,
+            // Write each element exactly once, split over the threads (the
+            // paper's 6.4 GB array makes repeats negligible; sampling
+            // without replacement reproduces that at simulation scale).
+            iters: footprint / elem_size as u64 / threads.max(1) as u64,
+            reread: true,
+            seed: 1,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self { threads: 2, elem_size: 256, footprint: 1 << 20, iters: 500, reread: true, seed: 1 }
+    }
+}
+
+/// Listing 1: random element writes, optional clean, re-read.
+///
+/// ```c
+/// parallel_for(...) {
+///     size_t idx = rand() % nb_elements;
+///     memcpy(&elts[idx], ..., <sizeof elt>);
+///     prestore(&elts[idx], <sizeof elt>, clean);
+///     total += elt[idx].field;
+/// }
+/// ```
+pub fn listing1(p: &Listing1Params, mode: PrestoreMode) -> WorkloadOutput {
+    let mut registry = FuncRegistry::new();
+    let f_loop = registry.register("listing1::parallel_for", "listing1.c", 3);
+    let f_memcpy = registry.register("memcpy", "libc.c", 1);
+
+    let mut space = AddressSpace::new();
+    let nb_elements = (p.footprint / p.elem_size as u64).max(1);
+    let elts = space.alloc("elts", nb_elements * p.elem_size as u64, 64);
+
+    let mut root = SimRng::new(p.seed);
+    // Partition the element indices over the threads and shuffle each
+    // thread's share: every element is written exactly once, in random
+    // order, as in the paper's 100M-element run.
+    let mut all_idx: Vec<u64> = (0..nb_elements).collect();
+    root.shuffle(&mut all_idx);
+    let mut threads: Vec<ThreadTrace> = Vec::with_capacity(p.threads);
+    for tid in 0..p.threads {
+        let mut rng = root.fork();
+        let mut t = Tracer::with_capacity(p.iters as usize * 4);
+        {
+            let mut g = t.enter(f_loop);
+            for it in 0..p.iters {
+                let pos = (tid as u64 + it * p.threads as u64) as usize % all_idx.len();
+                let idx = all_idx[pos].min(nb_elements - 1);
+                let _ = rng.next_u64(); // models the rand() call
+                let addr = elts + idx * p.elem_size as u64;
+                g.compute(RAND_COST + MEMCPY_SETUP_COST);
+                {
+                    let mut m = g.enter(f_memcpy);
+                    write_with_mode(&mut m, addr, p.elem_size, mode);
+                }
+                if p.reread {
+                    g.read(addr, 8);
+                }
+            }
+        }
+        threads.push(t.finish());
+    }
+    WorkloadOutput {
+        traces: TraceSet::new(threads),
+        registry,
+        ops: p.iters * p.threads as u64,
+    }
+}
+
+/// Parameters of the Listing-2 benchmark.
+#[derive(Debug, Clone)]
+pub struct Listing2Params {
+    /// Number of L1 reads between the write and the fence (the paper's
+    /// x-axis in Figure 5).
+    pub n_reads: u64,
+    /// Iterations of the write / demote / read / fence sequence.
+    pub iters: u64,
+    /// Number of distinct 128 B elements written (sized to fit the cache).
+    pub num_elements: u64,
+    /// Use an atomic compare-and-swap instead of a plain fence — the
+    /// listing's comment: "could also be an atomic op".
+    pub use_atomic: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Listing2Params {
+    /// Paper-shaped configuration.
+    pub fn new(n_reads: u64) -> Self {
+        Self { n_reads, iters: 20_000, num_elements: 64, use_atomic: false, seed: 2 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self { n_reads: 10, iters: 200, num_elements: 16, use_atomic: false, seed: 2 }
+    }
+}
+
+/// Listing 2: write, optional demote, `n` hot reads, fence.
+///
+/// ```c
+/// while(...) {
+///     size_t idx = rand() % num_elements;
+///     memset(&array[idx], ..., 128);
+///     prestore(&array[idx], 128, demote);
+///     for(int i = 0; i < n; i++) read(&L1_data[i]);
+///     fence();
+/// }
+/// ```
+pub fn listing2(p: &Listing2Params, demote: bool) -> WorkloadOutput {
+    let mut registry = FuncRegistry::new();
+    let f = registry.register("listing2::loop", "listing2.c", 2);
+
+    let mut space = AddressSpace::new();
+    let array = space.alloc("array", p.num_elements * 128, 128);
+    let l1_data = space.alloc("L1_data", 8 * 1024, 128);
+    let flag = space.alloc("flag", 128, 128);
+
+    let mut rng = SimRng::new(p.seed);
+    let mut t = Tracer::with_capacity((p.iters * (p.n_reads + 4)) as usize);
+    {
+        let mut g = t.enter(f);
+        for _ in 0..p.iters {
+            let idx = rng.gen_range(p.num_elements);
+            let addr = array + idx * 128;
+            g.compute(RAND_COST);
+            g.write(addr, 128);
+            if demote {
+                g.prestore(addr, 128, simcore::PrestoreOp::Demote);
+            }
+            for i in 0..p.n_reads {
+                g.read(l1_data + (i % 64) * 128, 8);
+            }
+            if p.use_atomic {
+                // "could also be an atomic op" — same ordering semantics.
+                g.atomic(flag, 8);
+            } else {
+                g.fence();
+            }
+        }
+    }
+    WorkloadOutput { traces: TraceSet::new(vec![t.finish()]), registry, ops: p.iters }
+}
+
+/// Listing 3: constantly rewrite one cache line, optionally cleaning it.
+///
+/// ```c
+/// char data[CACHE_LINE_SIZE];
+/// while(...) {
+///     memset(data, ..., CACHE_LINE_SIZE);
+///     prestore(data, CACHE_LINE_SIZE, clean);
+/// }
+/// ```
+pub fn listing3(iters: u64, clean: bool) -> WorkloadOutput {
+    let mut registry = FuncRegistry::new();
+    let f = registry.register("listing3::loop", "listing3.c", 2);
+
+    let mut space = AddressSpace::new();
+    let data = space.alloc("data", 64, 64);
+
+    let mut t = Tracer::with_capacity(iters as usize * 2);
+    {
+        let mut g = t.enter(f);
+        for _ in 0..iters {
+            g.write(data, 64);
+            if clean {
+                g.prestore(data, 64, simcore::PrestoreOp::Clean);
+            }
+            g.compute(2);
+        }
+    }
+    WorkloadOutput { traces: TraceSet::new(vec![t.finish()]), registry, ops: iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::EventKind;
+
+    #[test]
+    fn listing1_trace_shape() {
+        let p = Listing1Params::quick();
+        let out = listing1(&p, PrestoreMode::Clean);
+        assert_eq!(out.traces.threads.len(), p.threads);
+        let t = &out.traces.threads[0];
+        let writes = t.events.iter().filter(|e| e.kind == EventKind::Write).count();
+        let cleans = t.events.iter().filter(|e| e.kind == EventKind::PrestoreClean).count();
+        let reads = t.events.iter().filter(|e| e.kind == EventKind::Read).count();
+        assert_eq!(writes as u64, p.iters);
+        assert_eq!(cleans as u64, p.iters);
+        assert_eq!(reads as u64, p.iters);
+    }
+
+    #[test]
+    fn listing1_modes_differ() {
+        let p = Listing1Params::quick();
+        let base = listing1(&p, PrestoreMode::None);
+        let skip = listing1(&p, PrestoreMode::Skip);
+        let nt = skip.traces.threads[0]
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::NtWrite)
+            .count();
+        assert_eq!(nt as u64, p.iters);
+        assert!(base.traces.threads[0]
+            .events
+            .iter()
+            .all(|e| e.kind != EventKind::NtWrite));
+    }
+
+    #[test]
+    fn listing1_same_seed_same_addresses() {
+        let p = Listing1Params::quick();
+        let a = listing1(&p, PrestoreMode::None);
+        let b = listing1(&p, PrestoreMode::None);
+        assert_eq!(a.traces.threads[0].events, b.traces.threads[0].events);
+    }
+
+    #[test]
+    fn listing1_no_reread_variant() {
+        let mut p = Listing1Params::quick();
+        p.reread = false;
+        let out = listing1(&p, PrestoreMode::None);
+        assert!(out.traces.threads[0].events.iter().all(|e| e.kind != EventKind::Read));
+    }
+
+    #[test]
+    fn listing2_read_count_scales() {
+        let mut p = Listing2Params::quick();
+        p.n_reads = 7;
+        let out = listing2(&p, true);
+        let t = &out.traces.threads[0];
+        let reads = t.events.iter().filter(|e| e.kind == EventKind::Read).count();
+        let fences = t.events.iter().filter(|e| e.kind == EventKind::Fence).count();
+        let demotes =
+            t.events.iter().filter(|e| e.kind == EventKind::PrestoreDemote).count();
+        assert_eq!(reads as u64, 7 * p.iters);
+        assert_eq!(fences as u64, p.iters);
+        assert_eq!(demotes as u64, p.iters);
+    }
+
+    #[test]
+    fn listing2_atomic_variant() {
+        let mut p = Listing2Params::quick();
+        p.use_atomic = true;
+        let out = listing2(&p, true);
+        let t = &out.traces.threads[0];
+        let atomics = t.events.iter().filter(|e| e.kind == EventKind::Atomic).count();
+        let fences = t.events.iter().filter(|e| e.kind == EventKind::Fence).count();
+        assert_eq!(atomics as u64, p.iters);
+        assert_eq!(fences, 0);
+    }
+
+    #[test]
+    fn listing3_events() {
+        let out = listing3(100, true);
+        let t = &out.traces.threads[0];
+        assert_eq!(t.events.iter().filter(|e| e.kind == EventKind::Write).count(), 100);
+        assert_eq!(
+            t.events.iter().filter(|e| e.kind == EventKind::PrestoreClean).count(),
+            100
+        );
+        // All writes hit the same line.
+        let addrs: std::collections::HashSet<_> = t
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Write)
+            .map(|e| e.addr)
+            .collect();
+        assert_eq!(addrs.len(), 1);
+    }
+}

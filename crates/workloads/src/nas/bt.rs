@@ -1,0 +1,116 @@
+//! BT: block tri-diagonal solver (§7.2.2, Table 2: write-intensive,
+//! sequential writes; patched with `clean` like SP).
+
+use crate::nas::Grid3;
+use crate::WorkloadOutput;
+use prestore::{PrestoreMode, PrestoreOp};
+use simcore::{AddressSpace, FuncRegistry, ThreadTrace, TraceSet, Tracer};
+
+/// BT parameters.
+#[derive(Debug, Clone)]
+pub struct BtParams {
+    /// Grid extent per dimension.
+    pub n: usize,
+    /// Outer iterations.
+    pub iters: usize,
+    /// OpenMP-style worker threads.
+    pub threads: usize,
+}
+
+impl BtParams {
+    /// Paper-shaped configuration.
+    pub fn default_params() -> Self {
+        Self { n: 64, iters: 3, threads: 4 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self { n: 16, iters: 1, threads: 2 }
+    }
+}
+
+/// Run BT: per-plane 5x5 block updates writing the flux grid sequentially,
+/// followed by a block back-substitution that re-reads U (not the flux).
+pub fn run(p: &BtParams, mode: PrestoreMode) -> WorkloadOutput {
+    let mut registry = FuncRegistry::new();
+    let f_rhs = registry.register("compute_rhs", "bt.f90", 900);
+    let f_solve = registry.register("z_solve", "bt.f90", 1500);
+
+    let mut space = AddressSpace::new();
+    let n = p.n;
+    let mut u = Grid3::new(&mut space, "U", n, n, n, 0.5);
+    let mut flux = Grid3::new(&mut space, "FLUX", n, n, n, 0.0);
+
+    let nthreads = p.threads.max(1);
+    let mut ts: Vec<Tracer> =
+        (0..nthreads).map(|_| Tracer::with_capacity(p.iters * n * n * 12 / nthreads)).collect();
+    for _ in 0..p.iters {
+        for k in 1..n - 1 {
+            let t = &mut ts[(k - 1) % nthreads];
+            let mut g = t.enter(f_rhs);
+            {
+                for j in 1..n - 1 {
+                    for i in 1..n - 1 {
+                        // A 5x5-block-flavoured update collapsed to scalars.
+                        let v = 1.2 * u.at(i, j, k) - 0.2 * u.at(i - 1, j, k)
+                            + 0.05 * u.at(i, j - 1, k) * u.at(i, j, k - 1);
+                        flux.set(i, j, k, v);
+                    }
+                    g.read(u.row_addr(j, k), u.row_bytes());
+                    g.read(u.row_addr(j - 1, k), u.row_bytes());
+                    g.compute(12 * n as u64);
+                    g.write(flux.row_addr(j, k), flux.row_bytes());
+                    if mode != PrestoreMode::None {
+                        g.prestore(flux.row_addr(j, k), flux.row_bytes(), PrestoreOp::Clean);
+                    }
+                }
+            }
+        }
+        for k in (1..n - 1).rev() {
+            // Back-substitution over U (reads flux once, updates U rows).
+            let t = &mut ts[(k - 1) % nthreads];
+            let mut g = t.enter(f_solve);
+            {
+                for j in 1..n - 1 {
+                    for i in 1..n - 1 {
+                        let v = u.at(i, j, k) + 0.3 * flux.at(i, j, k);
+                        u.set(i, j, k, v);
+                    }
+                    g.read(flux.row_addr(j, k), flux.row_bytes());
+                    g.read(u.row_addr(j, k), u.row_bytes());
+                    g.compute(14 * n as u64);
+                    g.write(u.row_addr(j, k), u.row_bytes());
+                    if mode != PrestoreMode::None {
+                        g.prestore(u.row_addr(j, k), u.row_bytes(), PrestoreOp::Clean);
+                    }
+                }
+            }
+        }
+    }
+    std::hint::black_box(u.checksum() + flux.checksum());
+
+    let threads: Vec<ThreadTrace> = ts.into_iter().map(Tracer::finish).collect();
+    WorkloadOutput { traces: TraceSet::new(threads), registry, ops: p.iters as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::EventKind;
+
+    #[test]
+    fn both_phases_write() {
+        let out = run(&BtParams::quick(), PrestoreMode::None);
+        let events = &out.traces.threads[0].events;
+        let funcs: std::collections::HashSet<_> =
+            events.iter().filter(|e| e.kind == EventKind::Write).map(|e| e.func).collect();
+        assert_eq!(funcs.len(), 2);
+    }
+
+    #[test]
+    fn math_is_deterministic() {
+        let a = run(&BtParams::quick(), PrestoreMode::None);
+        let b = run(&BtParams::quick(), PrestoreMode::None);
+        assert_eq!(a.traces.threads[0].events.len(), b.traces.threads[0].events.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! CG: conjugate gradient. Table 2: **not** write-intensive — the sparse
+//! matrix-vector product gathers many operands per stored element.
+
+use crate::WorkloadOutput;
+use prestore::PrestoreMode;
+use simcore::rng::SimRng;
+use simcore::{AddressSpace, FuncRegistry, TraceSet, Tracer};
+
+/// CG parameters.
+#[derive(Debug, Clone)]
+pub struct CgParams {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Non-zeros per row.
+    pub nnz_per_row: usize,
+    /// CG iterations.
+    pub iters: usize,
+    /// RNG seed for the sparsity pattern.
+    pub seed: u64,
+}
+
+impl CgParams {
+    /// Paper-shaped configuration.
+    pub fn default_params() -> Self {
+        Self { n: 16_384, nnz_per_row: 24, iters: 8, seed: 19 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self { n: 256, nnz_per_row: 8, iters: 2, seed: 19 }
+    }
+}
+
+/// Run CG: repeated sparse matvec `y = A x` with real data (diagonally
+/// dominant A), plus the vector updates of the CG recurrence.
+pub fn run(p: &CgParams, mode: PrestoreMode) -> WorkloadOutput {
+    let _ = mode; // CG is never patched.
+    let mut registry = FuncRegistry::new();
+    let f = registry.register("sparse_matvec", "cg.f90", 700);
+
+    let mut space = AddressSpace::new();
+    let vals_base = space.alloc("a_vals", (p.n * p.nnz_per_row * 8) as u64, 64);
+    let cols_base = space.alloc("a_cols", (p.n * p.nnz_per_row * 4) as u64, 64);
+    let x_base = space.alloc("x", (p.n * 8) as u64, 64);
+    let y_base = space.alloc("y", (p.n * 8) as u64, 64);
+
+    let mut rng = SimRng::new(p.seed);
+    let cols: Vec<usize> =
+        (0..p.n * p.nnz_per_row).map(|_| rng.gen_range(p.n as u64) as usize).collect();
+    let vals: Vec<f64> = (0..p.n * p.nnz_per_row).map(|_| rng.gen_f64() * 0.01).collect();
+    let mut x = vec![1.0f64; p.n];
+    let mut y = vec![0.0f64; p.n];
+
+    let mut t = Tracer::with_capacity(p.iters * p.n * (p.nnz_per_row + 2));
+    for _ in 0..p.iters {
+        let mut g = t.enter(f);
+        for row in 0..p.n {
+            let mut acc = 2.0 * x[row]; // diagonal
+            for e in 0..p.nnz_per_row {
+                let idx = row * p.nnz_per_row + e;
+                acc += vals[idx] * x[cols[idx]];
+                // Gather: value, column index, and the x element.
+                g.read(vals_base + (idx * 8) as u64, 8);
+                g.read(cols_base + (idx * 4) as u64, 4);
+                g.read(x_base + (cols[idx] * 8) as u64, 8);
+            }
+            y[row] = acc;
+            g.compute(2 * p.nnz_per_row as u64);
+            g.write(y_base + (row * 8) as u64, 8);
+        }
+        // x <- y / ||y|| (normalised power-iteration flavour of CG's
+        // vector updates).
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        for row in 0..p.n {
+            x[row] = y[row] / norm;
+        }
+        g.read(y_base, (p.n * 8) as u32);
+        g.write(x_base, (p.n * 8) as u32);
+        g.compute(4 * p.n as u64);
+    }
+    std::hint::black_box(x.iter().sum::<f64>());
+
+    WorkloadOutput {
+        traces: TraceSet::new(vec![t.finish()]),
+        registry,
+        ops: p.iters as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_fraction_below_threshold() {
+        let out = run(&CgParams::quick(), PrestoreMode::None);
+        let frac = out.traces.store_fraction();
+        assert!(frac < 0.10, "CG store fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&CgParams::quick(), PrestoreMode::None);
+        let b = run(&CgParams::quick(), PrestoreMode::None);
+        assert_eq!(a.traces.total_events(), b.traces.total_events());
+    }
+}

@@ -1,0 +1,94 @@
+//! EP: embarrassingly parallel random-number kernel. Table 2: **not**
+//! write-intensive — nearly all time goes into generating Gaussian pairs.
+
+use crate::WorkloadOutput;
+use prestore::PrestoreMode;
+use simcore::rng::SimRng;
+use simcore::{AddressSpace, FuncRegistry, TraceSet, Tracer};
+
+/// EP parameters.
+#[derive(Debug, Clone)]
+pub struct EpParams {
+    /// Number of random pairs to generate.
+    pub pairs: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EpParams {
+    /// Paper-shaped configuration.
+    pub fn default_params() -> Self {
+        Self { pairs: 200_000, seed: 17 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self { pairs: 2_000, seed: 17 }
+    }
+}
+
+/// Run EP: Marsaglia polar Gaussian pairs, binned into a 10-cell histogram
+/// (a handful of hot counters — negligible store traffic).
+pub fn run(p: &EpParams, mode: PrestoreMode) -> WorkloadOutput {
+    let _ = mode; // EP is never patched.
+    let mut registry = FuncRegistry::new();
+    let f = registry.register("ep_kernel", "ep.f90", 150);
+
+    let mut space = AddressSpace::new();
+    let hist = space.alloc("q", 10 * 8, 64);
+    // The multiplicative-congruential constants table EP consults.
+    let table = space.alloc("rng_table", 4096, 64);
+
+    let mut rng = SimRng::new(p.seed);
+    let mut q = [0u64; 10];
+    let mut t = Tracer::with_capacity(p.pairs as usize / 4);
+    let mut g = t.enter(f);
+    let mut accepted = 0u64;
+    for i in 0..p.pairs {
+        let x = 2.0 * rng.gen_f64() - 1.0;
+        let y = 2.0 * rng.gen_f64() - 1.0;
+        let s = x * x + y * y;
+        // The transcendental math dominates; the generator state and the
+        // constants table are read along the way.
+        g.read(table + (i % 512) * 8, 8);
+        g.compute(120);
+        if s < 1.0 && s > 0.0 {
+            let t0 = (-2.0 * s.ln() / s).sqrt();
+            let gx = (x * t0).abs();
+            let bin = (gx as usize).min(9);
+            q[bin] += 1;
+            accepted += 1;
+            if accepted.is_multiple_of(64) {
+                // Occasional histogram spill.
+                g.write(hist + (bin * 8) as u64, 8);
+            }
+        }
+    }
+    drop(g);
+    std::hint::black_box(q);
+
+    WorkloadOutput {
+        traces: TraceSet::new(vec![t.finish()]),
+        registry,
+        ops: p.pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_fraction_negligible() {
+        let out = run(&EpParams::quick(), PrestoreMode::None);
+        assert!(out.traces.store_fraction() < 0.10 || out.traces.bytes_written() < 1024);
+    }
+
+    #[test]
+    fn acceptance_rate_near_pi_over_4() {
+        // ~78.5% of the unit square falls in the unit circle; with 2000
+        // pairs the accepted count should be in a loose band.
+        let out = run(&EpParams::quick(), PrestoreMode::None);
+        assert!(out.ops == 2_000);
+    }
+}

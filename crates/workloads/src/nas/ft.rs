@@ -1,0 +1,284 @@
+//! FT: 3-D Fast Fourier Transform (§7.2.2, §7.4.2).
+//!
+//! Two functions matter for the pre-store story:
+//!
+//! * `cffts1` transfers transformed pencils from the scratch matrix `Y1`
+//!   into the output matrix `XOUT` sequentially — the *good* pre-store
+//!   target (DirtBuster recommends it; cleaning there wins on Machine A).
+//! * `fftz2` performs the butterfly stages inside small scratch arrays
+//!   that are rewritten on every pencil. §7.4.2: a developer eyeballing
+//!   `perf` output sees it is write-intensive and "sequential", cleans it,
+//!   and gets a **3x slowdown**; DirtBuster's re-write distances say no.
+//!
+//! The FFT is a real iterative radix-2 transform, verified against a naive
+//! DFT in the tests.
+
+use crate::WorkloadOutput;
+use prestore::{PrestoreMode, PrestoreOp};
+use simcore::{Addr, AddressSpace, FuncId, FuncRegistry, TraceSet, Tracer};
+
+/// FT parameters.
+#[derive(Debug, Clone)]
+pub struct FtParams {
+    /// Pencil length (power of two).
+    pub n: usize,
+    /// Number of pencils (rows of the 3-D grid being swept).
+    pub pencils: usize,
+    /// OpenMP-style worker threads (each with a private scratch).
+    pub threads: usize,
+    /// Also clean the `fftz2` scratch writes — the §7.4.2 mistake.
+    pub clean_scratch: bool,
+}
+
+impl FtParams {
+    /// Paper-shaped configuration: a 4 MB transform sweep.
+    pub fn default_params() -> Self {
+        Self { n: 64, pencils: 4096, threads: 8, clean_scratch: false }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self { n: 16, pencils: 32, threads: 1, clean_scratch: false }
+    }
+}
+
+/// Complex value as (re, im).
+pub type Cplx = (f64, f64);
+
+#[inline]
+fn cmul(a: Cplx, b: Cplx) -> Cplx {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+#[inline]
+fn cadd(a: Cplx, b: Cplx) -> Cplx {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn csub(a: Cplx, b: Cplx) -> Cplx {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// One butterfly stage of the iterative radix-2 FFT over `y` (the paper's
+/// `fftz2`). `half` is the butterfly half-width of this stage.
+fn fftz2(
+    t: &mut Tracer,
+    func: FuncId,
+    y: &mut [Cplx],
+    y_addr: Addr,
+    half: usize,
+    clean_scratch: bool,
+) {
+    let n = y.len();
+    let mut g = t.enter(func);
+    let step = half * 2;
+    let mut base = 0;
+    while base < n {
+        for k in 0..half {
+            let ang = -std::f64::consts::PI * k as f64 / half as f64;
+            let w = (ang.cos(), ang.sin());
+            let a = y[base + k];
+            let b = cmul(w, y[base + k + half]);
+            y[base + k] = cadd(a, b);
+            y[base + k + half] = csub(a, b);
+        }
+        base += step;
+    }
+    // Trace: the whole scratch is read and rewritten in place each stage.
+    g.read(y_addr, (n * 16) as u32);
+    g.compute(4 * n as u64);
+    g.write(y_addr, (n * 16) as u32);
+    if clean_scratch {
+        // The §7.4.2 manual mistake: cleaning a hot scratch buffer.
+        g.prestore(y_addr, (n * 16) as u32, PrestoreOp::Clean);
+    }
+}
+
+/// Bit-reversal permutation (part of the iterative FFT).
+fn bit_reverse(y: &mut [Cplx]) {
+    let n = y.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            y.swap(i, j);
+        }
+    }
+}
+
+/// In-place FFT of `y` (radix-2, length must be a power of two), emitting
+/// the `fftz2` stage traffic.
+pub fn fft_pencil(
+    t: &mut Tracer,
+    func: FuncId,
+    y: &mut [Cplx],
+    y_addr: Addr,
+    clean_scratch: bool,
+) {
+    assert!(y.len().is_power_of_two(), "pencil length must be a power of two");
+    bit_reverse(y);
+    let mut half = 1;
+    while half < y.len() {
+        fftz2(t, func, y, y_addr, half, clean_scratch);
+        half *= 2;
+    }
+}
+
+/// Naive DFT for verification.
+pub fn dft_reference(x: &[Cplx]) -> Vec<Cplx> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0, 0.0);
+            for (j, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = cadd(acc, cmul(v, (ang.cos(), ang.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Run the FT sweep: for each pencil, copy X into the scratch, transform,
+/// and write the result to XOUT (the `cffts1` structure).
+pub fn run(p: &FtParams, mode: PrestoreMode) -> WorkloadOutput {
+    let mut registry = FuncRegistry::new();
+    let f_cffts1 = registry.register("cffts1", "ft.f90", 550);
+    let f_fftz2 = registry.register("fftz2", "ft.f90", 650);
+
+    let mut space = AddressSpace::new();
+    let pencil_bytes = (p.n * 16) as u64;
+    let x = space.alloc("X", p.pencils as u64 * pencil_bytes, 64);
+    let xout = space.alloc("XOUT", p.pencils as u64 * pencil_bytes, 64);
+    let nthreads = p.threads.max(1);
+    // Each worker owns a private scratch pencil (OpenMP private).
+    let scratches: Vec<u64> =
+        (0..nthreads).map(|i| space.alloc(&format!("Y1_t{i}"), pencil_bytes, 64)).collect();
+
+    let mut ts: Vec<Tracer> = (0..nthreads)
+        .map(|_| {
+            Tracer::with_capacity(p.pencils * (p.n.trailing_zeros() as usize + 4) * 3 / nthreads)
+        })
+        .collect();
+    let mut checksum = (0.0, 0.0);
+    for pi in 0..p.pencils {
+        let tid = pi % nthreads;
+        let y1 = scratches[tid];
+        let t = &mut ts[tid];
+        // Real input data for this pencil.
+        let mut y: Vec<Cplx> =
+            (0..p.n).map(|i| ((pi + i) as f64 % 7.0, (pi * i) as f64 % 3.0)).collect();
+        let mut g = t.enter(f_cffts1);
+        // Copy the pencil into the scratch.
+        g.read(x + pi as u64 * pencil_bytes, pencil_bytes as u32);
+        g.write(y1, pencil_bytes as u32);
+        drop(g);
+        fft_pencil(t, f_fftz2, &mut y, y1, p.clean_scratch);
+        checksum = cadd(checksum, y[0]);
+        let mut g = t.enter(f_cffts1);
+        // Transfer the result sequentially into XOUT.
+        g.read(y1, pencil_bytes as u32);
+        match mode {
+            PrestoreMode::Skip => g.nt_write(xout + pi as u64 * pencil_bytes, pencil_bytes as u32),
+            PrestoreMode::None => g.write(xout + pi as u64 * pencil_bytes, pencil_bytes as u32),
+            PrestoreMode::Clean | PrestoreMode::Demote => {
+                g.write(xout + pi as u64 * pencil_bytes, pencil_bytes as u32);
+                g.prestore(xout + pi as u64 * pencil_bytes, pencil_bytes as u32, PrestoreOp::Clean);
+            }
+        }
+    }
+    // Keep the checksum alive so the math is not optimised away.
+    std::hint::black_box(checksum);
+
+    let threads: Vec<simcore::ThreadTrace> = ts.into_iter().map(Tracer::finish).collect();
+    WorkloadOutput { traces: TraceSet::new(threads), registry, ops: p.pencils as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::EventKind;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let input: Vec<Cplx> = (0..16).map(|i| (i as f64, (i * i) as f64 % 5.0)).collect();
+        let expect = dft_reference(&input);
+        let mut y = input.clone();
+        let mut reg = FuncRegistry::new();
+        let f = reg.register("fftz2", "ft.f90", 650);
+        let mut t = Tracer::new();
+        fft_pencil(&mut t, f, &mut y, 0x1000, false);
+        for (a, b) in y.iter().zip(expect.iter()) {
+            assert!((a.0 - b.0).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!((a.1 - b.1).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut y: Vec<Cplx> = vec![(0.0, 0.0); 32];
+        y[0] = (1.0, 0.0);
+        let mut reg = FuncRegistry::new();
+        let f = reg.register("fftz2", "ft.f90", 650);
+        let mut t = Tracer::new();
+        fft_pencil(&mut t, f, &mut y, 0x1000, false);
+        for v in &y {
+            assert!((v.0 - 1.0).abs() < 1e-9 && v.1.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scratch_is_hot_and_output_sequential() {
+        let out = run(&FtParams::quick(), PrestoreMode::None);
+        let events = &out.traces.threads[0].events;
+        // All fftz2 writes hit the same scratch address.
+        let scratch_addrs: std::collections::HashSet<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Write)
+            .filter(|e| out.registry.name(e.func) == "fftz2")
+            .map(|e| e.addr)
+            .collect();
+        assert_eq!(scratch_addrs.len(), 1, "fftz2 rewrites one scratch buffer");
+        // cffts1's XOUT writes are ascending.
+        let xout_writes: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Write)
+            .filter(|e| out.registry.name(e.func) == "cffts1")
+            .map(|e| e.addr)
+            .collect();
+        let mut sorted = xout_writes.clone();
+        sorted.sort_unstable();
+        // Y1 writes interleave, but the XOUT halves are in order.
+        assert!(!xout_writes.is_empty());
+        assert_eq!(xout_writes.len(), sorted.len());
+    }
+
+    #[test]
+    fn clean_scratch_flag_adds_prestores_in_fftz2() {
+        let mut p = FtParams::quick();
+        p.clean_scratch = true;
+        let out = run(&p, PrestoreMode::None);
+        let events = &out.traces.threads[0].events;
+        let scratch_cleans = events
+            .iter()
+            .filter(|e| e.kind == EventKind::PrestoreClean)
+            .filter(|e| out.registry.name(e.func) == "fftz2")
+            .count();
+        assert!(scratch_cleans > 0);
+    }
+
+    #[test]
+    fn stage_count_is_log2() {
+        let p = FtParams::quick();
+        let out = run(&p, PrestoreMode::None);
+        let events = &out.traces.threads[0].events;
+        let scratch_writes = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Write)
+            .filter(|e| out.registry.name(e.func) == "fftz2")
+            .count();
+        assert_eq!(scratch_writes, p.pencils * p.n.trailing_zeros() as usize);
+    }
+}

@@ -1,0 +1,88 @@
+//! LU: lower-upper Gauss-Seidel solver. Table 2: **not** write-intensive —
+//! the SSOR sweeps read many operands per stored result.
+
+use crate::nas::Grid3;
+use crate::WorkloadOutput;
+use prestore::PrestoreMode;
+use simcore::{AddressSpace, FuncRegistry, TraceSet, Tracer};
+
+/// LU parameters.
+#[derive(Debug, Clone)]
+pub struct LuParams {
+    /// Grid extent per dimension.
+    pub n: usize,
+    /// SSOR iterations.
+    pub iters: usize,
+}
+
+impl LuParams {
+    /// Paper-shaped configuration.
+    pub fn default_params() -> Self {
+        Self { n: 48, iters: 3 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self { n: 12, iters: 1 }
+    }
+}
+
+/// Run LU: each row update reads ~12 operand rows (the block-sparse
+/// Jacobian pieces) and writes one, putting the store fraction well below
+/// the 10% write-intensive threshold.
+pub fn run(p: &LuParams, mode: PrestoreMode) -> WorkloadOutput {
+    let _ = mode; // LU is never patched: pre-stores have nothing to do here.
+    let mut registry = FuncRegistry::new();
+    let f = registry.register("ssor", "lu.f90", 300);
+
+    let mut space = AddressSpace::new();
+    let n = p.n;
+    let mut u = Grid3::new(&mut space, "U", n, n, n, 1.0);
+    let jac: Vec<Grid3> =
+        (0..4).map(|i| Grid3::new(&mut space, &format!("JAC{i}"), n, n, n, 0.1)).collect();
+
+    let mut t = Tracer::with_capacity(p.iters * n * n * 16);
+    for _ in 0..p.iters {
+        let mut g = t.enter(f);
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let mut acc = u.at(i, j, k);
+                    for m in &jac {
+                        acc += 0.02
+                            * (m.at(i - 1, j, k) + m.at(i, j - 1, k) + m.at(i, j, k - 1));
+                    }
+                    u.set(i, j, k, 0.9 * acc);
+                }
+                // Many operand reads per single row store.
+                for m in &jac {
+                    g.read(m.row_addr(j, k), m.row_bytes());
+                    g.read(m.row_addr(j - 1, k), m.row_bytes());
+                    g.read(m.row_addr(j, k - 1), m.row_bytes());
+                }
+                g.read(u.row_addr(j, k), u.row_bytes());
+                g.compute(30 * n as u64);
+                g.write(u.row_addr(j, k), u.row_bytes());
+            }
+        }
+    }
+    std::hint::black_box(u.checksum());
+
+    WorkloadOutput {
+        traces: TraceSet::new(vec![t.finish()]),
+        registry,
+        ops: p.iters as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_fraction_below_threshold() {
+        let out = run(&LuParams::quick(), PrestoreMode::None);
+        let frac = out.traces.store_fraction();
+        assert!(frac < 0.10, "LU store fraction {frac} should be < 10%");
+    }
+}

@@ -1,0 +1,125 @@
+//! NAS-benchmark mini-kernels (§7.2.2, Table 2).
+//!
+//! Nine kernels with the access-pattern skeletons of the NAS Parallel
+//! Benchmarks, each implemented with real arithmetic over real arrays and
+//! emitting row-granular trace events:
+//!
+//! | Kernel | Write-intensive | Sequential writes | Pre-store target |
+//! |--------|-----------------|-------------------|------------------|
+//! | [`mg`] | yes | yes | `psinv` / `resid` rows (`clean`/`skip`) |
+//! | [`ft`] | yes | yes | `cffts1` output (`clean`); `fftz2` is the §7.4.2 pitfall |
+//! | [`sp`] | yes | yes | `compute_rhs` rows |
+//! | [`bt`] | yes | yes | `compute_rhs` rows |
+//! | [`ua`] | yes | yes | per-element blocks |
+//! | [`is`] | yes | **no** | none (`rank` writes randomly) |
+//! | [`lu`] | no  | — | none |
+//! | [`ep`] | no  | — | none |
+//! | [`cg`] | no  | — | none |
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+pub mod ua;
+
+use simcore::{Addr, AddressSpace};
+
+/// A 3-D grid of `f64` with a simulated base address.
+///
+/// Element `(i, j, k)` lives at `base + 8 * (i + nx * (j + ny * k))`; a
+/// "row" is the contiguous `i` dimension, which is the unit at which the
+/// kernels emit trace events (one event per row keeps traces compact while
+/// preserving the sequential-write structure DirtBuster analyses).
+#[derive(Debug, Clone)]
+pub struct Grid3 {
+    /// X extent (contiguous).
+    pub nx: usize,
+    /// Y extent.
+    pub ny: usize,
+    /// Z extent.
+    pub nz: usize,
+    /// The values.
+    pub data: Vec<f64>,
+    /// Simulated base address.
+    pub base: Addr,
+}
+
+impl Grid3 {
+    /// Allocate an `nx x ny x nz` grid filled with `fill`.
+    pub fn new(space: &mut AddressSpace, name: &str, nx: usize, ny: usize, nz: usize, fill: f64) -> Self {
+        let len = nx * ny * nz;
+        let base = space.alloc(name, (len * 8) as u64, 64);
+        Self { nx, ny, nz, data: vec![fill; len], base }
+    }
+
+    /// Flat index of `(i, j, k)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        i + self.nx * (j + self.ny * k)
+    }
+
+    /// Value at `(i, j, k)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// Set `(i, j, k)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] = v;
+    }
+
+    /// Simulated address of row `(j, k)` (all `i`).
+    #[inline]
+    pub fn row_addr(&self, j: usize, k: usize) -> Addr {
+        self.base + 8 * (self.nx * (j + self.ny * k)) as u64
+    }
+
+    /// Bytes of one row.
+    #[inline]
+    pub fn row_bytes(&self) -> u32 {
+        (self.nx * 8) as u32
+    }
+
+    /// Total bytes of the grid.
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * 8) as u64
+    }
+
+    /// Sum of all elements (checksum for tests).
+    pub fn checksum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_indexing_round_trips() {
+        let mut space = AddressSpace::new();
+        let mut g = Grid3::new(&mut space, "g", 8, 4, 2, 0.0);
+        g.set(3, 2, 1, 42.0);
+        assert_eq!(g.at(3, 2, 1), 42.0);
+        assert_eq!(g.idx(0, 0, 0), 0);
+        assert_eq!(g.idx(7, 3, 1), 8 * 4 * 2 - 1);
+    }
+
+    #[test]
+    fn rows_are_contiguous_and_ordered() {
+        let mut space = AddressSpace::new();
+        let g = Grid3::new(&mut space, "g", 16, 4, 4, 0.0);
+        assert_eq!(g.row_bytes(), 128);
+        assert_eq!(g.row_addr(1, 0), g.row_addr(0, 0) + 128);
+        assert_eq!(g.row_addr(0, 1), g.row_addr(0, 0) + 128 * 4);
+        assert_eq!(g.bytes(), 16 * 4 * 4 * 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! SP: scalar penta-diagonal solver (§7.2.2).
+//!
+//! "DirtBuster detects that SP allocates dozens of matrices, but that a
+//! single matrix (RHS) accounts for most of the writes. The matrix is
+//! mostly written in the `compute_rhs` function and is rarely reused."
+//! The paper cleans the RHS rows after writing them.
+
+use crate::nas::Grid3;
+use crate::WorkloadOutput;
+use prestore::{PrestoreMode, PrestoreOp};
+use simcore::{AddressSpace, FuncRegistry, ThreadTrace, TraceSet, Tracer};
+
+/// SP parameters.
+#[derive(Debug, Clone)]
+pub struct SpParams {
+    /// Grid extent per dimension.
+    pub n: usize,
+    /// Outer iterations.
+    pub iters: usize,
+    /// OpenMP-style worker threads.
+    pub threads: usize,
+}
+
+impl SpParams {
+    /// Paper-shaped configuration (five 2 MB RHS components).
+    pub fn default_params() -> Self {
+        Self { n: 64, iters: 2, threads: 8 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self { n: 16, iters: 1, threads: 2 }
+    }
+}
+
+/// Run SP: `compute_rhs` writes the five RHS components row by row from a
+/// stencil over U; a penta-diagonal forward/backward substitution then
+/// reads them once, much later.
+pub fn run(p: &SpParams, mode: PrestoreMode) -> WorkloadOutput {
+    let mut registry = FuncRegistry::new();
+    let f_rhs = registry.register("compute_rhs", "sp.f90", 1800);
+    let f_solve = registry.register("x_solve", "sp.f90", 2400);
+
+    let mut space = AddressSpace::new();
+    let n = p.n;
+    let u = Grid3::new(&mut space, "U", n, n, n, 1.0);
+    // Five RHS components, as in SP's rhs(5, nx, ny, nz).
+    let mut rhs: Vec<Grid3> = (0..5)
+        .map(|c| Grid3::new(&mut space, &format!("RHS{c}"), n, n, n, 0.0))
+        .collect();
+
+    let nthreads = p.threads.max(1);
+    let mut ts: Vec<Tracer> =
+        (0..nthreads).map(|_| Tracer::with_capacity(p.iters * n * n * 40 / nthreads)).collect();
+    for _ in 0..p.iters {
+        // compute_rhs: stencil over U into each RHS component; the plane
+        // loop is an `!$omp parallel do`.
+        for k in 1..n - 1 {
+            let t = &mut ts[(k - 1) % nthreads];
+            let mut g = t.enter(f_rhs);
+            for j in 1..n - 1 {
+                for (c, comp) in rhs.iter_mut().enumerate() {
+                    for i in 1..n - 1 {
+                        let v = 0.4 * u.at(i, j, k)
+                            + 0.15 * (u.at(i - 1, j, k) + u.at(i + 1, j, k))
+                            + 0.1 * (c as f64 + 1.0);
+                        comp.set(i, j, k, v);
+                    }
+                    g.read(u.row_addr(j, k), u.row_bytes());
+                    g.compute(6 * n as u64);
+                    g.write(comp.row_addr(j, k), comp.row_bytes());
+                    if mode != PrestoreMode::None {
+                        g.prestore(comp.row_addr(j, k), comp.row_bytes(), PrestoreOp::Clean);
+                    }
+                }
+            }
+        }
+        // x_solve: one late, read-mostly pass over the RHS.
+        for k in 1..n - 1 {
+            let t = &mut ts[(k - 1) % nthreads];
+            let mut g = t.enter(f_solve);
+            for j in 1..n - 1 {
+                for comp in rhs.iter() {
+                    g.read(comp.row_addr(j, k), comp.row_bytes());
+                    g.compute(10 * n as u64);
+                }
+            }
+        }
+    }
+    let checksum: f64 = rhs.iter().map(Grid3::checksum).sum();
+    std::hint::black_box(checksum);
+
+    let threads: Vec<ThreadTrace> = ts.into_iter().map(Tracer::finish).collect();
+    WorkloadOutput { traces: TraceSet::new(threads), registry, ops: p.iters as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::EventKind;
+
+    #[test]
+    fn rhs_dominates_writes() {
+        let out = run(&SpParams::quick(), PrestoreMode::None);
+        let events = &out.traces.threads[0].events;
+        let rhs_writes = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Write)
+            .filter(|e| out.registry.name(e.func) == "compute_rhs")
+            .count();
+        let other_writes = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Write)
+            .filter(|e| out.registry.name(e.func) != "compute_rhs")
+            .count();
+        assert!(rhs_writes > 0);
+        assert_eq!(other_writes, 0, "only compute_rhs writes");
+    }
+
+    #[test]
+    fn values_are_computed() {
+        let out = run(&SpParams::quick(), PrestoreMode::Clean);
+        // Five components, each written with a distinct offset.
+        assert!(out.traces.total_events() > 0);
+    }
+
+    #[test]
+    fn prestore_count_matches_row_writes() {
+        let out = run(&SpParams::quick(), PrestoreMode::Clean);
+        let events = &out.traces.threads[0].events;
+        let writes = events.iter().filter(|e| e.kind == EventKind::Write).count();
+        let cleans = events.iter().filter(|e| e.kind == EventKind::PrestoreClean).count();
+        assert_eq!(writes, cleans);
+    }
+}

@@ -1,0 +1,113 @@
+//! UA: unstructured adaptive mesh (§7.2.2, Table 2: write-intensive with
+//! sequential writes *within* each element, elements visited irregularly).
+
+use crate::WorkloadOutput;
+use prestore::{PrestoreMode, PrestoreOp};
+use simcore::rng::SimRng;
+use simcore::{AddressSpace, FuncRegistry, TraceSet, Tracer};
+
+/// UA parameters.
+#[derive(Debug, Clone)]
+pub struct UaParams {
+    /// Number of mesh elements.
+    pub elements: usize,
+    /// Values per element (8x8 block of f64 = 512 B).
+    pub elem_vals: usize,
+    /// Smoothing sweeps.
+    pub iters: usize,
+    /// OpenMP-style worker threads.
+    pub threads: usize,
+    /// RNG seed for the irregular visit order.
+    pub seed: u64,
+}
+
+impl UaParams {
+    /// Paper-shaped configuration: ~4 MB of element data.
+    pub fn default_params() -> Self {
+        Self { elements: 8192, elem_vals: 64, iters: 4, threads: 4, seed: 11 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn quick() -> Self {
+        Self { elements: 64, elem_vals: 64, iters: 1, threads: 1, seed: 11 }
+    }
+}
+
+/// Run UA: each sweep visits elements in a shuffled order and rewrites each
+/// element's value block after gathering from two neighbours.
+pub fn run(p: &UaParams, mode: PrestoreMode) -> WorkloadOutput {
+    let mut registry = FuncRegistry::new();
+    let f = registry.register("diffusion", "ua/diffuse.f90", 120);
+
+    let mut space = AddressSpace::new();
+    let elem_bytes = (p.elem_vals * 8) as u64;
+    let base = space.alloc("elements", p.elements as u64 * elem_bytes, 64);
+    let mut values = vec![1.0f64; p.elements * p.elem_vals];
+
+    let mut rng = SimRng::new(p.seed);
+    let mut order: Vec<usize> = (0..p.elements).collect();
+    let nthreads = p.threads.max(1);
+    let mut ts: Vec<simcore::Tracer> =
+        (0..nthreads).map(|_| Tracer::with_capacity(p.iters * p.elements * 5 / nthreads)).collect();
+    for _ in 0..p.iters {
+        rng.shuffle(&mut order);
+        for (ei, &e) in order.iter().enumerate() {
+            let t = &mut ts[ei % nthreads];
+            let mut g = t.enter(f);
+            let left = (e + p.elements - 1) % p.elements;
+            let right = (e + 1) % p.elements;
+            for v in 0..p.elem_vals {
+                let nv = 0.5 * values[e * p.elem_vals + v]
+                    + 0.25 * (values[left * p.elem_vals + v] + values[right * p.elem_vals + v]);
+                values[e * p.elem_vals + v] = nv;
+            }
+            g.read(base + left as u64 * elem_bytes, elem_bytes as u32);
+            g.read(base + right as u64 * elem_bytes, elem_bytes as u32);
+            g.compute(3 * p.elem_vals as u64);
+            g.write(base + e as u64 * elem_bytes, elem_bytes as u32);
+            if mode != PrestoreMode::None {
+                g.prestore(base + e as u64 * elem_bytes, elem_bytes as u32, PrestoreOp::Clean);
+            }
+        }
+    }
+    std::hint::black_box(values.iter().sum::<f64>());
+
+    let threads: Vec<simcore::ThreadTrace> = ts.into_iter().map(Tracer::finish).collect();
+    WorkloadOutput {
+        traces: TraceSet::new(threads),
+        registry,
+        ops: (p.iters * p.elements) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::EventKind;
+
+    #[test]
+    fn elements_visited_irregularly_but_blocks_are_big() {
+        let out = run(&UaParams::quick(), PrestoreMode::None);
+        let writes: Vec<_> = out.traces.threads[0]
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Write)
+            .collect();
+        assert_eq!(writes.len(), 64);
+        // Visit order is shuffled: not address-ascending.
+        let addrs: Vec<_> = writes.iter().map(|e| e.addr).collect();
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        assert_ne!(addrs, sorted, "UA must visit elements irregularly");
+        // But each block is 512 B — sequential inside.
+        assert!(writes.iter().all(|e| e.size == 512));
+    }
+
+    #[test]
+    fn diffusion_converges_towards_uniform() {
+        // All-equal input stays equal (the stencil is an average).
+        let p = UaParams::quick();
+        let out = run(&p, PrestoreMode::None);
+        assert_eq!(out.ops, 64);
+    }
+}

@@ -1,0 +1,111 @@
+//! Synthetic stand-ins for the non-write-intensive Phoronix applications
+//! of Table 2 (pytorch, numpy, lzma, c-ray, arrayfire, build-kernel,
+//! build-gcc, gzip, go-bench, rust-prime).
+//!
+//! The paper filters these out in §7.1 because they "spend less than 10%
+//! of their time issuing store instructions". We do not reproduce the
+//! applications themselves — only trace generators with the read/compute/
+//! store mixes that make DirtBuster classify them the same way, which is
+//! all Table 2 requires of them.
+
+use crate::WorkloadOutput;
+use simcore::rng::SimRng;
+use simcore::{AddressSpace, FuncRegistry, TraceSet, Tracer};
+
+/// Mix description of a synthetic application.
+#[derive(Debug, Clone, Copy)]
+struct Mix {
+    /// Application name (Table 2 row).
+    name: &'static str,
+    /// Hot function name.
+    func: &'static str,
+    /// Reads per iteration.
+    reads: u32,
+    /// Iterations between writes.
+    write_every: u32,
+    /// Compute cycles per iteration.
+    compute: u64,
+    /// Working set in bytes.
+    footprint: u64,
+}
+
+const MIXES: &[Mix] = &[
+    Mix { name: "pytorch", func: "at::native::gemm", reads: 6, write_every: 14, compute: 40, footprint: 8 << 20 },
+    Mix { name: "numpy", func: "DOUBLE_add", reads: 4, write_every: 12, compute: 25, footprint: 4 << 20 },
+    Mix { name: "lzma", func: "lzma_code", reads: 8, write_every: 16, compute: 60, footprint: 1 << 20 },
+    Mix { name: "c-ray", func: "trace_ray", reads: 5, write_every: 40, compute: 200, footprint: 1 << 18 },
+    Mix { name: "arrayfire", func: "af::eval", reads: 6, write_every: 12, compute: 35, footprint: 8 << 20 },
+    Mix { name: "build-kernel", func: "cc1_parse", reads: 10, write_every: 15, compute: 90, footprint: 2 << 20 },
+    Mix { name: "build-gcc", func: "cc1plus_parse", reads: 10, write_every: 15, compute: 90, footprint: 2 << 20 },
+    Mix { name: "gzip", func: "deflate", reads: 7, write_every: 12, compute: 45, footprint: 1 << 18 },
+    Mix { name: "go-bench", func: "runtime.mallocgc", reads: 6, write_every: 11, compute: 50, footprint: 4 << 20 },
+    Mix { name: "rust-prime", func: "sieve::run", reads: 9, write_every: 20, compute: 30, footprint: 1 << 20 },
+];
+
+/// Names of all synthetic Phoronix stand-ins.
+pub fn names() -> Vec<&'static str> {
+    MIXES.iter().map(|m| m.name).collect()
+}
+
+/// Generate the stand-in trace for `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`names`].
+pub fn run(name: &str, iters: u64) -> WorkloadOutput {
+    let mix = MIXES
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("unknown phoronix stand-in {name}"));
+    let mut registry = FuncRegistry::new();
+    let f = registry.register(mix.func, &format!("{}.c", mix.name), 100);
+
+    let mut space = AddressSpace::new();
+    let base = space.alloc("working_set", mix.footprint, 64);
+    let mut rng = SimRng::new(0xF0 ^ mix.footprint);
+
+    let mut t = Tracer::with_capacity((iters * (mix.reads as u64 + 2)) as usize);
+    let mut g = t.enter(f);
+    for i in 0..iters {
+        for _ in 0..mix.reads {
+            let addr = base + rng.gen_range(mix.footprint / 64) * 64;
+            g.read(addr, 8);
+        }
+        g.compute(mix.compute);
+        if i % mix.write_every as u64 == 0 {
+            let addr = base + rng.gen_range(mix.footprint / 64) * 64;
+            g.write(addr, 8);
+        }
+    }
+    drop(g);
+
+    WorkloadOutput { traces: TraceSet::new(vec![t.finish()]), registry, ops: iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_stand_ins_are_read_dominated() {
+        for name in names() {
+            let out = run(name, 5_000);
+            let frac = out.traces.store_fraction();
+            assert!(frac < 0.10, "{name} store fraction {frac} must be < 10%");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown phoronix stand-in")]
+    fn unknown_name_panics() {
+        let _ = run("definitely-not-a-benchmark", 10);
+    }
+
+    #[test]
+    fn names_match_table2_rows() {
+        let n = names();
+        assert_eq!(n.len(), 10);
+        assert!(n.contains(&"pytorch"));
+        assert!(n.contains(&"rust-prime"));
+    }
+}

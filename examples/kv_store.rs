@@ -1,0 +1,52 @@
+//! A key-value store under YCSB, with and without pre-stores (§7.2.3,
+//! §7.3.1 of the paper).
+//!
+//! Runs the CLHT-style cache-line hash table under YCSB A on both
+//! evaluation platforms and prints the throughput of the unpatched
+//! baseline, the one-line `clean` patch (Listing 6) and the non-temporal
+//! `skip` rewrite.
+//!
+//! Run with `cargo run --release --example kv_store`.
+
+use pre_stores::machine::{simulate, MachineConfig};
+use pre_stores::prestore::PrestoreMode;
+use pre_stores::workloads::kv::ycsb::{run_clht, YcsbKind, YcsbParams};
+
+fn throughput(cfg: &MachineConfig, p: &YcsbParams, mode: PrestoreMode) -> f64 {
+    let out = run_clht(p, mode);
+    let stats = simulate(cfg, &out.traces);
+    stats.ops_per_sec(out.ops, cfg.freq_ghz) / 1e6
+}
+
+fn main() {
+    let mut p = YcsbParams::new(YcsbKind::A, 1024, 10);
+    p.ops = 12_000;
+    p.records = 12_000;
+
+    println!("CLHT under YCSB A (50% GET / 50% PUT), 1 KB values\n");
+
+    let a = MachineConfig::machine_a();
+    println!("{}:", a.name);
+    let base = throughput(&a, &p, PrestoreMode::None);
+    let clean = throughput(&a, &p, PrestoreMode::Clean);
+    let skip = throughput(&a, &p, PrestoreMode::Skip);
+    println!("  baseline          {base:>7.2} Mops/s");
+    println!("  clean  (Listing 6){clean:>7.2} Mops/s   ({:+.0}%)", (clean / base - 1.0) * 100.0);
+    println!("  skip   (NT stores){skip:>7.2} Mops/s   ({:+.0}%)", (skip / base - 1.0) * 100.0);
+    assert!(clean > base, "cleaning must help on Machine A");
+
+    let mut pb = p.clone();
+    pb.threads = 2;
+    let b = MachineConfig::machine_b_fast();
+    println!("\n{}:", b.name);
+    let base = throughput(&b, &pb, PrestoreMode::None);
+    let clean = throughput(&b, &pb, PrestoreMode::Clean);
+    println!("  baseline          {base:>7.2} Mops/s");
+    println!("  clean  (Listing 6){clean:>7.2} Mops/s   ({:+.0}%)", (clean / base - 1.0) * 100.0);
+    println!(
+        "\nOn Machine A the gain comes from eliminating write amplification in\n\
+         the Optane device; on Machine B it comes from making the crafted value\n\
+         visible before the bucket lock's atomic forces a pipeline stall."
+    );
+    assert!(clean > base, "cleaning must help on Machine B-fast");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: the pre-store concept in 60 lines.
+//!
+//! Reproduces the core of the paper's §4.1 example: a workload writes
+//! random array elements on a machine whose persistent memory internally
+//! writes 256 B blocks. Without pre-stores, the cache evicts lines in
+//! pseudo-random order and the device suffers write amplification; one
+//! `clean` pre-store per element restores sequentiality.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use pre_stores::machine::{simulate, MachineConfig};
+use pre_stores::prestore::{write_with_mode, PrestoreMode};
+use pre_stores::simcore::{rng::SimRng, AddressSpace, TraceSet, Tracer};
+
+fn run(mode: PrestoreMode) -> pre_stores::machine::RunStats {
+    // Lay out a 16 MB array of 1 KB elements in the simulated address
+    // space (8x the simulated last-level cache).
+    let mut space = AddressSpace::new();
+    const ELEM: u32 = 1024;
+    const N: u64 = 16 * 1024;
+    let base = space.alloc("elements", N * ELEM as u64, 64);
+
+    // Two threads write every element once, in random order, and re-read a
+    // field — Listing 1 of the paper.
+    let mut rng = SimRng::new(7);
+    let mut order: Vec<u64> = (0..N).collect();
+    rng.shuffle(&mut order);
+    let mut threads = Vec::new();
+    for tid in 0..2u64 {
+        let mut t = Tracer::new();
+        for idx in order.iter().skip(tid as usize).step_by(2) {
+            let addr = base + idx * ELEM as u64;
+            t.compute(180); // rand() + memcpy setup
+            write_with_mode(&mut t, addr, ELEM, mode);
+            t.read(addr, 8);
+        }
+        threads.push(t.finish());
+    }
+
+    // Replay on Machine A: a Xeon-like CPU over Optane persistent memory.
+    simulate(&MachineConfig::machine_a(), &TraceSet::new(threads))
+}
+
+fn main() {
+    let baseline = run(PrestoreMode::None);
+    let cleaned = run(PrestoreMode::Clean);
+
+    println!("Machine A (Xeon + Optane PMEM), 16 MB of random 1 KB writes:\n");
+    println!(
+        "  baseline:   {:>10} cycles   write amplification {:.2}x",
+        baseline.cycles,
+        baseline.write_amplification()
+    );
+    println!(
+        "  with clean: {:>10} cycles   write amplification {:.2}x",
+        cleaned.cycles,
+        cleaned.write_amplification()
+    );
+    println!(
+        "\n  pre-storing is {:.2}x faster — the clean pre-stores let the device\n  \
+         coalesce 64 B cache-line writebacks into full 256 B internal blocks.",
+        cleaned.speedup_vs(&baseline)
+    );
+    assert!(cleaned.cycles < baseline.cycles);
+}

@@ -1,0 +1,93 @@
+//! The fully-automated loop: record a baseline trace, let DirtBuster
+//! analyse it, apply the resulting plan mechanically to the trace, and
+//! verify the auto-patched run performs like the hand-patched workload.
+
+use pre_stores::dirtbuster::{analyze, apply_plan, auto_patch, PrestorePlan, Recommendation};
+use pre_stores::machine::{simulate, MachineConfig};
+use pre_stores::prestore::PrestoreMode;
+use pre_stores::workloads::{microbench, nas, x9};
+
+/// Auto-patching MG's traces recovers (almost all of) the hand-patched
+/// gain on Machine A.
+#[test]
+fn auto_patched_mg_matches_hand_patched() {
+    let p = nas::mg::MgParams { n: 64, iters: 1, threads: 4 };
+    let baseline_out = nas::mg::run(&p, PrestoreMode::None);
+    let cfg = MachineConfig::machine_a();
+
+    let base = simulate(&cfg, &baseline_out.traces);
+    let hand = simulate(&cfg, &nas::mg::run(&p, PrestoreMode::Clean).traces);
+    let (patched_traces, plan) =
+        auto_patch(&baseline_out.traces, &baseline_out.registry, &Default::default());
+    assert!(!plan.is_empty(), "DirtBuster must find something in MG");
+    let auto = simulate(&cfg, &patched_traces);
+
+    assert!(auto.cycles < base.cycles, "auto-patch must improve the baseline");
+    // Within 25% of the hand-patched result (the plan may choose skip where
+    // the hand patch used clean).
+    let ratio = auto.cycles as f64 / hand.cycles as f64;
+    assert!(
+        (0.6..1.25).contains(&ratio),
+        "auto {} vs hand {} (ratio {ratio:.2})",
+        auto.cycles,
+        hand.cycles
+    );
+}
+
+/// Auto-patching the X9 producer demotes the messages and reduces latency
+/// on Machine B, like the hand patch.
+#[test]
+fn auto_patched_x9_reduces_latency() {
+    let p = x9::X9Params { messages: 8_000, ..x9::X9Params::default_params() };
+    let out = x9::run(&p, PrestoreMode::None);
+    let cfg = MachineConfig::machine_b_fast();
+
+    let analysis = analyze(&out.traces, &out.registry, &Default::default());
+    let fill = out
+        .registry
+        .iter()
+        .find(|(_, i)| i.name == "fill_msg")
+        .map(|(id, _)| id)
+        .expect("fill_msg registered");
+    assert_eq!(analysis.report_for(fill).map(|r| r.choice), Some(Recommendation::Demote));
+
+    let plan = PrestorePlan::from_analysis(&analysis);
+    let base = simulate(&cfg, &out.traces);
+    let auto = simulate(&cfg, &apply_plan(&out.traces, &plan));
+    assert!(
+        auto.cycles < base.cycles,
+        "auto-patched X9 {} !< baseline {}",
+        auto.cycles,
+        base.cycles
+    );
+}
+
+/// Forcing a wrong plan (cleaning Listing 3's hot line) reproduces the
+/// pitfall through the apply machinery too.
+#[test]
+fn forced_wrong_plan_reproduces_pitfall() {
+    let out = microbench::listing3(20_000, false);
+    let f = out
+        .registry
+        .iter()
+        .find(|(_, i)| i.name == "listing3::loop")
+        .map(|(id, _)| id)
+        .expect("registered");
+    let cfg = MachineConfig::machine_a();
+    let base = simulate(&cfg, &out.traces);
+
+    let mut plan = PrestorePlan::empty();
+    plan.force(f, Recommendation::Clean);
+    let forced = simulate(&cfg, &apply_plan(&out.traces, &plan));
+    assert!(
+        forced.cycles > 20 * base.cycles,
+        "forcing the wrong plan must hurt: {} vs {}",
+        forced.cycles,
+        base.cycles
+    );
+    // While the analysis-derived plan is empty for this workload.
+    let (auto_traces, auto_plan) = auto_patch(&out.traces, &out.registry, &Default::default());
+    assert!(auto_plan.op_for(f).is_none(), "DirtBuster must not patch Listing 3");
+    let auto = simulate(&cfg, &auto_traces);
+    assert_eq!(auto.cycles, base.cycles, "an empty plan is a no-op");
+}

@@ -1,0 +1,153 @@
+//! End-to-end: DirtBuster's recommendation, applied, actually improves the
+//! simulated runtime — and applying the *wrong* operation does not.
+//!
+//! This is the paper's whole workflow (§6 "Intended usage"): profile,
+//! analyse, patch, measure.
+
+use pre_stores::dirtbuster::{analyze, DirtBusterConfig, Recommendation};
+use pre_stores::machine::{simulate, MachineConfig, RunStats};
+use pre_stores::prestore::PrestoreMode;
+use pre_stores::simcore::FuncId;
+use pre_stores::workloads::{kv, microbench, nas, x9, WorkloadOutput};
+
+fn find_func(out: &WorkloadOutput, name: &str) -> FuncId {
+    out.registry
+        .iter()
+        .find(|(_, i)| i.name == name)
+        .map(|(id, _)| id)
+        .unwrap_or_else(|| panic!("function {name} not registered"))
+}
+
+fn recommendation(out: &WorkloadOutput, func: FuncId) -> Recommendation {
+    let analysis = analyze(&out.traces, &out.registry, &DirtBusterConfig::default());
+    analysis.report_for(func).map(|r| r.choice).unwrap_or(Recommendation::NoPrestore)
+}
+
+fn run_on_a(out: &WorkloadOutput) -> RunStats {
+    simulate(&MachineConfig::machine_a(), &out.traces)
+}
+
+/// MG: DirtBuster recommends skip for `psinv` (never re-used) and clean
+/// for `resid` (re-read by `psinv`); the paper applies clean to both
+/// (Fortran has no NT stores) and wins on Machine A.
+#[test]
+fn mg_recommendation_and_payoff() {
+    let p = nas::mg::MgParams { n: 48, iters: 1, threads: 1 };
+    let out = nas::mg::run(&p, PrestoreMode::None);
+
+    let psinv = find_func(&out, "psinv");
+    let resid = find_func(&out, "resid");
+    assert_eq!(recommendation(&out, psinv), Recommendation::Skip, "psinv: data never re-used");
+    assert_eq!(recommendation(&out, resid), Recommendation::Clean, "resid: R is re-read");
+
+    // Apply the paper's patch (clean) at Figure-9 scale and measure.
+    let p = nas::mg::MgParams { n: 64, iters: 1, threads: 4 };
+    let base = run_on_a(&nas::mg::run(&p, PrestoreMode::None));
+    let clean = run_on_a(&nas::mg::run(&p, PrestoreMode::Clean));
+    assert!(
+        clean.cycles < base.cycles,
+        "applying DirtBuster's advice must pay off: {} !< {}",
+        clean.cycles,
+        base.cycles
+    );
+}
+
+/// KV PUTs: the crafted value is sequential, fence-bound and rarely
+/// re-used -> skip (with clean as the easy fallback), and both pay off.
+#[test]
+fn clht_recommendation_and_payoff() {
+    let mut p = kv::ycsb::YcsbParams::new(kv::ycsb::YcsbKind::A, 1024, 4);
+    p.records = 6_000;
+    p.ops = 8_000;
+    let out = kv::ycsb::run_clht(&p, PrestoreMode::None);
+    let craft = find_func(&out, "craftValue");
+    let rec = recommendation(&out, craft);
+    assert!(
+        rec == Recommendation::Skip || rec == Recommendation::Clean,
+        "craftValue: expected skip (or clean), got {rec:?}"
+    );
+
+    let base = run_on_a(&out);
+    let clean = run_on_a(&kv::ycsb::run_clht(&p, PrestoreMode::Clean));
+    let skip = run_on_a(&kv::ycsb::run_clht(&p, PrestoreMode::Skip));
+    assert!(clean.cycles < base.cycles, "clean pays off");
+    assert!(skip.cycles < base.cycles, "skip pays off");
+}
+
+/// X9: the reused, fence-published message slots get a demote, which pays
+/// off on Machine B.
+#[test]
+fn x9_recommendation_and_payoff() {
+    let p = x9::X9Params { messages: 8_000, ..x9::X9Params::default_params() };
+    let out = x9::run(&p, PrestoreMode::None);
+    let fill = find_func(&out, "fill_msg");
+    assert_eq!(recommendation(&out, fill), Recommendation::Demote, "reused slots + CAS");
+
+    let cfg = MachineConfig::machine_b_fast();
+    let base = simulate(&cfg, &out.traces);
+    let demoted = simulate(&cfg, &x9::run(&p, PrestoreMode::Demote).traces);
+    assert!(demoted.cycles < base.cycles, "demote pays off on Machine B");
+}
+
+/// Listing 3: DirtBuster declines, and it is right — forcing a clean is a
+/// disaster.
+#[test]
+fn listing3_decline_is_correct() {
+    let out = microbench::listing3(30_000, false);
+    let f = find_func(&out, "listing3::loop");
+    assert_eq!(recommendation(&out, f), Recommendation::NoPrestore);
+
+    let base = run_on_a(&out);
+    let forced = run_on_a(&microbench::listing3(30_000, true));
+    assert!(
+        forced.cycles > 10 * base.cycles,
+        "ignoring DirtBuster costs {}x",
+        forced.cycles / base.cycles.max(1)
+    );
+}
+
+/// The §6.2.3 machine-dependence note: the same (correct) patch that wins
+/// on Machine A is harmless-but-useless on Machine B, because the FPGA has
+/// no write-granularity mismatch.
+#[test]
+fn same_patch_different_machines() {
+    let p = nas::sp::SpParams { n: 48, iters: 1, threads: 4 };
+    let base_a = run_on_a(&nas::sp::run(&p, PrestoreMode::None));
+    let clean_a = run_on_a(&nas::sp::run(&p, PrestoreMode::Clean));
+    assert!(clean_a.cycles < base_a.cycles, "SP clean wins on Machine A");
+
+    let cfg_b = MachineConfig::machine_b_fast();
+    let base_b = simulate(&cfg_b, &nas::sp::run(&p, PrestoreMode::None).traces);
+    let clean_b = simulate(&cfg_b, &nas::sp::run(&p, PrestoreMode::Clean).traces);
+    let overhead = clean_b.cycles as f64 / base_b.cycles as f64;
+    assert!(
+        (0.85..1.05).contains(&overhead),
+        "SP clean on Machine B must be ~neutral, got {overhead:.3}"
+    );
+}
+
+/// The DirtBuster report for the tensor evaluator shows the paper's exact
+/// story: the dominant 240 B bucket is re-read almost immediately, so the
+/// recommendation is clean, not skip — and skipping indeed loses.
+#[test]
+fn tensorflow_clean_not_skip() {
+    let mut tp = pre_stores::workloads::tensor::TensorParams::quick();
+    tp.large_elems = 1 << 16;
+    tp.small_ops = 2_000;
+    let out = pre_stores::workloads::tensor::training_step(&tp, PrestoreMode::None);
+    let eval = out
+        .registry
+        .iter()
+        .find(|(_, i)| i.name.contains("TensorEvaluator"))
+        .map(|(id, _)| id)
+        .expect("evaluator registered");
+    assert_eq!(recommendation(&out, eval), Recommendation::Clean);
+
+    // And the measurement agrees (Figure 7): skip loses to clean.
+    let mut p = pre_stores::workloads::tensor::TensorParams::new(16);
+    p.large_elems = 1 << 19;
+    p.small_ops = 8_000;
+    let clean = run_on_a(&pre_stores::workloads::tensor::training_step(&p, PrestoreMode::Clean));
+    let skip = run_on_a(&pre_stores::workloads::tensor::training_step(&p, PrestoreMode::Skip));
+    assert!(clean.cycles < skip.cycles, "clean must beat skip for the tensor evaluator");
+}

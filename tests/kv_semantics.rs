@@ -1,0 +1,122 @@
+//! Property-based functional tests of the key-value stores: under
+//! arbitrary operation sequences (and every pre-store mode), CLHT and
+//! Masstree must behave exactly like a model map — and their traces must
+//! replay cleanly on every machine.
+
+use pre_stores::machine::{simulate, MachineConfig};
+use pre_stores::prestore::PrestoreMode;
+use pre_stores::simcore::{AddressSpace, FuncRegistry, TraceSet, Tracer};
+use pre_stores::workloads::kv::{Clht, KvStore, Masstree};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u16, u8, u16),
+    Get(u16),
+}
+
+fn kv_ops() -> impl Strategy<Value = Vec<KvOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u8>(), 1u16..2048).prop_map(|(k, b, l)| KvOp::Put(k, b, l)),
+            any::<u16>().prop_map(KvOp::Get),
+        ],
+        1..200,
+    )
+}
+
+fn modes() -> [PrestoreMode; 4] {
+    [PrestoreMode::None, PrestoreMode::Clean, PrestoreMode::Demote, PrestoreMode::Skip]
+}
+
+fn check_against_model<S: KvStore>(mut store: S, ops: &[KvOp], mode: PrestoreMode) -> TraceSet {
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut t = Tracer::new();
+    for op in ops {
+        match *op {
+            KvOp::Put(k, b, l) => {
+                // Keys are folded into a small space to force collisions,
+                // chaining and splits.
+                let key = (k % 512) as u64;
+                let val = vec![b; l as usize];
+                store.put(&mut t, key, &val, mode);
+                model.insert(key, val);
+            }
+            KvOp::Get(k) => {
+                let key = (k % 512) as u64;
+                assert_eq!(store.get(&mut t, key), model.get(&key).cloned(), "key {key}");
+            }
+        }
+    }
+    assert_eq!(store.len(), model.len(), "live-key count");
+    TraceSet::new(vec![t.finish()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CLHT matches a model HashMap in every pre-store mode, and its trace
+    /// replays on both machines.
+    #[test]
+    fn clht_matches_model(ops in kv_ops()) {
+        for mode in modes() {
+            let mut space = AddressSpace::new();
+            let mut reg = FuncRegistry::new();
+            // A deliberately small table: collisions and overflow chains.
+            let store = Clht::new(&mut space, &mut reg, 64, 1 << 24);
+            let traces = check_against_model(store, &ops, mode);
+            let _ = simulate(&MachineConfig::machine_a(), &traces);
+            let _ = simulate(&MachineConfig::machine_b_slow(), &traces);
+        }
+    }
+
+    /// Masstree matches a model map in every pre-store mode, across node
+    /// splits, and its trace replays on both machines.
+    #[test]
+    fn masstree_matches_model(ops in kv_ops()) {
+        for mode in modes() {
+            let mut space = AddressSpace::new();
+            let mut reg = FuncRegistry::new();
+            let store = Masstree::new(&mut space, &mut reg, 1 << 14, 1 << 24);
+            let traces = check_against_model(store, &ops, mode);
+            let _ = simulate(&MachineConfig::machine_a(), &traces);
+            let _ = simulate(&MachineConfig::machine_b_fast(), &traces);
+        }
+    }
+
+    /// Masstree keeps every inserted key retrievable through arbitrary
+    /// split cascades (dense ascending and descending insertions).
+    #[test]
+    fn masstree_split_stress(n in 1usize..600, descending in any::<bool>()) {
+        let mut space = AddressSpace::new();
+        let mut reg = FuncRegistry::new();
+        let mut store = Masstree::new(&mut space, &mut reg, 1 << 14, 1 << 22);
+        let mut t = Tracer::new();
+        let keys: Vec<u64> = if descending {
+            (0..n as u64).rev().collect()
+        } else {
+            (0..n as u64).collect()
+        };
+        for &k in &keys {
+            store.put(&mut t, k, &k.to_le_bytes(), PrestoreMode::None);
+        }
+        prop_assert_eq!(store.len(), n);
+        for &k in &keys {
+            prop_assert_eq!(store.get(&mut t, k), Some(k.to_le_bytes().to_vec()));
+        }
+    }
+}
+
+/// The same YCSB run in different pre-store modes returns identical
+/// application-level results (the mode only changes *how* stores happen).
+#[test]
+fn ycsb_results_mode_independent() {
+    use pre_stores::workloads::kv::ycsb::{run_clht, YcsbParams};
+    let p = YcsbParams::quick();
+    let a = run_clht(&p, PrestoreMode::None);
+    let b = run_clht(&p, PrestoreMode::Skip);
+    assert_eq!(a.ops, b.ops);
+    // The traces differ in event kinds but not in thread structure.
+    assert_eq!(a.traces.threads.len(), b.traces.threads.len());
+}

@@ -1,0 +1,113 @@
+//! The paper's *profiling* claims, checked against the engine's
+//! per-function cycle attribution:
+//!
+//! * §7.3.1 (CLHT): "pre-storing [...] reduc[es] the time spent in the
+//!   atomic instructions of the lock by 74%."
+//! * §7.3.1 (Masstree): "pre-storing the values halves the time spent in
+//!   the first fence of masstree::put."
+//! * §7.3.2 (X9): "the pre-store reduces the time spent in the
+//!   compare-and-swap."
+
+use pre_stores::machine::{simulate, MachineConfig, RunStats};
+use pre_stores::prestore::PrestoreMode;
+use pre_stores::simcore::FuncId;
+use pre_stores::workloads::{kv, x9, WorkloadOutput};
+
+fn func(out: &WorkloadOutput, name: &str) -> FuncId {
+    out.registry
+        .iter()
+        .find(|(_, i)| i.name == name)
+        .map(|(id, _)| id)
+        .unwrap_or_else(|| panic!("{name} not registered"))
+}
+
+fn run_b_fast(out: &WorkloadOutput) -> RunStats {
+    simulate(&MachineConfig::machine_b_fast(), &out.traces)
+}
+
+#[test]
+fn clht_lock_time_drops_with_clean() {
+    let mut p = kv::ycsb::YcsbParams::new(kv::ycsb::YcsbKind::A, 1024, 2);
+    p.records = 8_000;
+    p.ops = 10_000;
+    let base_out = kv::ycsb::run_clht(&p, PrestoreMode::None);
+    let clean_out = kv::ycsb::run_clht(&p, PrestoreMode::Clean);
+    let lock = func(&base_out, "clht_put");
+
+    let base = run_b_fast(&base_out);
+    let clean = run_b_fast(&clean_out);
+    let reduction = 1.0 - clean.cycles_in(lock) as f64 / base.cycles_in(lock) as f64;
+    // The paper reports -74% in the lock's atomics alone; our attribution
+    // covers all of clht_put (lock + chain walk + slot write + unlock), so
+    // the relative drop is diluted.
+    assert!(
+        reduction > 0.15,
+        "time in clht_put must drop (paper: -74% in its atomics), got -{:.0}%",
+        reduction * 100.0
+    );
+}
+
+#[test]
+fn masstree_fence_time_drops_with_clean() {
+    let mut p = kv::ycsb::YcsbParams::new(kv::ycsb::YcsbKind::A, 1024, 2);
+    p.records = 8_000;
+    p.ops = 10_000;
+    let base_out = kv::ycsb::run_masstree(&p, PrestoreMode::None);
+    let clean_out = kv::ycsb::run_masstree(&p, PrestoreMode::Clean);
+    // The descent's fences are attributed to masstree::put (the fence
+    // events carry its FuncId).
+    let put = func(&base_out, "masstree::put");
+
+    let base = run_b_fast(&base_out);
+    let clean = run_b_fast(&clean_out);
+    assert!(
+        clean.cycles_in(put) < base.cycles_in(put),
+        "time in masstree::put (incl. its fences) must drop: {} !< {}",
+        clean.cycles_in(put),
+        base.cycles_in(put)
+    );
+    assert!(
+        clean.total_fence_stalls() < base.total_fence_stalls(),
+        "fence stalls must drop (paper: the first fence's time halves)"
+    );
+}
+
+#[test]
+fn x9_cas_time_drops_with_demote() {
+    let p = x9::X9Params { messages: 8_000, ..x9::X9Params::default_params() };
+    let base_out = x9::run(&p, PrestoreMode::None);
+    let demote_out = x9::run(&p, PrestoreMode::Demote);
+    let publish = func(&base_out, "x9_write_to_inbox");
+
+    for (cfg, min_reduction) in [
+        (MachineConfig::machine_b_fast(), 0.25),
+        (MachineConfig::machine_b_slow(), 0.08),
+    ] {
+        let base = simulate(&cfg, &base_out.traces);
+        let demoted = simulate(&cfg, &demote_out.traces);
+        let reduction =
+            1.0 - demoted.cycles_in(publish) as f64 / base.cycles_in(publish) as f64;
+        assert!(
+            reduction > min_reduction,
+            "{}: time in the publishing CAS must drop, got -{:.0}%",
+            cfg.name,
+            reduction * 100.0
+        );
+    }
+}
+
+#[test]
+fn profile_covers_the_whole_run() {
+    // The per-function attribution must account for every cycle of the
+    // CPU-side critical path (single-threaded case: the sums match).
+    let p = x9::X9Params { messages: 1_000, ..x9::X9Params::default_params() };
+    let out = x9::run(&p, PrestoreMode::None);
+    let stats = simulate(&MachineConfig::machine_b_fast(), &out.traces);
+    let attributed: u64 = stats.func_cycles.values().sum();
+    let total: u64 = stats.cores.iter().map(|c| c.cycles).sum();
+    // The end-of-run implicit fence is unattributed; everything else is.
+    assert!(
+        attributed as f64 > 0.95 * total as f64,
+        "attributed {attributed} of {total} cycles"
+    );
+}
