@@ -8,6 +8,9 @@
 //! workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9
 //!            listing1 listing3 pytorch numpy lzma ...
 //! ```
+//!
+//! Exit codes: `0` success, `1` trace I/O or validation error, `2` usage
+//! error (unknown workload, missing argument, unparsable flag value).
 
 use dirtbuster::{analyze, DirtBusterConfig};
 use prestore::PrestoreMode;
@@ -68,11 +71,41 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
 }
 
+fn usage() -> String {
+    format!(
+        "usage: dirtbuster <workload> [--sample-interval N] [--verbose] \
+         [--save-trace FILE]\n       dirtbuster --from-trace FILE \
+         [--sample-interval N] [--verbose]\n\
+         \n\
+         workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9 \
+         listing1 listing3 {}\n\
+         \n\
+         exit codes: 0 success; 1 trace I/O or validation error; 2 usage error",
+        workloads::phoronix::names().join(" ")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return;
+    }
     let verbose = args.iter().any(|a| a == "--verbose");
-    let sample_interval =
-        flag_value(&args, "--sample-interval").and_then(|v| v.parse().ok()).unwrap_or(97);
+    let sample_interval = match flag_value(&args, "--sample-interval") {
+        None => 97,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            Ok(_) => {
+                eprintln!("--sample-interval must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("cannot parse --sample-interval value {v:?}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
     let save_trace = flag_value(&args, "--save-trace").cloned();
     let from_trace = flag_value(&args, "--from-trace").cloned();
 
@@ -84,28 +117,26 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--") && !flag_values.contains(a));
 
+    let cfg = DirtBusterConfig { sample_interval, ..Default::default() };
+
     let (name, out) = if let Some(path) = from_trace {
         let (traces, registry) = match simcore::serialize::load_traces(&path) {
             Ok(loaded) => loaded,
             Err(e) => {
                 eprintln!("cannot load trace {path:?}: {e}");
-                std::process::exit(2);
+                std::process::exit(1);
             }
         };
+        if let Err(e) = simcore::trace::validate(&traces, cfg.line_size) {
+            eprintln!("trace {path:?} is malformed: {e}");
+            std::process::exit(1);
+        }
         ("<trace file>".to_owned(), WorkloadOutput { traces, registry, ops: 0 })
     } else {
         let name = match positional {
             Some(n) => n.clone(),
             None => {
-                eprintln!(
-                    "usage: dirtbuster <workload> [--sample-interval N] [--verbose] \
-                     [--save-trace FILE]\n       dirtbuster --from-trace FILE"
-                );
-                eprintln!(
-                    "workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9 \
-                     listing1 listing3 {}",
-                    workloads::phoronix::names().join(" ")
-                );
+                eprintln!("{}", usage());
                 std::process::exit(2);
             }
         };
@@ -123,7 +154,6 @@ fn main() {
         println!("trace saved to {path}");
     }
 
-    let cfg = DirtBusterConfig { sample_interval, ..Default::default() };
     let start = std::time::Instant::now();
     let analysis = analyze(&out.traces, &out.registry, &cfg);
     let elapsed = start.elapsed();

@@ -7,12 +7,19 @@
 //! With no ids, every experiment runs. Results are printed as text tables
 //! and written as CSV files under `--out` (default `results/`); `--json`
 //! additionally writes machine-readable JSON next to each CSV.
+//!
+//! Exit codes: `0` success, `1` I/O error or no matching experiment.
 
 use ps_bench::experiments;
-use std::io::Write;
 
 /// An experiment id paired with the function regenerating it.
 type Experiment = (&'static str, fn(bool) -> ps_bench::FigureResult);
+
+/// Report an I/O failure and exit with code 1 instead of panicking.
+fn exit_io_error(what: &str, path: &str, e: std::io::Error) -> ! {
+    eprintln!("cannot {what} {path:?}: {e}");
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +39,9 @@ fn main() {
         .filter(|s| *s != out_dir)
         .collect();
 
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        exit_io_error("create output directory", &out_dir, e);
+    }
 
     let known: &[Experiment] = &[
         ("table1", |_| experiments::table1()),
@@ -86,12 +95,14 @@ fn main() {
         }
         println!("({id} regenerated in {elapsed:.2?})\n");
         let path = format!("{out_dir}/{id}.csv");
-        let mut file = std::fs::File::create(&path).expect("create CSV");
-        file.write_all(fig.render_csv().as_bytes()).expect("write CSV");
+        if let Err(e) = std::fs::write(&path, fig.render_csv()) {
+            exit_io_error("write CSV", &path, e);
+        }
         if json {
             let path = format!("{out_dir}/{id}.json");
-            let mut file = std::fs::File::create(&path).expect("create JSON");
-            file.write_all(fig.render_json().as_bytes()).expect("write JSON");
+            if let Err(e) = std::fs::write(&path, fig.render_json()) {
+                exit_io_error("write JSON", &path, e);
+            }
         }
     }
 }

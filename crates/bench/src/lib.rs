@@ -13,7 +13,7 @@ pub mod chart;
 pub mod experiments;
 
 /// One line/bar series of a figure.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Series label ("clean", "Machine B-fast", "2 threads"...).
     pub label: String,
@@ -39,7 +39,7 @@ impl Series {
 }
 
 /// The regenerated data of one table/figure.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResult {
     /// Identifier ("fig3a", "table2", ...).
     pub id: &'static str,
@@ -116,21 +116,14 @@ impl FigureResult {
         out
     }
 
-    /// Render as JSON (via serde).
-    ///
-    /// # Panics
-    ///
-    /// Never panics in practice: the structure contains only strings and
-    /// numbers.
+    /// Render as JSON.
     pub fn render_json(&self) -> String {
-        // A small hand-rolled pretty printer would duplicate serde; the
-        // derive is already in place.
         serde_json_lite(self)
     }
 }
 
-/// Minimal JSON serializer for [`FigureResult`] (no serde_json dependency;
-/// the structure is strings and f64 pairs only).
+/// Minimal JSON serializer for [`FigureResult`] (the structure is strings
+/// and f64 pairs only, so no external JSON dependency is needed).
 fn serde_json_lite(fig: &FigureResult) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")

@@ -24,5 +24,5 @@ pub mod wcbuf;
 
 pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats, Victim};
 pub use replacement::ReplacementKind;
-pub use storebuf::{SbEntry, StoreBuffer};
+pub use storebuf::{SbEntry, StoreBuffer, StoreBufferOverflow};
 pub use wcbuf::WriteCombiningBuffer;

@@ -37,6 +37,31 @@ pub struct SbEntry {
     pub drain_done: Option<Cycles>,
 }
 
+/// A store did not fit: the buffer was at capacity and the line did not
+/// coalesce into a pending entry.
+///
+/// Returned by [`StoreBuffer::try_push`]; the panicking [`StoreBuffer::push`]
+/// formats this into its panic message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreBufferOverflow {
+    /// The line that could not be recorded.
+    pub line: Addr,
+    /// The buffer's capacity in entries.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for StoreBufferOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "store buffer full: no room for line {:#x} in {} entries",
+            self.line, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for StoreBufferOverflow {}
+
 /// A FIFO store buffer with pipelined background drains.
 ///
 /// Drains always start in FIFO order, so the started entries form a prefix
@@ -134,19 +159,32 @@ impl StoreBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if the buffer is full and the store does not coalesce.
+    /// Panics if the buffer is full and the store does not coalesce. Use
+    /// [`StoreBuffer::try_push`] to get a typed error instead.
     pub fn push(&mut self, line: Addr, now: Cycles) -> bool {
+        self.try_push(line, now).expect("push into full store buffer")
+    }
+
+    /// Record a store to `line` at cycle `now`, reporting a full buffer as
+    /// a typed error instead of panicking.
+    ///
+    /// `Ok(true)` means the store coalesced into an existing entry whose
+    /// drain has not started yet; `Ok(false)` means a new entry was
+    /// allocated.
+    pub fn try_push(&mut self, line: Addr, now: Cycles) -> Result<bool, StoreBufferOverflow> {
         if self
             .entries
             .iter()
             .skip(self.started)
             .any(|e| e.line == line)
         {
-            return true;
+            return Ok(true);
         }
-        assert!(!self.is_full(), "push into full store buffer");
+        if self.is_full() {
+            return Err(StoreBufferOverflow { line, capacity: self.cap });
+        }
         self.entries.push_back(SbEntry { line, issue: now, drain_done: None });
-        false
+        Ok(false)
     }
 
     /// Schedule the drain of entry `idx` (which must be the first
@@ -362,6 +400,19 @@ mod tests {
         sb.start_all(0, |_| 100);
         assert!(!sb.push(0, 5), "must not coalesce into an in-flight drain");
         assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    fn try_push_reports_overflow_without_panicking() {
+        let mut sb = StoreBuffer::new(2);
+        assert_eq!(sb.try_push(0, 1), Ok(false));
+        assert_eq!(sb.try_push(0, 2), Ok(true)); // coalesces
+        assert_eq!(sb.try_push(64, 3), Ok(false));
+        let err = sb.try_push(128, 4).unwrap_err();
+        assert_eq!(err, StoreBufferOverflow { line: 128, capacity: 2 });
+        assert!(err.to_string().contains("0x80"), "{err}");
+        // Coalescing still works at capacity.
+        assert_eq!(sb.try_push(64, 5), Ok(true));
     }
 
     #[test]

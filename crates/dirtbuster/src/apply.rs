@@ -103,6 +103,17 @@ pub fn apply_plan(traces: &TraceSet, plan: &PrestorePlan) -> TraceSet {
 /// One-call convenience: analyse `traces` and return the auto-patched
 /// version alongside the plan.
 ///
+/// The rewritten trace is validated (at the `cfg.line_size` granularity)
+/// before it is returned, so a malformed input — or a rewrite bug — is
+/// reported as a typed [`simcore::ValidateError`] instead of surfacing
+/// later as a replay failure.
+///
+/// # Errors
+///
+/// Returns the first [`simcore::ValidateError`] found in the patched
+/// trace. The rewrite only duplicates or re-tags events, so on a valid
+/// input this can only fire if the input itself was invalid.
+///
 /// # Examples
 ///
 /// ```
@@ -119,7 +130,8 @@ pub fn apply_plan(traces: &TraceSet, plan: &PrestorePlan) -> TraceSet {
 ///     }
 /// }
 /// let traces = TraceSet::new(vec![t.finish()]);
-/// let (patched, plan) = dirtbuster::auto_patch(&traces, &reg, &Default::default());
+/// let (patched, plan) =
+///     dirtbuster::auto_patch(&traces, &reg, &Default::default()).unwrap();
 /// assert_eq!(plan.len(), 1); // the streaming writer gets patched
 /// assert!(patched.total_events() > traces.total_events());
 /// ```
@@ -127,10 +139,12 @@ pub fn auto_patch(
     traces: &TraceSet,
     registry: &simcore::FuncRegistry,
     cfg: &crate::DirtBusterConfig,
-) -> (TraceSet, PrestorePlan) {
+) -> Result<(TraceSet, PrestorePlan), simcore::ValidateError> {
     let analysis = crate::analyze(traces, registry, cfg);
     let plan = PrestorePlan::from_analysis(&analysis);
-    (apply_plan(traces, &plan), plan)
+    let patched = apply_plan(traces, &plan);
+    simcore::trace::validate(&patched, cfg.line_size)?;
+    Ok((patched, plan))
 }
 
 #[cfg(test)]
@@ -227,5 +241,14 @@ mod tests {
         let (traces, _, _) = seq_writer_trace();
         let patched = apply_plan(&traces, &PrestorePlan::empty());
         assert_eq!(patched.threads[0].events, traces.threads[0].events);
+    }
+
+    #[test]
+    fn auto_patch_validates_its_output() {
+        let (mut traces, reg, _) = seq_writer_trace();
+        // Corrupt the recorded trace: a zero-size write is never valid.
+        traces.threads[0].events[7].size = 0;
+        let err = auto_patch(&traces, &reg, &Default::default()).unwrap_err();
+        assert!(matches!(err, simcore::ValidateError::ZeroSizeAccess { index: 7, .. }));
     }
 }

@@ -77,6 +77,13 @@ pub struct MachineConfig {
     pub freq_ghz: f64,
     /// Random seed for replacement policies.
     pub seed: u64,
+    /// Progress watchdog: maximum engine steps per replay, or `None` to
+    /// derive a generous budget from the trace size (4x the total event
+    /// count plus one million — a valid replay executes at most ~2 steps
+    /// per event, so the derived budget never fires on sane traces).
+    /// When the budget is exceeded the engine reports
+    /// [`crate::EngineError::StepBudgetExceeded`] instead of spinning.
+    pub step_budget: Option<u64>,
 }
 
 impl MachineConfig {
@@ -100,6 +107,7 @@ impl MachineConfig {
             device: Device::Optane(OptanePmem::default()),
             freq_ghz: 2.1,
             seed: 0xA,
+            step_budget: None,
         }
     }
 
@@ -138,6 +146,7 @@ impl MachineConfig {
             device: Device::Fpga(fpga),
             freq_ghz: 2.0,
             seed: 0xB,
+            step_budget: None,
         }
     }
 

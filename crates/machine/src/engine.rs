@@ -27,12 +27,17 @@
 //! capacity stall — or *demote* pre-store.
 
 use crate::config::{MachineConfig, MemModel};
+use crate::error::{BlockedAcquire, EngineError};
 use crate::stats::{CoreStats, RunStats};
 use cachesim::{Cache, StoreBuffer, WriteCombiningBuffer};
 use cachesim::wcbuf::WcFlush;
 use memdev::{Device, MemDevice};
 use simcore::{blocks_touched, Addr, CoreId, Cycles, EventKind, ThreadTrace, TraceSet};
 use std::collections::HashMap;
+
+/// Floor added to the derived step budget so tiny traces with legitimate
+/// acquire retries never trip the watchdog.
+const STEP_BUDGET_FLOOR: u64 = 1_000_000;
 
 /// Streams tracked by the per-core hardware prefetcher.
 const STREAM_TRACKERS: usize = 16;
@@ -80,13 +85,105 @@ pub struct Engine<'a> {
 }
 
 /// Replay `traces` on the machine described by `cfg`.
+///
+/// # Panics
+///
+/// Panics with a formatted [`EngineError`] on replay failure (deadlocked
+/// acquires, exceeded step budget). Use [`try_simulate`] to get the typed
+/// error instead; unlike this function, it also validates the traces
+/// statically first.
 pub fn simulate(cfg: &MachineConfig, traces: &TraceSet) -> RunStats {
     Engine::new(cfg, traces.threads.len()).run(&traces.threads)
 }
 
 /// Replay a single-threaded trace.
+///
+/// # Panics
+///
+/// Panics with a formatted [`EngineError`] on replay failure; see
+/// [`try_simulate_single`] for the fallible form.
 pub fn simulate_single(cfg: &MachineConfig, trace: &ThreadTrace) -> RunStats {
     Engine::new(cfg, 1).run(std::slice::from_ref(trace))
+}
+
+/// Validate and replay `traces`, returning a typed error instead of
+/// panicking on malformed input, deadlock or watchdog expiry.
+///
+/// # Examples
+///
+/// ```
+/// use machine::{try_simulate, EngineError, MachineConfig};
+/// use simcore::{TraceSet, Tracer};
+///
+/// let mut t = Tracer::new();
+/// t.acquire(0, 1); // nobody ever releases line 0
+/// let err = try_simulate(&MachineConfig::machine_a(), &TraceSet::new(vec![t.finish()]));
+/// assert!(matches!(err, Err(EngineError::AcquireUnsatisfiable { .. })));
+/// ```
+pub fn try_simulate(cfg: &MachineConfig, traces: &TraceSet) -> Result<RunStats, EngineError> {
+    Machine::new(cfg.clone()).try_run(traces)
+}
+
+/// Validate and replay a single-threaded trace; fallible form of
+/// [`simulate_single`].
+pub fn try_simulate_single(
+    cfg: &MachineConfig,
+    trace: &ThreadTrace,
+) -> Result<RunStats, EngineError> {
+    let traces = TraceSet::new(vec![trace.clone()]);
+    try_simulate(cfg, &traces)
+}
+
+/// A configured machine: the owned-config entry point to replay.
+///
+/// [`Machine::try_run`] is the panic-free pipeline: it statically
+/// validates the trace set (rejecting malformed events and statically
+/// unsatisfiable acquires), then replays under the deadlock detector and
+/// the step-budget watchdog. [`Machine::run`] keeps the legacy panicking
+/// contract for callers that treat replay failure as a bug.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Wrap a machine description.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Replay `traces`, panicking with a formatted [`EngineError`] on
+    /// failure (thin wrapper over [`Machine::try_run`]).
+    pub fn run(&self, traces: &TraceSet) -> RunStats {
+        self.try_run(traces).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validate and replay `traces`.
+    ///
+    /// Returns every failure as a typed [`EngineError`]:
+    ///
+    /// * [`EngineError::EmptyTraceSet`] — no threads to replay.
+    /// * [`EngineError::MalformedTrace`] — static validation rejected an
+    ///   event (zero-size/oversize access, acquire of release #0).
+    /// * [`EngineError::AcquireUnsatisfiable`] — an acquire waits for more
+    ///   releases than the trace set performs (static deadlock).
+    /// * [`EngineError::ReplayDeadlock`] — a circular wait surfaced at
+    ///   replay time; the report names each blocked core, line and awaited
+    ///   sequence number.
+    /// * [`EngineError::StepBudgetExceeded`] — the watchdog fired (see
+    ///   [`MachineConfig::step_budget`]).
+    pub fn try_run(&self, traces: &TraceSet) -> Result<RunStats, EngineError> {
+        if traces.threads.is_empty() {
+            return Err(EngineError::EmptyTraceSet);
+        }
+        simcore::trace::validate(traces, self.cfg.line_size)?;
+        Engine::new(&self.cfg, traces.threads.len()).try_run(&traces.threads)
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -117,8 +214,33 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self, traces: &[ThreadTrace]) -> RunStats {
+    /// Replay, panicking with a formatted [`EngineError`] on failure (thin
+    /// wrapper preserving the legacy contract of [`simulate`]).
+    fn run(self, traces: &[ThreadTrace]) -> RunStats {
+        self.try_run(traces).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The cores currently blocked on acquires: `(core, line, seq)`.
+    fn blocked_report(&self) -> Vec<BlockedAcquire> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter_map(|(cid, c)| c.blocked.map(|(line, seq)| (cid, line, seq as u64)))
+            .collect()
+    }
+
+    fn try_run(mut self, traces: &[ThreadTrace]) -> Result<RunStats, EngineError> {
         assert_eq!(traces.len(), self.cores.len());
+        // Progress watchdog: a valid replay executes at most ~2 steps per
+        // event (each step either consumes an event or re-runs an acquire
+        // exactly once after its wakeup), so the derived budget only fires
+        // on genuinely stuck or adversarial schedules.
+        let total_events: u64 = traces.iter().map(|t| t.events.len() as u64).sum();
+        let budget = self
+            .cfg
+            .step_budget
+            .unwrap_or_else(|| total_events.saturating_mul(4).saturating_add(STEP_BUDGET_FLOOR));
+        let mut steps: u64 = 0;
         // Step the runnable core with the smallest clock that still has
         // events; blocked cores wake up when their awaited release lands.
         loop {
@@ -144,13 +266,31 @@ impl<'a> Engine<'a> {
                 }
             }
             let Some((cid, _)) = best else {
-                assert!(!any_left, "replay deadlock: all remaining cores blocked on acquires");
+                if any_left {
+                    // All remaining cores wait on acquires whose releases
+                    // can no longer happen: report the circular wait.
+                    return Err(EngineError::ReplayDeadlock { blocked: self.blocked_report() });
+                }
                 break;
             };
+            steps += 1;
+            if steps > budget {
+                return Err(EngineError::StepBudgetExceeded {
+                    steps,
+                    budget,
+                    blocked: self.blocked_report(),
+                    progress: self
+                        .cores
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| (i, c.pc, traces[i].events.len()))
+                        .collect(),
+                });
+            }
             let ev = traces[cid].events[self.cores[cid].pc];
             self.cores[cid].pc += 1;
             let before = self.cores[cid].now;
-            self.step(cid, ev);
+            self.step(cid, ev)?;
             let spent = self.cores[cid].now - before;
             if spent > 0 {
                 *self.func_cycles.entry(ev.func).or_insert(0) += spent;
@@ -204,7 +344,7 @@ impl<'a> Engine<'a> {
             c.stats.cycles = c.now;
             cores_stats.push(c.stats);
         }
-        RunStats {
+        Ok(RunStats {
             cycles: cpu_cycles.max(media_busy),
             cpu_cycles,
             media_busy_cycles: media_busy,
@@ -213,10 +353,10 @@ impl<'a> Engine<'a> {
             llc: *self.llc.stats(),
             device: dstats,
             func_cycles: self.func_cycles,
-        }
+        })
     }
 
-    fn step(&mut self, cid: CoreId, ev: simcore::Event) {
+    fn step(&mut self, cid: CoreId, ev: simcore::Event) -> Result<(), EngineError> {
         let line_size = self.cfg.line_size;
         match ev.kind {
             EventKind::Compute => {
@@ -231,7 +371,7 @@ impl<'a> Engine<'a> {
             }
             EventKind::Write => {
                 for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
-                    self.write_line(cid, line);
+                    self.write_line(cid, line)?;
                 }
                 self.cores[cid].stats.write_lines +=
                     blocks_touched(ev.addr, ev.size as u64, line_size).count() as u64;
@@ -281,6 +421,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Insert a line into the LLC, writing any dirty victim to the device.
@@ -354,7 +495,7 @@ impl<'a> Engine<'a> {
                 self.cores[cid].now = done;
             }
             self.nt_inflight.remove(&line);
-            self.cores[cid].now += self.device.read_latency();
+            self.cores[cid].now += self.device.read_latency() + self.device.fault_stall();
             self.device.receive_read(line, self.cfg.line_size);
             self.llc_insert(line, false);
             self.l1_fill(cid, line, false);
@@ -365,7 +506,18 @@ impl<'a> Engine<'a> {
             if o != cid {
                 // Dirty in a remote L1: directory lookup + transfer.
                 let cost = self.device.directory_latency() + costs.remote_transfer;
-                let dirty = self.cores[o].l1.invalidate(line).unwrap_or(false);
+                // The owner map says core `o` holds the line dirty, so its
+                // L1 must have a copy; `None` here means the two structures
+                // disagree. Treat the line as clean (the safe accounting:
+                // no spurious writeback) but flag the inconsistency in
+                // debug builds instead of silently defaulting.
+                let dirty = self.cores[o].l1.invalidate(line).unwrap_or_else(|| {
+                    debug_assert!(
+                        false,
+                        "owner map names core {o} for line {line:#x} but its L1 has no copy"
+                    );
+                    false
+                });
                 self.owner.remove(&line);
                 self.llc_insert(line, dirty);
                 self.cores[cid].now += cost;
@@ -380,10 +532,11 @@ impl<'a> Engine<'a> {
             self.l1_fill(cid, line, false);
             return;
         }
-        // Device read.
+        // Device read. An injected transient fault stalls the whole
+        // request, prefetched or not.
         let lat = self.device.read_latency();
         let cost = if streamed { (lat / STREAM_MLP).max(costs.l1_hit) } else { lat };
-        self.cores[cid].now += cost;
+        self.cores[cid].now += cost + self.device.fault_stall();
         self.device.receive_read(line, self.cfg.line_size);
         self.llc_insert(line, false);
         self.l1_fill(cid, line, false);
@@ -417,7 +570,16 @@ impl<'a> Engine<'a> {
         }
         if let Some(&o) = self.owner.get(&line) {
             if o != cid {
-                let dirty = self.cores[o].l1.invalidate(line).unwrap_or(false);
+                // Same invariant as in `read_line`: an entry in the owner
+                // map implies a resident L1 copy on that core. Default to
+                // clean on disagreement, loudly in debug builds.
+                let dirty = self.cores[o].l1.invalidate(line).unwrap_or_else(|| {
+                    debug_assert!(
+                        false,
+                        "owner map names core {o} for line {line:#x} but its L1 has no copy"
+                    );
+                    false
+                });
                 self.owner.remove(&line);
                 self.llc_insert(line, dirty);
                 self.l1_fill(cid, line, true);
@@ -430,11 +592,12 @@ impl<'a> Engine<'a> {
             return costs.llc_hit + self.device.directory_latency();
         }
         // Write-allocate: read the full line from the device (RFO), plus
-        // the directory update.
+        // the directory update — and any injected transient-fault stall.
+        let stall = self.device.fault_stall();
         self.device.receive_read(line, self.cfg.line_size);
         self.llc_insert(line, false);
         self.l1_fill(cid, line, true);
-        self.device.read_latency() + self.device.directory_latency()
+        self.device.read_latency() + self.device.directory_latency() + stall
     }
 
     /// Start the drains of all pending store-buffer entries of `cid`.
@@ -449,7 +612,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Execute one line store.
-    fn write_line(&mut self, cid: CoreId, line: Addr) {
+    fn write_line(&mut self, cid: CoreId, line: Addr) -> Result<(), EngineError> {
         let costs = self.cfg.costs;
         self.cores[cid].now += costs.store_issue;
         // Rewriting a line whose clean-initiated writeback is in flight
@@ -481,13 +644,21 @@ impl<'a> Engine<'a> {
             }
         }
         let now = self.cores[cid].now;
-        self.cores[cid].sb.push(line, now);
+        // The forced head drain above always makes room, so an overflow
+        // here means the engine's buffer bookkeeping is corrupt — report
+        // it as a typed error rather than unwinding mid-replay.
+        self.cores[cid].sb.try_push(line, now).map_err(|e| EngineError::StoreBufferOverflow {
+            core: cid,
+            line: e.line,
+            capacity: e.capacity,
+        })?;
         if self.cfg.mem_model == MemModel::Tso {
             // TSO: drains begin immediately (in order) in the background.
             self.start_drains(cid);
         }
         self.cores[cid].sb.collect_completed(now);
         let _ = self.cores[cid].sb.take_retired();
+        Ok(())
     }
 
     /// Non-temporal store: bypass the caches through the WC buffers.
@@ -869,6 +1040,145 @@ mod tests {
         let r = simulate(&cfg, &TraceSet::new((0..8).map(mk).collect()));
         assert!(r.is_media_bound());
         assert!(r.cycles >= r.media_busy_cycles);
+    }
+
+    #[test]
+    fn try_run_rejects_empty_trace_set() {
+        let m = Machine::new(MachineConfig::machine_a());
+        assert_eq!(m.try_run(&TraceSet::default()), Err(EngineError::EmptyTraceSet));
+    }
+
+    #[test]
+    fn try_run_rejects_malformed_trace() {
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| t.read(0, 0))]);
+        assert!(matches!(m.try_run(&traces), Err(EngineError::MalformedTrace(_))));
+    }
+
+    #[test]
+    fn try_run_rejects_unsatisfiable_acquire_statically() {
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| t.acquire(0x40, 1))]);
+        match m.try_run(&traces) {
+            Err(EngineError::AcquireUnsatisfiable { core, line, seq, available, .. }) => {
+                assert_eq!((core, line, seq, available), (0, 0x40, 1, 0));
+            }
+            other => panic!("expected AcquireUnsatisfiable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_deadlock_reports_blocked_cores() {
+        // Statically every acquire is satisfiable (each line is released
+        // once), but the two threads wait on each other's release first:
+        // a genuine circular wait only the replay can detect.
+        let mut a = Tracer::new();
+        a.acquire(0x80, 1); // waits for b's atomic...
+        a.atomic(0x40, 8);
+        let mut b = Tracer::new();
+        b.acquire(0x40, 1); // ...which waits for a's atomic.
+        b.atomic(0x80, 8);
+        let m = Machine::new(MachineConfig::machine_a());
+        match m.try_run(&TraceSet::new(vec![a.finish(), b.finish()])) {
+            Err(EngineError::ReplayDeadlock { blocked }) => {
+                assert_eq!(blocked.len(), 2, "{blocked:?}");
+                assert!(blocked.contains(&(0, 0x80, 1)), "{blocked:?}");
+                assert!(blocked.contains(&(1, 0x40, 1)), "{blocked:?}");
+            }
+            other => panic!("expected ReplayDeadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_panics_with_deadlock_message() {
+        let mut a = Tracer::new();
+        a.acquire(0x80, 1);
+        a.atomic(0x40, 8);
+        let mut b = Tracer::new();
+        b.acquire(0x40, 1);
+        b.atomic(0x80, 8);
+        let traces = TraceSet::new(vec![a.finish(), b.finish()]);
+        let m = Machine::new(MachineConfig::machine_a());
+        let msg = std::panic::catch_unwind(move || m.run(&traces))
+            .expect_err("deadlocked run must panic");
+        let msg = msg.downcast_ref::<String>().expect("panic payload is a String");
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("core 0"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_fires_on_tiny_explicit_budget() {
+        let mut cfg = MachineConfig::machine_a();
+        cfg.step_budget = Some(10);
+        let trace = trace_of(|t| {
+            for i in 0..100u64 {
+                t.write(i * 64, 64);
+            }
+        });
+        let m = Machine::new(cfg);
+        match m.try_run(&TraceSet::new(vec![trace])) {
+            Err(EngineError::StepBudgetExceeded { steps, budget, progress, .. }) => {
+                assert_eq!(budget, 10);
+                assert_eq!(steps, 11);
+                assert_eq!(progress, vec![(0, 10, 100)]);
+            }
+            other => panic!("expected StepBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_budget_never_fires_on_valid_traces() {
+        // Acquire-heavy two-thread schedule: each acquire blocks once and
+        // retries, the worst case for step count.
+        let mut p = Tracer::new();
+        let mut c = Tracer::new();
+        for i in 0..500u64 {
+            p.compute(10);
+            p.atomic(0x40, 8);
+            c.acquire(0x40, (i + 1) as u32);
+        }
+        let m = Machine::new(MachineConfig::machine_a());
+        let stats = m
+            .try_run(&TraceSet::new(vec![p.finish(), c.finish()]))
+            .expect("valid trace must replay");
+        assert_eq!(stats.cores.len(), 2);
+    }
+
+    #[test]
+    fn injected_device_faults_slow_the_run_deterministically() {
+        use memdev::TransientFaults;
+        let trace = trace_of(|t| {
+            for i in 0..2000u64 {
+                t.read(i * 64, 64);
+            }
+        });
+        let clean = simulate_single(&MachineConfig::machine_a(), &trace);
+        let mut cfg = MachineConfig::machine_a();
+        cfg.device.inject_faults(Some(TransientFaults::new(10, 5_000)));
+        let faulty = simulate_single(&cfg, &trace);
+        assert!(
+            faulty.cpu_cycles > clean.cpu_cycles,
+            "faults {} !> clean {}",
+            faulty.cpu_cycles,
+            clean.cpu_cycles
+        );
+        let again = simulate_single(&cfg, &trace);
+        assert_eq!(faulty, again, "fault injection must stay deterministic");
+    }
+
+    #[test]
+    fn try_run_matches_run_on_valid_traces() {
+        let trace = trace_of(|t| {
+            for i in 0..200u64 {
+                t.write(i * 64, 64);
+                t.read(i * 64, 8);
+            }
+            t.fence();
+        });
+        let cfg = MachineConfig::machine_a();
+        let via_run = simulate_single(&cfg, &trace);
+        let via_try = try_simulate_single(&cfg, &trace).expect("valid");
+        assert_eq!(via_run, via_try);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! * [`simulate`] — replay a [`simcore::TraceSet`] on a machine, producing
 //!   [`RunStats`]: run time in cycles, fence/atomic stall breakdowns, cache
 //!   counters and device-side write amplification.
+//! * [`try_simulate`] / [`Machine::try_run`] — the panic-free pipeline:
+//!   traces are statically validated, replay runs under a deadlock
+//!   detector and a step-budget watchdog, and every failure is a typed
+//!   [`EngineError`] instead of a panic or a hang.
 //!
 //! # Examples
 //!
@@ -27,9 +31,11 @@
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod report;
 pub mod stats;
 
 pub use config::{CostModel, MachineConfig, MemModel};
-pub use engine::{simulate, simulate_single, Engine};
+pub use engine::{simulate, simulate_single, try_simulate, try_simulate_single, Engine, Machine};
+pub use error::{BlockedAcquire, EngineError};
 pub use stats::{CoreStats, RunStats};

@@ -15,7 +15,7 @@
 //! benefit from the increase in sequentiality") — its granularity equals
 //! the CPU line size.
 
-use crate::{DeviceStats, MemDevice};
+use crate::{DeviceStats, MemDevice, TransientFaults};
 use simcore::{Addr, Cycles};
 
 /// FPGA memory with configurable latency and bandwidth.
@@ -25,6 +25,8 @@ pub struct FpgaMem {
     bandwidth: f64,
     line: u64,
     stats: DeviceStats,
+    /// Transient-fault injection schedule, if enabled.
+    faults: Option<TransientFaults>,
 }
 
 impl FpgaMem {
@@ -35,7 +37,7 @@ impl FpgaMem {
     /// * `line` — CPU cache line size (128 B on the ThunderX).
     pub fn new(latency: Cycles, bandwidth: f64, line: u64) -> Self {
         assert!(line.is_power_of_two(), "line size must be a power of two");
-        Self { latency, bandwidth, line, stats: DeviceStats::default() }
+        Self { latency, bandwidth, line, stats: DeviceStats::default(), faults: None }
     }
 
     /// The paper's low-latency configuration: 60 cycles, 10 GB/s.
@@ -110,6 +112,14 @@ impl MemDevice for FpgaMem {
 
     fn reset_stats(&mut self) {
         self.stats = DeviceStats::default();
+    }
+
+    fn inject_faults(&mut self, faults: Option<TransientFaults>) {
+        self.faults = faults;
+    }
+
+    fn fault_stall(&self) -> Cycles {
+        self.faults.map_or(0, |f| f.stall_for(&self.stats))
     }
 }
 

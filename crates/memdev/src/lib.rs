@@ -60,6 +60,49 @@ impl DeviceStats {
     }
 }
 
+/// Configuration of deterministic transient-fault injection on a device.
+///
+/// Real link-attached memories occasionally stall a request far beyond
+/// the nominal latency (media maintenance on Optane, link retraining on
+/// the FPGA). The fault-injection harness uses this hook to check that
+/// the replay pipeline stays robust when device timing degrades: every
+/// `period`-th request (counting reads and writes together) takes
+/// `extra_latency` additional cycles. The schedule is a pure function of
+/// the device's request counters, so runs remain deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientFaults {
+    /// Stall every `period`-th request (must be non-zero).
+    pub period: u64,
+    /// Extra cycles the stalled request takes.
+    pub extra_latency: Cycles,
+}
+
+impl TransientFaults {
+    /// Stall every `period`-th request by `extra_latency` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u64, extra_latency: Cycles) -> Self {
+        assert!(period > 0, "fault period must be non-zero");
+        Self { period, extra_latency }
+    }
+
+    /// Whether the request after `requests_so_far` requests stalls.
+    fn hits(&self, requests_so_far: u64) -> bool {
+        (requests_so_far + 1).is_multiple_of(self.period)
+    }
+
+    /// Stall of the next request given the device's counters so far.
+    pub fn stall_for(&self, stats: &DeviceStats) -> Cycles {
+        if self.hits(stats.reads_received + stats.writes_received) {
+            self.extra_latency
+        } else {
+            0
+        }
+    }
+}
+
 /// Behaviour required of a cacheable memory device.
 pub trait MemDevice {
     /// Short device name for reports.
@@ -116,6 +159,22 @@ pub trait MemDevice {
 
     /// Zero the counters.
     fn reset_stats(&mut self);
+
+    /// Enable (or, with `None`, disable) transient-fault injection.
+    ///
+    /// The default implementation ignores the request: devices opt in by
+    /// storing the configuration and honoring it in
+    /// [`MemDevice::fault_stall`]. [`OptanePmem`] and [`FpgaMem`] — the
+    /// devices whose timing the paper's problem scenarios depend on —
+    /// support injection.
+    fn inject_faults(&mut self, _faults: Option<TransientFaults>) {}
+
+    /// Extra cycles the *next* request will stall due to an injected
+    /// transient fault (0 when injection is off or the next request is
+    /// not scheduled to fault). Deterministic in the request counters.
+    fn fault_stall(&self) -> Cycles {
+        0
+    }
 }
 
 /// Enum dispatch over the concrete device models.
@@ -194,6 +253,14 @@ impl MemDevice for Device {
     fn reset_stats(&mut self) {
         dispatch!(self, d => d.reset_stats())
     }
+
+    fn inject_faults(&mut self, faults: Option<TransientFaults>) {
+        dispatch!(self, d => d.inject_faults(faults))
+    }
+
+    fn fault_stall(&self) -> Cycles {
+        dispatch!(self, d => d.fault_stall())
+    }
 }
 
 /// Table 1 of the paper: internal read/write granularities.
@@ -240,5 +307,43 @@ mod tests {
         assert_eq!(d.internal_granularity(), 64);
         d.reset_stats();
         assert_eq!(d.stats().bytes_received, 0);
+    }
+
+    #[test]
+    fn transient_faults_stall_every_periodth_request() {
+        let mut d = Device::Optane(OptanePmem::default());
+        d.inject_faults(Some(TransientFaults::new(3, 500)));
+        let mut stalls = Vec::new();
+        for i in 0..9u64 {
+            stalls.push(d.fault_stall());
+            d.receive_read(i * 64, 64);
+        }
+        // Requests 3, 6 and 9 (1-based) stall.
+        assert_eq!(stalls, vec![0, 0, 500, 0, 0, 500, 0, 0, 500]);
+        d.inject_faults(None);
+        assert_eq!(d.fault_stall(), 0);
+    }
+
+    #[test]
+    fn fault_schedule_counts_reads_and_writes_together() {
+        let mut d = Device::Fpga(FpgaMem::fast());
+        d.inject_faults(Some(TransientFaults::new(2, 100)));
+        d.receive_read(0, 128); // request 1
+        assert_eq!(d.fault_stall(), 100); // request 2 will stall
+        d.receive_write(128, 128); // request 2
+        assert_eq!(d.fault_stall(), 0); // request 3 will not
+    }
+
+    #[test]
+    fn devices_without_support_ignore_injection() {
+        let mut d = Device::Dram(Dram::default());
+        d.inject_faults(Some(TransientFaults::new(1, 1_000)));
+        assert_eq!(d.fault_stall(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn zero_fault_period_is_rejected() {
+        let _ = TransientFaults::new(0, 10);
     }
 }

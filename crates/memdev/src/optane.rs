@@ -13,7 +13,7 @@
 //! block — write amplification up to 4.0. This is exactly the number the
 //! paper reads out of `ipmctl`.
 
-use crate::{DeviceStats, MemDevice};
+use crate::{DeviceStats, MemDevice, TransientFaults};
 use simcore::{align_down, Addr, Cycles};
 use std::collections::VecDeque;
 
@@ -29,6 +29,8 @@ pub struct OptanePmem {
     /// Open blocks: (block address, bytes covered), oldest first.
     open: VecDeque<(Addr, u64)>,
     stats: DeviceStats,
+    /// Transient-fault injection schedule, if enabled.
+    faults: Option<TransientFaults>,
 }
 
 impl Default for OptanePmem {
@@ -71,6 +73,7 @@ impl OptanePmem {
             buffer_blocks,
             open: VecDeque::new(),
             stats: DeviceStats::default(),
+            faults: None,
         }
     }
 
@@ -155,6 +158,14 @@ impl MemDevice for OptanePmem {
     fn reset_stats(&mut self) {
         self.stats = DeviceStats::default();
         self.open.clear();
+    }
+
+    fn inject_faults(&mut self, faults: Option<TransientFaults>) {
+        self.faults = faults;
+    }
+
+    fn fault_stall(&self) -> Cycles {
+        self.faults.map_or(0, |f| f.stall_for(&self.stats))
     }
 }
 

@@ -1,0 +1,142 @@
+//! Typed errors for trace validation.
+//!
+//! [`ValidateError`] replaces the stringly `Result<(), String>` that
+//! [`crate::trace::validate`] used to return: every rejection names the
+//! offending thread, event index and address, so that consumers (the
+//! replay engine, the DirtBuster pipeline, the CLIs) can report — or match
+//! on — the exact failure instead of grepping a message.
+
+use crate::{Addr, EventKind};
+use std::fmt;
+
+/// Largest plausible single memory access, in bytes (64 MiB).
+///
+/// Workload traces issue accesses of at most a few KB per event; a larger
+/// size field is either trace corruption or an adversarial input, and a
+/// single multi-GB access would make replay arbitrarily slow (the engine
+/// walks every cache line the access touches). [`crate::trace::validate`]
+/// rejects events above this bound with [`ValidateError::OversizeAccess`].
+pub const MAX_ACCESS_BYTES: u32 = 1 << 26;
+
+/// Why a trace set failed [`crate::trace::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A memory access (read, write, NT write or pre-store) has size zero.
+    ZeroSizeAccess {
+        /// Thread containing the event.
+        thread: usize,
+        /// Index of the event within the thread.
+        index: usize,
+        /// The access kind.
+        kind: EventKind,
+        /// The accessed address.
+        addr: Addr,
+    },
+    /// A memory access is implausibly large (> [`MAX_ACCESS_BYTES`]).
+    OversizeAccess {
+        /// Thread containing the event.
+        thread: usize,
+        /// Index of the event within the thread.
+        index: usize,
+        /// The access kind.
+        kind: EventKind,
+        /// The accessed address.
+        addr: Addr,
+        /// The claimed size in bytes.
+        size: u32,
+    },
+    /// An acquire event waits for release #0, which is satisfied before
+    /// anything runs — a recording bug, never a meaningful hand-off.
+    ZeroSequenceAcquire {
+        /// Thread containing the event.
+        thread: usize,
+        /// Index of the event within the thread.
+        index: usize,
+        /// The acquired address.
+        addr: Addr,
+    },
+    /// An acquire waits for more releases of its line than the whole trace
+    /// set performs: replay would deadlock.
+    AcquireUnsatisfiable {
+        /// Thread containing the event.
+        thread: usize,
+        /// Index of the event within the thread.
+        index: usize,
+        /// The line (aligned address) being acquired.
+        line: Addr,
+        /// The release sequence number the acquire waits for.
+        seq: u32,
+        /// How many atomics actually target the line.
+        available: u32,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ValidateError::ZeroSizeAccess { thread, index, kind, addr } => {
+                write!(f, "thread {thread} event {index}: zero-size {kind:?} at {addr:#x}")
+            }
+            ValidateError::OversizeAccess { thread, index, kind, addr, size } => write!(
+                f,
+                "thread {thread} event {index}: implausible {size}-byte {kind:?} at {addr:#x} \
+                 (max {MAX_ACCESS_BYTES})"
+            ),
+            ValidateError::ZeroSequenceAcquire { thread, index, .. } => {
+                write!(f, "thread {thread} event {index}: acquire with sequence number 0")
+            }
+            ValidateError::AcquireUnsatisfiable { thread, index, line, seq, available } => write!(
+                f,
+                "thread {thread} event {index}: acquire of release #{seq} on line {line:#x}, \
+                 but only {available} atomics target it (replay would deadlock)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_thread_and_event() {
+        let e = ValidateError::ZeroSizeAccess {
+            thread: 3,
+            index: 17,
+            kind: EventKind::Write,
+            addr: 0x1000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("thread 3"), "{msg}");
+        assert!(msg.contains("event 17"), "{msg}");
+        assert!(msg.contains("zero-size"), "{msg}");
+    }
+
+    #[test]
+    fn unsatisfiable_acquire_mentions_deadlock() {
+        let e = ValidateError::AcquireUnsatisfiable {
+            thread: 0,
+            index: 5,
+            line: 0x40,
+            seq: 9,
+            available: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("0x40"), "{msg}");
+    }
+
+    #[test]
+    fn oversize_names_the_bound() {
+        let e = ValidateError::OversizeAccess {
+            thread: 1,
+            index: 2,
+            kind: EventKind::Read,
+            addr: 0,
+            size: u32::MAX,
+        };
+        assert!(e.to_string().contains(&MAX_ACCESS_BYTES.to_string()));
+    }
+}

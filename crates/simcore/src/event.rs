@@ -12,7 +12,7 @@ use crate::{Addr, FuncId};
 ///
 /// Mirrors the `op_t` parameter of the paper's
 /// `prestore(void *location, size_t size, op_t op)` function (§2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrestoreOp {
     /// Move data down the cache hierarchy (x86 `cldemote`, ARM `dc cvau`):
     /// make privately-buffered stores globally visible without evicting.

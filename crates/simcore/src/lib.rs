@@ -15,7 +15,9 @@
 //! `dirtbuster` crate analyses the same traces to recommend pre-stores.
 
 pub mod alloc;
+pub mod error;
 pub mod event;
+pub mod faultinject;
 pub mod loc;
 pub mod rng;
 pub mod serialize;
@@ -23,6 +25,7 @@ pub mod stats;
 pub mod trace;
 
 pub use alloc::{AddressSpace, Region};
+pub use error::ValidateError;
 pub use event::{Event, EventKind, PrestoreOp};
 pub use loc::{FuncId, FuncInfo, FuncRegistry};
 pub use stats::Histogram;

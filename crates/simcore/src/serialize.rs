@@ -85,7 +85,27 @@ fn read_string(r: &mut impl Read) -> io::Result<String> {
     String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// Largest function-registry size accepted by [`read_traces`].
+///
+/// [`FuncId`] is 16 bits, so a count above `u16::MAX + 1` cannot have been
+/// produced by [`write_traces`] — it is a corrupt or hostile length field.
+pub const MAX_FUNCS: u32 = 1 << 16;
+
+/// Largest per-thread event count accepted by [`read_traces`].
+///
+/// Real traces run to millions of events; 2^28 (~6 GB decoded) is far
+/// beyond anything [`write_traces`] emits. A larger length field is
+/// corruption, and honouring it would turn a truncated file into an
+/// out-of-memory abort instead of an [`io::ErrorKind::InvalidData`] error.
+pub const MAX_EVENTS_PER_THREAD: u64 = 1 << 28;
+
 /// Read a trace set and its registry written by [`write_traces`].
+///
+/// Length fields are validated before any allocation sized by them:
+/// implausible function, thread or event counts (see [`MAX_FUNCS`] and
+/// [`MAX_EVENTS_PER_THREAD`]) yield [`io::ErrorKind::InvalidData`], so a
+/// truncated or hostile file can neither panic the decoder nor drive it
+/// out of memory.
 pub fn read_traces(r: &mut impl Read) -> io::Result<(TraceSet, FuncRegistry)> {
     let magic = read_exact::<8>(r)?;
     if &magic != MAGIC {
@@ -93,6 +113,12 @@ pub fn read_traces(r: &mut impl Read) -> io::Result<(TraceSet, FuncRegistry)> {
     }
     let mut registry = FuncRegistry::new();
     let nfuncs = u32::from_le_bytes(read_exact(r)?);
+    if nfuncs > MAX_FUNCS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible function count {nfuncs} (max {MAX_FUNCS})"),
+        ));
+    }
     for _ in 0..nfuncs {
         let name = read_string(r)?;
         let file = read_string(r)?;
@@ -105,8 +131,21 @@ pub fn read_traces(r: &mut impl Read) -> io::Result<(TraceSet, FuncRegistry)> {
     }
     let mut threads = Vec::with_capacity(nthreads);
     for _ in 0..nthreads {
-        let nevents = u64::from_le_bytes(read_exact(r)?) as usize;
-        let mut events = Vec::with_capacity(nevents.min(1 << 24));
+        let nevents = u64::from_le_bytes(read_exact(r)?);
+        if nevents > MAX_EVENTS_PER_THREAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "implausible event count {nevents} for one thread \
+                     (max {MAX_EVENTS_PER_THREAD})"
+                ),
+            ));
+        }
+        let nevents = nevents as usize;
+        // A corrupt count below the cap still must not pre-allocate GBs:
+        // events are 24 bytes on disk, so cap the initial allocation and
+        // let a genuinely long stream grow the vector as it decodes.
+        let mut events = Vec::with_capacity(nevents.min(1 << 20));
         for _ in 0..nevents {
             let addr = u64::from_le_bytes(read_exact(r)?);
             let size = u32::from_le_bytes(read_exact(r)?);
@@ -201,6 +240,48 @@ mod tests {
         let kind_off = buf.len() - 4 /* func+caller */ - 1;
         buf[kind_off] = 200;
         assert!(read_traces(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_length_fields() {
+        // A header claiming u64::MAX events in one thread must be rejected
+        // as InvalidData before any allocation, not OOM or spin.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u32.to_le_bytes()); // no functions
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one thread
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // hostile event count
+        let err = read_traces(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("event count"), "{err}");
+
+        // Same for a function count no writer can produce (FuncId is u16).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_traces(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("function count"), "{err}");
+
+        // And for the thread count.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_traces(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn truncated_event_stream_is_an_error_not_a_panic() {
+        let (traces, reg) = sample();
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces, &reg).expect("write");
+        // Chop the file at every prefix length: decoding must return
+        // Ok (only for the full file) or Err — never panic.
+        for cut in 0..buf.len() {
+            assert!(read_traces(&mut &buf[..cut]).is_err(), "prefix {cut} decoded");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! accesses explicitly, which also lets the *same* trace be replayed on
 //! different simulated machines.
 
+use crate::error::{ValidateError, MAX_ACCESS_BYTES};
 use crate::{Addr, Event, EventKind, FuncId, PrestoreOp};
 
 /// The trace of a single simulated thread.
@@ -267,7 +268,8 @@ impl Tracer {
 /// otherwise surface as replay panics or silent deadlocks.
 ///
 /// Checks:
-/// * every memory access has a non-zero size;
+/// * every memory access has a non-zero size no larger than
+///   [`MAX_ACCESS_BYTES`];
 /// * every [`EventKind::Acquire`] can be satisfied — some thread performs
 ///   at least `seq` atomics on the same line (64 B granularity);
 /// * acquire sequence numbers are non-zero.
@@ -275,14 +277,15 @@ impl Tracer {
 /// # Examples
 ///
 /// ```
-/// use simcore::{trace::validate, TraceSet, Tracer};
+/// use simcore::{trace::validate, ValidateError, TraceSet, Tracer};
 ///
 /// let mut t = Tracer::new();
 /// t.acquire(0, 1); // nobody releases line 0
 /// let err = validate(&TraceSet::new(vec![t.finish()]), 64).unwrap_err();
-/// assert!(err.contains("acquire"));
+/// assert!(matches!(err, ValidateError::AcquireUnsatisfiable { .. }));
+/// assert!(err.to_string().contains("acquire"));
 /// ```
-pub fn validate(traces: &TraceSet, line_size: u64) -> Result<(), String> {
+pub fn validate(traces: &TraceSet, line_size: u64) -> Result<(), ValidateError> {
     use std::collections::HashMap;
     // Count releases (atomics) per line across all threads.
     let mut releases: HashMap<Addr, u32> = HashMap::new();
@@ -302,26 +305,41 @@ pub fn validate(traces: &TraceSet, line_size: u64) -> Result<(), String> {
                 | EventKind::PrestoreClean
                 | EventKind::PrestoreDemote => {
                     if ev.size == 0 {
-                        return Err(format!(
-                            "thread {tid} event {i}: zero-size {:?} at {:#x}",
-                            ev.kind, ev.addr
-                        ));
+                        return Err(ValidateError::ZeroSizeAccess {
+                            thread: tid,
+                            index: i,
+                            kind: ev.kind,
+                            addr: ev.addr,
+                        });
+                    }
+                    if ev.size > MAX_ACCESS_BYTES {
+                        return Err(ValidateError::OversizeAccess {
+                            thread: tid,
+                            index: i,
+                            kind: ev.kind,
+                            addr: ev.addr,
+                            size: ev.size,
+                        });
                     }
                 }
                 EventKind::Acquire => {
                     if ev.size == 0 {
-                        return Err(format!(
-                            "thread {tid} event {i}: acquire with sequence number 0"
-                        ));
+                        return Err(ValidateError::ZeroSequenceAcquire {
+                            thread: tid,
+                            index: i,
+                            addr: ev.addr,
+                        });
                     }
                     let line = crate::align_down(ev.addr, line_size);
                     let available = releases.get(&line).copied().unwrap_or(0);
                     if available < ev.size {
-                        return Err(format!(
-                            "thread {tid} event {i}: acquire of release #{} on line {:#x}, \
-                             but only {available} atomics target it (replay would deadlock)",
-                            ev.size, line
-                        ));
+                        return Err(ValidateError::AcquireUnsatisfiable {
+                            thread: tid,
+                            index: i,
+                            line,
+                            seq: ev.size,
+                            available,
+                        });
                     }
                 }
                 EventKind::Fence | EventKind::Atomic | EventKind::Compute => {}
@@ -413,7 +431,23 @@ mod tests {
         let mut t = Tracer::new();
         t.read(0, 0);
         let err = validate(&TraceSet::new(vec![t.finish()]), 64).unwrap_err();
-        assert!(err.contains("zero-size"), "{err}");
+        assert!(
+            matches!(err, ValidateError::ZeroSizeAccess { thread: 0, index: 0, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("zero-size"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_oversize_access() {
+        let mut t = Tracer::new();
+        t.write(0, MAX_ACCESS_BYTES + 1);
+        let err = validate(&TraceSet::new(vec![t.finish()]), 64).unwrap_err();
+        assert!(matches!(err, ValidateError::OversizeAccess { .. }), "{err}");
+        // The bound itself is accepted.
+        let mut t = Tracer::new();
+        t.write(0, MAX_ACCESS_BYTES);
+        assert!(validate(&TraceSet::new(vec![t.finish()]), 64).is_ok());
     }
 
     #[test]
@@ -424,14 +458,25 @@ mod tests {
         c.acquire(0, 2); // waits for a second release that never comes
         let traces = TraceSet::new(vec![p.finish(), c.finish()]);
         let err = validate(&traces, 64).unwrap_err();
-        assert!(err.contains("deadlock"), "{err}");
+        assert_eq!(
+            err,
+            ValidateError::AcquireUnsatisfiable {
+                thread: 1,
+                index: 0,
+                line: 0,
+                seq: 2,
+                available: 1
+            }
+        );
+        assert!(err.to_string().contains("deadlock"), "{err}");
     }
 
     #[test]
     fn validate_rejects_zero_sequence_acquire() {
         let mut t = Tracer::new();
         t.acquire(0, 0);
-        assert!(validate(&TraceSet::new(vec![t.finish()]), 64).is_err());
+        let err = validate(&TraceSet::new(vec![t.finish()]), 64).unwrap_err();
+        assert!(matches!(err, ValidateError::ZeroSequenceAcquire { .. }), "{err}");
     }
 
     #[test]

@@ -18,7 +18,8 @@ fn auto_patched_mg_matches_hand_patched() {
     let base = simulate(&cfg, &baseline_out.traces);
     let hand = simulate(&cfg, &nas::mg::run(&p, PrestoreMode::Clean).traces);
     let (patched_traces, plan) =
-        auto_patch(&baseline_out.traces, &baseline_out.registry, &Default::default());
+        auto_patch(&baseline_out.traces, &baseline_out.registry, &Default::default())
+            .expect("MG's recorded trace is valid, so the patched one is too");
     assert!(!plan.is_empty(), "DirtBuster must find something in MG");
     let auto = simulate(&cfg, &patched_traces);
 
@@ -86,7 +87,8 @@ fn forced_wrong_plan_reproduces_pitfall() {
         base.cycles
     );
     // While the analysis-derived plan is empty for this workload.
-    let (auto_traces, auto_plan) = auto_patch(&out.traces, &out.registry, &Default::default());
+    let (auto_traces, auto_plan) = auto_patch(&out.traces, &out.registry, &Default::default())
+        .expect("Listing 3's recorded trace is valid");
     assert!(auto_plan.op_for(f).is_none(), "DirtBuster must not patch Listing 3");
     let auto = simulate(&cfg, &auto_traces);
     assert_eq!(auto.cycles, base.cycles, "an empty plan is a no-op");

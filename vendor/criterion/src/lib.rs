@@ -1,0 +1,173 @@
+//! Minimal stand-in for the [criterion] API subset this workspace uses
+//! (see `vendor/README.md`).
+//!
+//! Each bench closure is run for a small fixed number of iterations and
+//! the mean wall time is printed. That keeps `cargo bench` compiling and
+//! smoke-running every bench offline; it is not a statistics engine, and
+//! `sample_size`/`measurement_time` are accepted but only loosely honored
+//! (they bound, rather than drive, the iteration count).
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations per bench: enough to smoke-test, cheap enough for CI.
+const ITERS: u32 = 3;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing driver handed to bench closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = ITERS;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in runs a fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in runs a fixed iteration count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 1 };
+        f(&mut b);
+        let mean = b.elapsed / b.iters;
+        println!("bench {}/{}: mean {:?} over {} iters", self.name, id.id, mean, b.iters);
+        self.criterion.benches_run += 1;
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// The bench context produced by [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup { criterion: self, name: "bench".to_string() };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle bench functions into a group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surfaces_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).measurement_time(Duration::from_millis(1));
+        g.bench_function("plain", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert!(ran >= 1);
+        assert_eq!(c.benches_run, 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Minimal, deterministic stand-in for the [proptest] API subset this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! Differences from the real crate, by design:
+//!
+//! - Input generation is seeded from the test's name, so every run of a
+//!   given test explores the same inputs (fully reproducible, hermetic).
+//! - There is no shrinking: a failing case reports its case number and a
+//!   `Debug` dump of the generated inputs instead of a minimized one.
+//! - `proptest-regressions` files are accepted but not consulted.
+//!
+//! [proptest]: https://crates.io/crates/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic SplitMix64 generator driving all input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Seed a generator from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// One-of-N strategy choice. Arms may have different concrete types as
+/// long as they produce the same `Value`; each is boxed.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the current case
+/// (not the whole process) with a typed error.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for `proptest!` bodies; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left == right)`\n  left: {l:?}\n right: {r:?}"
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left == right)`: {}\n  left: {l:?}\n right: {r:?}",
+                            format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for `proptest!` bodies; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left != right)`\n  left: {l:?}\n right: {r:?}"
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Declare property tests. Accepts the same surface the real crate does
+/// for the forms this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     /// Doc comments and attributes pass through.
+///     #[test]
+///     fn my_property(xs in proptest::collection::vec(0u64..100, 1..50)) {
+///         prop_assert!(xs.len() < 50);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg($cfg) $($rest)* }
+    };
+    (@cfg($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let mut inputs = ::std::string::String::new();
+                    $(
+                        inputs.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($arg), &$arg
+                        ));
+                    )+
+                    if inputs.len() > 4096 {
+                        inputs.truncate(4096);
+                        inputs.push_str("  ... (inputs truncated)\n");
+                    }
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}\ninputs:\n{}",
+                            stringify!($name), case, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in 1usize..4) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((1..4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u8..4, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7, "len {}", v.len());
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn oneof_covers_arms(x in prop_oneof![Just(1u32), Just(2u32), (10u32..20)]) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+        }
+
+        #[test]
+        fn maps_apply(s in (0u16..100).prop_map(|v| v.to_string())) {
+            prop_assert!(s.parse::<u16>().unwrap() < 100);
+        }
+    }
+}
