@@ -1,7 +1,8 @@
 //! Criterion microbenches for the simulator substrates themselves: cache
 //! access throughput per replacement policy, store-buffer operations,
-//! Optane media accounting, zipfian sampling and DirtBuster's passes.
-//! These track the cost of the building blocks the figure benches sit on.
+//! Optane media accounting, zipfian sampling, replay-engine throughput
+//! and DirtBuster's passes. These track the cost of the building blocks
+//! the figure benches sit on.
 
 use cachesim::{Cache, CacheConfig, ReplacementKind, StoreBuffer, WriteCombiningBuffer};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -125,6 +126,47 @@ fn tracer_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+fn engine_replay(c: &mut Criterion) {
+    use machine::{simulate_single, MachineConfig};
+
+    let mut g = c.benchmark_group("engine_replay");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+
+    // Map-lookup-heavy replay: 1M events over a wide zipfian footprint, so
+    // the engine's per-line tables (hashed by address) dominate. This is
+    // the path the seeded Fx hasher replaced SipHash on.
+    let scattered = {
+        let mut t = Tracer::with_capacity(1 << 20);
+        let mut rng = SimRng::new(17);
+        let z = Zipfian::new(1 << 20, 0.99);
+        for _ in 0..500_000u64 {
+            let line = z.sample(&mut rng) * 64;
+            t.write(line, 64);
+            t.read(z.sample(&mut rng) * 64, 8);
+        }
+        t.finish()
+    };
+    let cfg = MachineConfig::machine_a();
+    g.bench_function("scattered_1m_events", |b| {
+        b.iter(|| simulate_single(&cfg, &scattered).cycles);
+    });
+
+    // Step throughput on a sequential stream: large multi-line writes
+    // exercise the single-pass blocks_touched accounting in `step`.
+    let stream = {
+        let mut t = Tracer::with_capacity(1 << 20);
+        for i in 0..500_000u64 {
+            t.write(i * 1024, 1024);
+            t.compute(2);
+        }
+        t.finish()
+    };
+    g.bench_function("stream_1m_events", |b| {
+        b.iter(|| simulate_single(&cfg, &stream).cycles);
+    });
+    g.finish();
+}
+
 fn dirtbuster_passes(c: &mut Criterion) {
     let mut g = c.benchmark_group("dirtbuster_passes");
     g.sample_size(10).measurement_time(Duration::from_secs(6));
@@ -158,6 +200,7 @@ criterion_group!(
     write_combining,
     zipfian_sampling,
     tracer_throughput,
+    engine_replay,
     dirtbuster_passes
 );
 criterion_main!(benches);

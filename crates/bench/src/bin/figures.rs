@@ -1,16 +1,26 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--json] [--chart] [--out DIR] [id ...]
+//! figures [--quick] [--json] [--chart] [--jobs N] [--timing] [--out DIR] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Results are printed as text tables
 //! and written as CSV files under `--out` (default `results/`); `--json`
 //! additionally writes machine-readable JSON next to each CSV.
 //!
-//! Exit codes: `0` success, `1` I/O error or no matching experiment.
+//! `--jobs N` bounds the worker threads used for concurrent experiments
+//! and sweep points (default: the machine's available parallelism;
+//! `--jobs 1` runs everything serially). Output files are byte-identical
+//! for every job count. `--timing` runs the selected experiments twice —
+//! serially, then at the requested job count — verifies the outputs match
+//! byte-for-byte, and writes the wall-clock comparison to
+//! `BENCH_figures.json` in the output directory.
+//!
+//! Exit codes: `0` success, `1` I/O error, no matching experiment, or a
+//! `--timing` identity mismatch.
 
-use ps_bench::experiments;
+use ps_bench::runner::{self, TimedFigure};
+use ps_bench::{experiments, memo};
 
 /// An experiment id paired with the function regenerating it.
 type Experiment = (&'static str, fn(bool) -> ps_bench::FigureResult);
@@ -21,22 +31,59 @@ fn exit_io_error(what: &str, path: &str, e: std::io::Error) -> ! {
     std::process::exit(1);
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--quick] [--json] [--chart] [--jobs N] [--timing] [--out DIR] [id ...]
+
+  --quick      scaled-down parameters (CI)
+  --json       also write <id>.json next to each <id>.csv
+  --chart      print ASCII charts
+  --jobs N     worker threads for experiments + sweep points
+               (default: available parallelism; 1 = serial)
+  --timing     run serial then parallel, check outputs are byte-identical,
+               write BENCH_figures.json to the output directory
+  --out DIR    output directory (default: results/)"
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let chart = args.iter().any(|a| a == "--chart");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "results".to_owned());
+    let timing = args.iter().any(|a| a == "--timing");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{flag} needs a value");
+                usage();
+            }
+        })
+    };
+    let out_dir = flag_value("--out").unwrap_or_else(|| "results".to_owned());
+    let jobs = match flag_value("--jobs") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs needs a positive integer, got {v:?}");
+                usage();
+            }
+        },
+        None => runner::default_jobs(),
+    };
+    // Positional args are experiment ids; skip flag values.
+    let flag_values: Vec<String> =
+        ["--out", "--jobs"].iter().filter_map(|f| flag_value(f)).collect();
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
+        .filter(|a| !flag_values.contains(a))
         .map(|s| s.as_str())
-        .filter(|s| *s != out_dir)
         .collect();
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
@@ -72,10 +119,10 @@ fn main() {
         ("ext_cxl_kv", experiments::cxl_kv),
     ];
 
-    let selected: Vec<_> = if ids.is_empty() {
-        known.iter().collect()
+    let selected: Vec<Experiment> = if ids.is_empty() {
+        known.to_vec()
     } else {
-        known.iter().filter(|(id, _)| ids.contains(id)).collect()
+        known.iter().filter(|(id, _)| ids.contains(id)).copied().collect()
     };
     if selected.is_empty() {
         eprintln!("no experiments matched; known ids:");
@@ -85,15 +132,29 @@ fn main() {
         std::process::exit(1);
     }
 
-    for (id, f) in selected {
+    let serial_baseline = if timing {
+        memo::clear();
+        runner::set_jobs(1);
         let start = std::time::Instant::now();
-        let fig = f(quick);
-        let elapsed = start.elapsed();
+        let figs = runner::run_experiments(&selected, quick);
+        Some((figs, start.elapsed().as_secs_f64(), memo::counters()))
+    } else {
+        None
+    };
+
+    memo::clear();
+    runner::set_jobs(jobs);
+    let start = std::time::Instant::now();
+    let results = runner::run_experiments(&selected, quick);
+    let parallel_seconds = start.elapsed().as_secs_f64();
+    let counters = memo::counters();
+
+    for TimedFigure { id, fig, seconds } in &results {
         println!("{}", fig.render_text());
         if chart {
-            println!("{}", ps_bench::chart::render_chart(&fig));
+            println!("{}", ps_bench::chart::render_chart(fig));
         }
-        println!("({id} regenerated in {elapsed:.2?})\n");
+        println!("({id} regenerated in {:.2}s)\n", seconds);
         let path = format!("{out_dir}/{id}.csv");
         if let Err(e) = std::fs::write(&path, fig.render_csv()) {
             exit_io_error("write CSV", &path, e);
@@ -103,6 +164,59 @@ fn main() {
             if let Err(e) = std::fs::write(&path, fig.render_json()) {
                 exit_io_error("write JSON", &path, e);
             }
+        }
+    }
+
+    if let Some((serial_figs, serial_seconds, serial_counters)) = serial_baseline {
+        let mut mismatched: Vec<&str> = Vec::new();
+        for (s, p) in serial_figs.iter().zip(&results) {
+            if s.fig.render_csv() != p.fig.render_csv()
+                || s.fig.render_json() != p.fig.render_json()
+            {
+                mismatched.push(s.id);
+            }
+        }
+        let speedup = serial_seconds / parallel_seconds.max(1e-9);
+        let mut report = String::from("{\n");
+        report.push_str(&format!("  \"jobs\": {jobs},\n"));
+        report.push_str(&format!("  \"quick\": {quick},\n"));
+        report.push_str(&format!("  \"serial_seconds\": {serial_seconds:.3},\n"));
+        report.push_str(&format!("  \"parallel_seconds\": {parallel_seconds:.3},\n"));
+        report.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+        report.push_str(&format!(
+            "  \"outputs_identical\": {},\n",
+            mismatched.is_empty()
+        ));
+        report.push_str(&format!(
+            "  \"memo_serial\": {{\"hits\": {}, \"misses\": {}, \"derived\": {}}},\n",
+            serial_counters.hits, serial_counters.misses, serial_counters.derived
+        ));
+        report.push_str(&format!(
+            "  \"memo_parallel\": {{\"hits\": {}, \"misses\": {}, \"derived\": {}}},\n",
+            counters.hits, counters.misses, counters.derived
+        ));
+        report.push_str("  \"experiments\": [");
+        for (i, (s, p)) in serial_figs.iter().zip(&results).enumerate() {
+            if i > 0 {
+                report.push(',');
+            }
+            report.push_str(&format!(
+                "\n    {{\"id\": \"{}\", \"serial_seconds\": {:.3}, \"parallel_seconds\": {:.3}}}",
+                s.id, s.seconds, p.seconds
+            ));
+        }
+        report.push_str("\n  ]\n}\n");
+        let path = format!("{out_dir}/BENCH_figures.json");
+        if let Err(e) = std::fs::write(&path, report) {
+            exit_io_error("write timing report", &path, e);
+        }
+        println!(
+            "timing: serial {serial_seconds:.2}s, --jobs {jobs} {parallel_seconds:.2}s \
+             ({speedup:.2}x); report written to {path}"
+        );
+        if !mismatched.is_empty() {
+            eprintln!("--timing output mismatch in: {}", mismatched.join(", "));
+            std::process::exit(1);
         }
     }
 }

@@ -5,13 +5,13 @@
 //! experiments sweep them to show *why* the design works and where its
 //! benefit region ends — the design-choice questions DESIGN.md calls out.
 
-use crate::{FigureResult, Series};
+use crate::{memo, runner, FigureResult, Series};
 use cachesim::{CacheConfig, ReplacementKind};
 use machine::{simulate, MachineConfig};
 use memdev::{Device, FpgaMem};
 use prestore::PrestoreMode;
-use workloads::kv::ycsb::{run_clht, YcsbKind, YcsbParams};
-use workloads::microbench::{listing1, listing2, Listing1Params, Listing2Params};
+use workloads::kv::ycsb::{YcsbKind, YcsbParams};
+use workloads::microbench::{Listing1Params, Listing2Params};
 
 /// Write-amplification and clean-benefit as the device's internal write
 /// granularity grows from 64 B (DRAM-like) to 1 KB (SSD-like).
@@ -25,9 +25,9 @@ pub fn granularity_sweep(quick: bool) -> FigureResult {
         "internal granularity (B)",
         "value",
     );
-    let mut speedup = Series::new("clean speedup (x)");
-    let mut base_wa = Series::new("baseline write amplification (x)");
-    for block in [64u64, 128, 256, 512, 1024] {
+    let blocks = [64u64, 128, 256, 512, 1024];
+    let rows = runner::sweep(blocks.len(), |i| {
+        let block = blocks[i];
         let mut cfg = MachineConfig::machine_a();
         // Same latency/bandwidth as the Optane model, varying granularity.
         cfg.device = Device::Optane(memdev::OptanePmem::new(350, 60, 6.0, block, 64));
@@ -36,10 +36,15 @@ pub fn granularity_sweep(quick: bool) -> FigureResult {
             p.footprint = 8 * 1024 * 1024;
             p.iters = p.footprint / 1024 / 5;
         }
-        let base = simulate(&cfg, &listing1(&p, PrestoreMode::None).traces);
-        let clean = simulate(&cfg, &listing1(&p, PrestoreMode::Clean).traces);
-        speedup.points.push((block as f64, clean.speedup_vs(&base)));
-        base_wa.points.push((block as f64, base.write_amplification()));
+        let base = simulate(&cfg, &memo::listing1(&p, PrestoreMode::None).traces);
+        let clean = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Clean).traces);
+        (block as f64, clean.speedup_vs(&base), base.write_amplification())
+    });
+    let mut speedup = Series::new("clean speedup (x)");
+    let mut base_wa = Series::new("baseline write amplification (x)");
+    for (x, sp, wa) in rows {
+        speedup.points.push((x, sp));
+        base_wa.points.push((x, wa));
     }
     fig.series.push(speedup);
     fig.series.push(base_wa);
@@ -64,20 +69,23 @@ pub fn replacement_policy_sweep(quick: bool) -> FigureResult {
         ReplacementKind::Random,
         ReplacementKind::NruRandom,
     ];
-    let mut base_wa = Series::new("baseline WA");
-    let mut clean_wa = Series::new("clean WA");
-    for (i, kind) in policies.into_iter().enumerate() {
+    let rows = runner::sweep(policies.len(), |i| {
         let mut cfg = MachineConfig::machine_a();
-        cfg.llc = CacheConfig::from_capacity(2 * 1024 * 1024, 16, 64, kind);
+        cfg.llc = CacheConfig::from_capacity(2 * 1024 * 1024, 16, 64, policies[i]);
         let mut p = Listing1Params::new(2, 1024);
         if quick {
             p.footprint = 8 * 1024 * 1024;
             p.iters = p.footprint / 1024 / 2;
         }
-        let base = simulate(&cfg, &listing1(&p, PrestoreMode::None).traces);
-        let clean = simulate(&cfg, &listing1(&p, PrestoreMode::Clean).traces);
-        base_wa.points.push((i as f64, base.write_amplification()));
-        clean_wa.points.push((i as f64, clean.write_amplification()));
+        let base = simulate(&cfg, &memo::listing1(&p, PrestoreMode::None).traces);
+        let clean = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Clean).traces);
+        (i as f64, base.write_amplification(), clean.write_amplification())
+    });
+    let mut base_wa = Series::new("baseline WA");
+    let mut clean_wa = Series::new("clean WA");
+    for (x, b, c) in rows {
+        base_wa.points.push((x, b));
+        clean_wa.points.push((x, c));
     }
     fig.series.push(base_wa);
     fig.series.push(clean_wa);
@@ -97,19 +105,21 @@ pub fn fpga_latency_sweep(quick: bool) -> FigureResult {
     );
     let mut s = Series::new("peak improvement");
     let iters = if quick { 2_000 } else { 10_000 };
-    for lat in [15u64, 30, 60, 120, 200, 320] {
+    let lats = [15u64, 30, 60, 120, 200, 320];
+    s.points = runner::sweep(lats.len(), |i| {
+        let lat = lats[i];
         let mut cfg = MachineConfig::machine_b_fast();
         cfg.device = Device::Fpga(FpgaMem::new(lat, 5.0, 128));
         let mut best: f64 = 0.0;
         for n in [5u64, 10, 20, 35, 50, 75, 110] {
             let mut p = Listing2Params::new(n);
             p.iters = iters;
-            let base = simulate(&cfg, &listing2(&p, false).traces);
-            let demoted = simulate(&cfg, &listing2(&p, true).traces);
+            let base = simulate(&cfg, &memo::listing2(&p, false).traces);
+            let demoted = simulate(&cfg, &memo::listing2(&p, true).traces);
             best = best.max(demoted.improvement_pct_vs(&base));
         }
-        s.points.push((lat as f64, best));
-    }
+        (lat as f64, best)
+    });
     fig.series.push(s);
     fig.notes.push("the longer the device latency, the more a demote can hide".into());
     fig
@@ -125,18 +135,21 @@ pub fn ycsb_mix_sweep(quick: bool) -> FigureResult {
         "clean speedup (x)",
     );
     let cfg = MachineConfig::machine_a();
-    let mut s = Series::new("clean speedup");
-    for (i, kind) in [YcsbKind::A, YcsbKind::B, YcsbKind::C, YcsbKind::D].into_iter().enumerate()
-    {
-        let mut p = YcsbParams::new(kind, 1024, 10);
+    let kinds = [YcsbKind::A, YcsbKind::B, YcsbKind::C, YcsbKind::D];
+    let speedups = runner::sweep(kinds.len(), |i| {
+        let mut p = YcsbParams::new(kinds[i], 1024, 10);
         if quick {
             p.records = 6_000;
             p.ops = 8_000;
         }
-        let base = simulate(&cfg, &run_clht(&p, PrestoreMode::None).traces);
-        let clean = simulate(&cfg, &run_clht(&p, PrestoreMode::Clean).traces);
-        s.points.push((i as f64, clean.speedup_vs(&base)));
-        fig.notes.push(format!("{}: {:.2}x", kind.name(), clean.speedup_vs(&base)));
+        let base = simulate(&cfg, &memo::clht(&p, PrestoreMode::None).traces);
+        let clean = simulate(&cfg, &memo::clht(&p, PrestoreMode::Clean).traces);
+        clean.speedup_vs(&base)
+    });
+    let mut s = Series::new("clean speedup");
+    for (i, (kind, sp)) in kinds.iter().zip(&speedups).enumerate() {
+        s.points.push((i as f64, *sp));
+        fig.notes.push(format!("{}: {:.2}x", kind.name(), sp));
     }
     fig.series.push(s);
     fig.notes
@@ -155,21 +168,24 @@ pub fn cxl_kv(quick: bool) -> FigureResult {
         "device (0=Optane 256B, 1=CXL SSD 512B)",
         "clean speedup (x)",
     );
-    let mut s = Series::new("clean speedup");
-    let mut wa = Series::new("baseline write amplification");
-    for (x, cfg) in [
-        (0.0, MachineConfig::machine_a()),
-        (1.0, MachineConfig::machine_a_cxl_ssd(512)),
-    ] {
+    let devices =
+        [(0.0, MachineConfig::machine_a()), (1.0, MachineConfig::machine_a_cxl_ssd(512))];
+    let rows = runner::sweep(devices.len(), |i| {
+        let (x, ref cfg) = devices[i];
         let mut p = YcsbParams::new(YcsbKind::A, 1024, 10);
         if quick {
             p.records = 8_000;
             p.ops = 8_000;
         }
-        let base = simulate(&cfg, &run_clht(&p, PrestoreMode::None).traces);
-        let clean = simulate(&cfg, &run_clht(&p, PrestoreMode::Clean).traces);
-        s.points.push((x, clean.speedup_vs(&base)));
-        wa.points.push((x, base.write_amplification()));
+        let base = simulate(cfg, &memo::clht(&p, PrestoreMode::None).traces);
+        let clean = simulate(cfg, &memo::clht(&p, PrestoreMode::Clean).traces);
+        (x, clean.speedup_vs(&base), base.write_amplification())
+    });
+    let mut s = Series::new("clean speedup");
+    let mut wa = Series::new("baseline write amplification");
+    for (x, sp, w) in rows {
+        s.points.push((x, sp));
+        wa.points.push((x, w));
     }
     fig.series.push(s);
     fig.series.push(wa);
@@ -194,12 +210,14 @@ pub fn dram_sanity(quick: bool) -> FigureResult {
         p.footprint = 8 * 1024 * 1024;
         p.iters = p.footprint / 1024 / 2;
     }
-    let base = simulate(&cfg, &listing1(&p, PrestoreMode::None).traces);
+    let base = simulate(&cfg, &memo::listing1(&p, PrestoreMode::None).traces);
+    let variants = [(0.0, PrestoreMode::Clean), (1.0, PrestoreMode::Skip)];
     let mut s = Series::new("normalized runtime");
-    for (x, mode) in [(0.0, PrestoreMode::Clean), (1.0, PrestoreMode::Skip)] {
-        let run = simulate(&cfg, &listing1(&p, mode).traces);
-        s.points.push((x, run.cycles as f64 / base.cycles as f64));
-    }
+    s.points = runner::sweep(variants.len(), |i| {
+        let (x, mode) = variants[i];
+        let run = simulate(&cfg, &memo::listing1(&p, mode).traces);
+        (x, run.cycles as f64 / base.cycles as f64)
+    });
     fig.series.push(s);
     fig.notes.push("the paper's problems are properties of unconventional memories".into());
     fig

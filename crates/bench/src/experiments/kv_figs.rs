@@ -1,12 +1,17 @@
 //! Figures 10-14: CLHT and Masstree under YCSB A.
 
-use crate::{FigureResult, Series};
+use crate::{memo, runner, FigureResult, Series};
 use machine::{simulate, MachineConfig};
 use prestore::PrestoreMode;
-use workloads::kv::ycsb::{run_clht, run_masstree, YcsbKind, YcsbParams};
+use std::sync::Arc;
+use workloads::kv::ycsb::{YcsbKind, YcsbParams};
+use workloads::WorkloadOutput;
 
 /// Value sizes swept by Figures 10-12.
 pub const VALUE_SIZES: [u32; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+/// A memoized KV workload (`memo::clht` / `memo::masstree`).
+type MemoRun = fn(&YcsbParams, PrestoreMode) -> Arc<WorkloadOutput>;
 
 fn params(value_size: u32, quick: bool) -> YcsbParams {
     let mut p = YcsbParams::new(YcsbKind::A, value_size, 10);
@@ -18,24 +23,41 @@ fn params(value_size: u32, quick: bool) -> YcsbParams {
     p
 }
 
-fn throughput_sweep(
-    id: &'static str,
-    title: &str,
-    run: fn(&YcsbParams, PrestoreMode) -> workloads::WorkloadOutput,
+const SWEEP_MODES: [PrestoreMode; 3] =
+    [PrestoreMode::None, PrestoreMode::Clean, PrestoreMode::Skip];
+
+/// Run the 3-mode x value-size grid once and hand each `(mode, size)`
+/// result to `point` for the figure-specific y value.
+fn mode_size_sweep(
+    fig: &mut FigureResult,
+    run: MemoRun,
     quick: bool,
-) -> FigureResult {
-    let mut fig = FigureResult::new(id, title, "value size (B)", "requests/s (millions)");
+    point: impl Fn(&machine::RunStats, &WorkloadOutput, &MachineConfig) -> f64 + Sync,
+) {
     let cfg = MachineConfig::machine_a();
-    for mode in [PrestoreMode::None, PrestoreMode::Clean, PrestoreMode::Skip] {
+    let combos: Vec<(PrestoreMode, u32)> = SWEEP_MODES
+        .iter()
+        .flat_map(|&m| VALUE_SIZES.iter().map(move |&s| (m, s)))
+        .collect();
+    let points = runner::sweep(combos.len(), |i| {
+        let (mode, size) = combos[i];
+        let p = params(size, quick);
+        let out = run(&p, mode);
+        let stats = simulate(&cfg, &out.traces);
+        (size as f64, point(&stats, &out, &cfg))
+    });
+    for (mode, chunk) in SWEEP_MODES.iter().zip(points.chunks(VALUE_SIZES.len())) {
         let mut s = Series::new(mode.name());
-        for &size in &VALUE_SIZES {
-            let p = params(size, quick);
-            let out = run(&p, mode);
-            let stats = simulate(&cfg, &out.traces);
-            s.points.push((size as f64, stats.ops_per_sec(out.ops, cfg.freq_ghz) / 1e6));
-        }
+        s.points.extend_from_slice(chunk);
         fig.series.push(s);
     }
+}
+
+fn throughput_sweep(id: &'static str, title: &str, run: MemoRun, quick: bool) -> FigureResult {
+    let mut fig = FigureResult::new(id, title, "value size (B)", "requests/s (millions)");
+    mode_size_sweep(&mut fig, run, quick, |stats, out, cfg| {
+        stats.ops_per_sec(out.ops, cfg.freq_ghz) / 1e6
+    });
     fig
 }
 
@@ -44,7 +66,7 @@ pub fn fig10(quick: bool) -> FigureResult {
     let mut fig = throughput_sweep(
         "fig10",
         "CLHT on Machine A (YCSB A): requests per second",
-        run_clht,
+        memo::clht,
         quick,
     );
     fig.notes
@@ -57,7 +79,7 @@ pub fn fig11(quick: bool) -> FigureResult {
     let mut fig = throughput_sweep(
         "fig11",
         "Masstree on Machine A (YCSB A): requests per second",
-        run_masstree,
+        memo::masstree,
         quick,
     );
     fig.notes.push("paper: skip up to 2.5x baseline, clean up to 1.9x".into());
@@ -72,16 +94,7 @@ pub fn fig12(quick: bool) -> FigureResult {
         "value size (B)",
         "write amplification (x)",
     );
-    let cfg = MachineConfig::machine_a();
-    for mode in [PrestoreMode::None, PrestoreMode::Clean, PrestoreMode::Skip] {
-        let mut s = Series::new(mode.name());
-        for &size in &VALUE_SIZES {
-            let p = params(size, quick);
-            let stats = simulate(&cfg, &run_clht(&p, mode).traces);
-            s.points.push((size as f64, stats.write_amplification()));
-        }
-        fig.series.push(s);
-    }
+    mode_size_sweep(&mut fig, memo::clht, quick, |stats, _, _| stats.write_amplification());
     fig.notes.push(
         "paper: baseline ~3.8x for values >= 256B; clean and skip eliminate amplification; halved at 128B"
             .into(),
@@ -89,27 +102,28 @@ pub fn fig12(quick: bool) -> FigureResult {
     fig
 }
 
-fn machine_b_fig(
-    id: &'static str,
-    title: &str,
-    run: fn(&YcsbParams, PrestoreMode) -> workloads::WorkloadOutput,
-    quick: bool,
-) -> FigureResult {
+fn machine_b_fig(id: &'static str, title: &str, run: MemoRun, quick: bool) -> FigureResult {
     // The paper uses 1 KB values on Machine B (§7.3.1). Fewer clients than
     // on Machine A: the FPGA link saturates quickly, and the latency
     // effect the figure demonstrates only shows below saturation.
     let mut fig = FigureResult::new(id, title, "machine (0=fast, 1=slow)", "requests/s (millions)");
-    for mode in [PrestoreMode::None, PrestoreMode::Clean] {
+    let modes = [PrestoreMode::None, PrestoreMode::Clean];
+    let machines =
+        [(0.0, MachineConfig::machine_b_fast()), (1.0, MachineConfig::machine_b_slow())];
+    let combos: Vec<(PrestoreMode, usize)> =
+        modes.iter().flat_map(|&m| (0..machines.len()).map(move |c| (m, c))).collect();
+    let points = runner::sweep(combos.len(), |i| {
+        let (mode, c) = combos[i];
+        let (x, ref cfg) = machines[c];
+        let mut p = params(1024, quick);
+        p.threads = 2;
+        let out = run(&p, mode);
+        let stats = simulate(cfg, &out.traces);
+        (x, stats.ops_per_sec(out.ops, cfg.freq_ghz) / 1e6)
+    });
+    for (mode, chunk) in modes.iter().zip(points.chunks(machines.len())) {
         let mut s = Series::new(mode.name());
-        for (x, cfg) in
-            [(0.0, MachineConfig::machine_b_fast()), (1.0, MachineConfig::machine_b_slow())]
-        {
-            let mut p = params(1024, quick);
-            p.threads = 2;
-            let out = run(&p, mode);
-            let stats = simulate(&cfg, &out.traces);
-            s.points.push((x, stats.ops_per_sec(out.ops, cfg.freq_ghz) / 1e6));
-        }
+        s.points.extend_from_slice(chunk);
         fig.series.push(s);
     }
     fig
@@ -117,7 +131,8 @@ fn machine_b_fig(
 
 /// Figure 13: CLHT on Machine B fast/slow, 1 KB values.
 pub fn fig13(quick: bool) -> FigureResult {
-    let mut fig = machine_b_fig("fig13", "CLHT on Machine B (YCSB A, 1KB values)", run_clht, quick);
+    let mut fig =
+        machine_b_fig("fig13", "CLHT on Machine B (YCSB A, 1KB values)", memo::clht, quick);
     fig.notes
         .push("paper: cleaning is 52% faster; the gain is larger on the fast FPGA".into());
     fig
@@ -126,7 +141,7 @@ pub fn fig13(quick: bool) -> FigureResult {
 /// Figure 14: Masstree on Machine B fast/slow, 1 KB values.
 pub fn fig14(quick: bool) -> FigureResult {
     let mut fig =
-        machine_b_fig("fig14", "Masstree on Machine B (YCSB A, 1KB values)", run_masstree, quick);
+        machine_b_fig("fig14", "Masstree on Machine B (YCSB A, 1KB values)", memo::masstree, quick);
     fig.notes.push("paper: cleaning is 25% faster".into());
     fig
 }

@@ -1,9 +1,9 @@
 //! Figures 3 and 5 plus the §5 pitfall experiments (Listings 1-3).
 
-use crate::{FigureResult, Series};
+use crate::{memo, runner, FigureResult, Series};
 use machine::{simulate, simulate_single, MachineConfig};
 use prestore::PrestoreMode;
-use workloads::microbench::{listing1, listing2, listing3, Listing1Params, Listing2Params};
+use workloads::microbench::{Listing1Params, Listing2Params};
 
 /// Element sizes swept by Figure 3 (64 B - 4 KB).
 pub const FIG3_SIZES: [u32; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
@@ -30,14 +30,20 @@ pub fn fig3a(quick: bool) -> FigureResult {
         "speedup (x)",
     );
     let cfg = MachineConfig::machine_a();
-    for &threads in &FIG3_THREADS {
-        let mut s = Series::new(format!("{threads} thread(s)"));
-        for &size in &FIG3_SIZES {
-            let p = listing1_params(threads, size, quick);
-            let base = simulate(&cfg, &listing1(&p, PrestoreMode::None).traces);
-            let clean = simulate(&cfg, &listing1(&p, PrestoreMode::Clean).traces);
-            s.points.push((size as f64, clean.speedup_vs(&base)));
-        }
+    let combos: Vec<(usize, u32)> = FIG3_THREADS
+        .iter()
+        .flat_map(|&t| FIG3_SIZES.iter().map(move |&s| (t, s)))
+        .collect();
+    let points = runner::sweep(combos.len(), |i| {
+        let (threads, size) = combos[i];
+        let p = listing1_params(threads, size, quick);
+        let base = simulate(&cfg, &memo::listing1(&p, PrestoreMode::None).traces);
+        let clean = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Clean).traces);
+        (size as f64, clean.speedup_vs(&base))
+    });
+    for (t, chunk) in FIG3_THREADS.iter().zip(points.chunks(FIG3_SIZES.len())) {
+        let mut s = Series::new(format!("{t} thread(s)"));
+        s.points.extend_from_slice(chunk);
         fig.series.push(s);
     }
     fig.notes.push(
@@ -56,17 +62,24 @@ pub fn fig3b(quick: bool) -> FigureResult {
         "write amplification (x)",
     );
     let cfg = MachineConfig::machine_a();
-    for (label, mode, threads) in [
+    let variants: [(&str, PrestoreMode, usize); 3] = [
         ("baseline 1 thr", PrestoreMode::None, 1),
         ("baseline 5 thr", PrestoreMode::None, 5),
         ("clean 5 thr", PrestoreMode::Clean, 5),
-    ] {
-        let mut s = Series::new(label);
-        for &size in &FIG3_SIZES {
-            let p = listing1_params(threads, size, quick);
-            let stats = simulate(&cfg, &listing1(&p, mode).traces);
-            s.points.push((size as f64, stats.write_amplification()));
-        }
+    ];
+    let combos: Vec<(PrestoreMode, usize, u32)> = variants
+        .iter()
+        .flat_map(|&(_, mode, t)| FIG3_SIZES.iter().map(move |&s| (mode, t, s)))
+        .collect();
+    let points = runner::sweep(combos.len(), |i| {
+        let (mode, threads, size) = combos[i];
+        let p = listing1_params(threads, size, quick);
+        let stats = simulate(&cfg, &memo::listing1(&p, mode).traces);
+        (size as f64, stats.write_amplification())
+    });
+    for ((label, _, _), chunk) in variants.iter().zip(points.chunks(FIG3_SIZES.len())) {
+        let mut s = Series::new(*label);
+        s.points.extend_from_slice(chunk);
         fig.series.push(s);
     }
     fig.notes
@@ -86,20 +99,26 @@ pub fn fig5(quick: bool) -> FigureResult {
         "L1 reads between write and fence",
         "improvement (%)",
     );
-    for (label, cfg) in [
-        ("Machine B-fast", MachineConfig::machine_b_fast()),
-        ("Machine B-slow", MachineConfig::machine_b_slow()),
-    ] {
-        let mut s = Series::new(label);
-        for &n in &FIG5_READS {
-            let mut p = Listing2Params::new(n);
-            if quick {
-                p.iters = 2_000;
-            }
-            let base = simulate_single(&cfg, &listing2(&p, false).traces.threads[0]);
-            let demoted = simulate_single(&cfg, &listing2(&p, true).traces.threads[0]);
-            s.points.push((n as f64, demoted.improvement_pct_vs(&base)));
+    let machines =
+        [("Machine B-fast", MachineConfig::machine_b_fast()),
+         ("Machine B-slow", MachineConfig::machine_b_slow())];
+    let combos: Vec<(usize, u64)> = (0..machines.len())
+        .flat_map(|m| FIG5_READS.iter().map(move |&n| (m, n)))
+        .collect();
+    let points = runner::sweep(combos.len(), |i| {
+        let (m, n) = combos[i];
+        let cfg = &machines[m].1;
+        let mut p = Listing2Params::new(n);
+        if quick {
+            p.iters = 2_000;
         }
+        let base = simulate_single(cfg, &memo::listing2(&p, false).traces.threads[0]);
+        let demoted = simulate_single(cfg, &memo::listing2(&p, true).traces.threads[0]);
+        (n as f64, demoted.improvement_pct_vs(&base))
+    });
+    for ((label, _), chunk) in machines.iter().zip(points.chunks(FIG5_READS.len())) {
+        let mut s = Series::new(*label);
+        s.points.extend_from_slice(chunk);
         fig.series.push(s);
     }
     fig.notes.push(
@@ -113,8 +132,8 @@ pub fn fig5(quick: bool) -> FigureResult {
 pub fn listing3_pitfall(quick: bool) -> FigureResult {
     let iters = if quick { 5_000 } else { 50_000 };
     let cfg = MachineConfig::machine_a();
-    let base = simulate_single(&cfg, &listing3(iters, false).traces.threads[0]);
-    let cleaned = simulate_single(&cfg, &listing3(iters, true).traces.threads[0]);
+    let base = simulate_single(&cfg, &memo::listing3(iters, false).traces.threads[0]);
+    let cleaned = simulate_single(&cfg, &memo::listing3(iters, true).traces.threads[0]);
     let slowdown = cleaned.cycles as f64 / base.cycles as f64;
     let mut fig = FigureResult::new(
         "listing3",
@@ -140,14 +159,16 @@ pub fn skip_variant(quick: bool) -> FigureResult {
         "variant (0=with re-read, 1=without)",
         "skip time / clean time",
     );
+    let variants = [(0.0, true), (1.0, false)];
     let mut s = Series::new("skip/clean runtime ratio");
-    for (x, reread) in [(0.0, true), (1.0, false)] {
+    s.points = runner::sweep(variants.len(), |i| {
+        let (x, reread) = variants[i];
         let mut p = listing1_params(2, 64, quick);
         p.reread = reread;
-        let clean = simulate(&cfg, &listing1(&p, PrestoreMode::Clean).traces);
-        let skip = simulate(&cfg, &listing1(&p, PrestoreMode::Skip).traces);
-        s.points.push((x, skip.cycles as f64 / clean.cycles as f64));
-    }
+        let clean = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Clean).traces);
+        let skip = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Skip).traces);
+        (x, skip.cycles as f64 / clean.cycles as f64)
+    });
     fig.series.push(s);
     fig.notes.push(
         "paper: with the re-read, skipping is 2x slower than cleaning; without it, skipping wins"

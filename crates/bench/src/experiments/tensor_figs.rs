@@ -1,9 +1,9 @@
 //! Figures 7 and 8: TensorFlow (Eigen tensor evaluator) on Machine A.
 
-use crate::{FigureResult, Series};
+use crate::{memo, runner, FigureResult, Series};
 use machine::{simulate, MachineConfig};
 use prestore::PrestoreMode;
-use workloads::tensor::{training_step, TensorParams};
+use workloads::tensor::TensorParams;
 
 /// Batch sizes swept by Figure 7.
 pub const FIG7_BATCHES: [u32; 5] = [1, 16, 64, 120, 250];
@@ -27,14 +27,21 @@ pub fn fig7(quick: bool) -> FigureResult {
         "improvement (%)",
     );
     let cfg = MachineConfig::machine_a();
-    for mode in [PrestoreMode::Clean, PrestoreMode::Skip] {
+    let modes = [PrestoreMode::Clean, PrestoreMode::Skip];
+    let combos: Vec<(PrestoreMode, u32)> = modes
+        .iter()
+        .flat_map(|&m| FIG7_BATCHES.iter().map(move |&b| (m, b)))
+        .collect();
+    let points = runner::sweep(combos.len(), |i| {
+        let (mode, batch) = combos[i];
+        let p = params(batch, quick);
+        let base = simulate(&cfg, &memo::tensor(&p, PrestoreMode::None).traces);
+        let patched = simulate(&cfg, &memo::tensor(&p, mode).traces);
+        (batch as f64, patched.improvement_pct_vs(&base))
+    });
+    for (mode, chunk) in modes.iter().zip(points.chunks(FIG7_BATCHES.len())) {
         let mut s = Series::new(mode.name());
-        for &batch in &FIG7_BATCHES {
-            let p = params(batch, quick);
-            let base = simulate(&cfg, &training_step(&p, PrestoreMode::None).traces);
-            let patched = simulate(&cfg, &training_step(&p, mode).traces);
-            s.points.push((batch as f64, patched.improvement_pct_vs(&base)));
-        }
+        s.points.extend_from_slice(chunk);
         fig.series.push(s);
     }
     fig.notes.push(
@@ -52,13 +59,20 @@ pub fn fig8(quick: bool) -> FigureResult {
         "write amplification (x)",
     );
     let cfg = MachineConfig::machine_a();
-    for mode in [PrestoreMode::None, PrestoreMode::Clean] {
+    let modes = [PrestoreMode::None, PrestoreMode::Clean];
+    let combos: Vec<(PrestoreMode, u32)> = modes
+        .iter()
+        .flat_map(|&m| FIG7_BATCHES.iter().map(move |&b| (m, b)))
+        .collect();
+    let points = runner::sweep(combos.len(), |i| {
+        let (mode, batch) = combos[i];
+        let p = params(batch, quick);
+        let stats = simulate(&cfg, &memo::tensor(&p, mode).traces);
+        (batch as f64, stats.write_amplification())
+    });
+    for (mode, chunk) in modes.iter().zip(points.chunks(FIG7_BATCHES.len())) {
         let mut s = Series::new(mode.name());
-        for &batch in &FIG7_BATCHES {
-            let p = params(batch, quick);
-            let stats = simulate(&cfg, &training_step(&p, mode).traces);
-            s.points.push((batch as f64, stats.write_amplification()));
-        }
+        s.points.extend_from_slice(chunk);
         fig.series.push(s);
     }
     fig.notes.push("paper: 3.7x baseline vs 2.7x with cleaning (one function patched)".into());

@@ -1,9 +1,9 @@
 //! §7.3.2: the X9 message-passing latency experiment.
 
-use crate::{FigureResult, Series};
+use crate::{memo, runner, FigureResult, Series};
 use machine::{simulate, MachineConfig};
 use prestore::PrestoreMode;
-use workloads::x9::{run, X9Params};
+use workloads::x9::X9Params;
 
 /// X9 message latency on Machine B fast/slow, baseline vs demote.
 pub fn x9_latency(quick: bool) -> FigureResult {
@@ -17,15 +17,21 @@ pub fn x9_latency(quick: bool) -> FigureResult {
     if quick {
         p.messages = 4_000;
     }
-    for mode in [PrestoreMode::None, PrestoreMode::Demote] {
+    let modes = [PrestoreMode::None, PrestoreMode::Demote];
+    let machines =
+        [(0.0, MachineConfig::machine_b_fast()), (1.0, MachineConfig::machine_b_slow())];
+    let combos: Vec<(PrestoreMode, usize)> =
+        modes.iter().flat_map(|&m| (0..machines.len()).map(move |c| (m, c))).collect();
+    let points = runner::sweep(combos.len(), |i| {
+        let (mode, c) = combos[i];
+        let (x, ref cfg) = machines[c];
+        let out = memo::x9(&p, mode);
+        let stats = simulate(cfg, &out.traces);
+        (x, stats.cycles as f64 / out.ops as f64)
+    });
+    for (mode, chunk) in modes.iter().zip(points.chunks(machines.len())) {
         let mut s = Series::new(mode.name());
-        for (x, cfg) in
-            [(0.0, MachineConfig::machine_b_fast()), (1.0, MachineConfig::machine_b_slow())]
-        {
-            let out = run(&p, mode);
-            let stats = simulate(&cfg, &out.traces);
-            s.points.push((x, stats.cycles as f64 / out.ops as f64));
-        }
+        s.points.extend_from_slice(chunk);
         fig.series.push(s);
     }
     fig.notes.push(

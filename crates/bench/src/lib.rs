@@ -11,6 +11,8 @@
 
 pub mod chart;
 pub mod experiments;
+pub mod memo;
+pub mod runner;
 
 /// One line/bar series of a figure.
 #[derive(Debug, Clone)]

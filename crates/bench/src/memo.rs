@@ -1,0 +1,342 @@
+//! Trace memoization for parameter sweeps.
+//!
+//! Sweep points that differ only in [`PrestoreMode`] replay *different*
+//! traces of the *same* workload execution: the addresses and sizes are
+//! identical, only the store flavour and the inserted pre-store events
+//! change. Recording the workload once per parameter point and deriving
+//! the mode variants by rewriting the baseline trace (the
+//! [`dirtbuster::apply_plan`] mechanism, run in reverse: force the mode
+//! the sweep asks for instead of the analyzer's choice) skips the
+//! workload's RNG, allocator and data-structure work entirely.
+//!
+//! Derivation is only used for workloads whose mode-controlled stores are
+//! confined to known functions ([`prestore::write_with_mode`] call sites);
+//! the `derived_traces_match_native_recordings` test pins, for every such
+//! workload and mode, that the derived trace is event-for-event identical
+//! to a native re-recording — which is what keeps `results/` byte-identical
+//! with memoization on.
+//!
+//! The cache is process-global, thread-safe (sweep points run on the
+//! [`simcore::par`] pool) and bounded: entries are evicted oldest-first
+//! once the cached traces exceed an event budget. Derived variants are
+//! cached under their own key — several figures replay the same variant
+//! on more than one machine configuration.
+
+use dirtbuster::{apply_plan, PrestorePlan, Recommendation};
+use prestore::PrestoreMode;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use workloads::kv::ycsb::{run_clht, run_masstree, YcsbParams};
+use workloads::microbench::{
+    listing1 as record_listing1, listing2 as record_listing2, listing3 as record_listing3,
+    Listing1Params, Listing2Params,
+};
+use workloads::tensor::{training_step, TensorParams};
+use workloads::x9::{run as record_x9, X9Params};
+use workloads::WorkloadOutput;
+
+/// Cached baseline recordings may hold at most this many trace events
+/// (~24 B each) before the oldest entries are dropped.
+const MAX_CACHED_EVENTS: usize = 24_000_000;
+
+struct CacheInner {
+    map: HashMap<String, Arc<WorkloadOutput>>,
+    /// Insertion order, oldest first (FIFO eviction).
+    order: VecDeque<String>,
+    events: usize,
+}
+
+static CACHE: Mutex<Option<CacheInner>> = Mutex::new(None);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static DERIVED: AtomicU64 = AtomicU64::new(0);
+
+/// Cache-effectiveness counters since the last [`clear`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that recorded the workload.
+    pub misses: u64,
+    /// Mode variants derived by trace rewriting instead of re-recording.
+    pub derived: u64,
+}
+
+/// Current counters.
+pub fn counters() -> MemoCounters {
+    MemoCounters {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        derived: DERIVED.load(Ordering::Relaxed),
+    }
+}
+
+/// Drop every cached recording and zero the counters (used between the
+/// serial and parallel passes of `figures --timing` so both measure cold
+/// caches).
+pub fn clear() {
+    let mut guard = CACHE.lock().expect("memo cache poisoned");
+    *guard = None;
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    DERIVED.store(0, Ordering::Relaxed);
+}
+
+/// Fetch `key` from the cache or record it with `record`.
+///
+/// The recording runs outside the lock: concurrent sweep points may race
+/// to record the same key, in which case the first insertion wins and the
+/// loser's output is dropped (both are deterministic and identical).
+fn cached(key: String, record: impl FnOnce() -> WorkloadOutput) -> Arc<WorkloadOutput> {
+    {
+        let mut guard = CACHE.lock().expect("memo cache poisoned");
+        let inner = guard.get_or_insert_with(|| CacheInner {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            events: 0,
+        });
+        if let Some(out) = inner.map.get(&key) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(out);
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let out = Arc::new(record());
+    let events = out.traces.total_events();
+    let mut guard = CACHE.lock().expect("memo cache poisoned");
+    let inner = guard.get_or_insert_with(|| CacheInner {
+        map: HashMap::new(),
+        order: VecDeque::new(),
+        events: 0,
+    });
+    if let Some(existing) = inner.map.get(&key) {
+        // Lost a recording race; the entries are identical.
+        return Arc::clone(existing);
+    }
+    inner.events += events;
+    inner.map.insert(key.clone(), Arc::clone(&out));
+    inner.order.push_back(key);
+    while inner.events > MAX_CACHED_EVENTS && inner.order.len() > 1 {
+        let oldest = inner.order.pop_front().expect("order tracks map");
+        if let Some(evicted) = inner.map.remove(&oldest) {
+            inner.events -= evicted.traces.total_events();
+        }
+    }
+    out
+}
+
+fn recommendation_for(mode: PrestoreMode) -> Option<Recommendation> {
+    match mode {
+        PrestoreMode::None => None,
+        PrestoreMode::Clean => Some(Recommendation::Clean),
+        PrestoreMode::Demote => Some(Recommendation::Demote),
+        PrestoreMode::Skip => Some(Recommendation::Skip),
+    }
+}
+
+/// Rewrite `base` (a `PrestoreMode::None` recording) as the workload would
+/// have recorded itself under `mode`, by patching every function in
+/// `funcs` — the workload's `write_with_mode` call sites.
+fn derive_variant(
+    base: &WorkloadOutput,
+    funcs: &[&str],
+    mode: PrestoreMode,
+) -> WorkloadOutput {
+    let rec = recommendation_for(mode).expect("deriving the baseline from itself");
+    let mut plan = PrestorePlan::empty();
+    for (id, info) in base.registry.iter() {
+        if funcs.contains(&info.name.as_str()) {
+            plan.force(id, rec);
+        }
+    }
+    assert!(
+        !plan.is_empty(),
+        "derivation plan matched no functions among {funcs:?}"
+    );
+    DERIVED.fetch_add(1, Ordering::Relaxed);
+    WorkloadOutput {
+        traces: apply_plan(&base.traces, &plan),
+        registry: base.registry.clone(),
+        ops: base.ops,
+    }
+}
+
+/// The generic memoized mode-sweep entry point: baseline recordings are
+/// cached under `key_base`, non-baseline modes are derived from the
+/// cached baseline by rewriting the functions in `funcs` and cached under
+/// `key_base|mode`.
+fn mode_variant(
+    key_base: String,
+    mode: PrestoreMode,
+    funcs: &'static [&'static str],
+    record: impl Fn(PrestoreMode) -> WorkloadOutput,
+) -> Arc<WorkloadOutput> {
+    if mode == PrestoreMode::None {
+        return cached(key_base, || record(PrestoreMode::None));
+    }
+    cached(format!("{key_base}|{mode:?}"), || {
+        let base = cached(key_base, || record(PrestoreMode::None));
+        derive_variant(&base, funcs, mode)
+    })
+}
+
+/// Listing 1 with memoized baseline; mode variants derived via the
+/// `memcpy` write site.
+pub fn listing1(p: &Listing1Params, mode: PrestoreMode) -> Arc<WorkloadOutput> {
+    mode_variant(format!("listing1|{p:?}"), mode, &["memcpy"], |m| record_listing1(p, m))
+}
+
+/// Listing 2 with memoized baseline; the demote variant is derived.
+pub fn listing2(p: &Listing2Params, demote: bool) -> Arc<WorkloadOutput> {
+    let mode = if demote { PrestoreMode::Demote } else { PrestoreMode::None };
+    mode_variant(format!("listing2|{p:?}"), mode, &["listing2::loop"], |m| {
+        record_listing2(p, m == PrestoreMode::Demote)
+    })
+}
+
+/// Listing 3 with memoized baseline; the clean variant is derived.
+pub fn listing3(iters: u64, clean: bool) -> Arc<WorkloadOutput> {
+    let mode = if clean { PrestoreMode::Clean } else { PrestoreMode::None };
+    mode_variant(format!("listing3|{iters}"), mode, &["listing3::loop"], |m| {
+        record_listing3(iters, m == PrestoreMode::Clean)
+    })
+}
+
+/// CLHT under YCSB; mode variants derived via the `craftValue` write site.
+pub fn clht(p: &YcsbParams, mode: PrestoreMode) -> Arc<WorkloadOutput> {
+    mode_variant(format!("clht|{p:?}"), mode, &["craftValue"], |m| run_clht(p, m))
+}
+
+/// Masstree under YCSB; mode variants derived via `craftValue`.
+pub fn masstree(p: &YcsbParams, mode: PrestoreMode) -> Arc<WorkloadOutput> {
+    mode_variant(format!("masstree|{p:?}"), mode, &["craftValue"], |m| run_masstree(p, m))
+}
+
+/// The X9 ring; mode variants derived via the `fill_msg` write site.
+pub fn x9(p: &X9Params, mode: PrestoreMode) -> Arc<WorkloadOutput> {
+    mode_variant(format!("x9|{p:?}"), mode, &["fill_msg"], |m| record_x9(p, m))
+}
+
+/// The tensor training step; mode variants derived via the shared
+/// evaluator instantiation.
+pub fn tensor(p: &TensorParams, mode: PrestoreMode) -> Arc<WorkloadOutput> {
+    mode_variant(
+        format!("tensor|{p:?}"),
+        mode,
+        &["Eigen::TensorEvaluator<...<op>...>::run"],
+        |m| training_step(p, m),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The cache is process-global; serialize the tests that clear it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn assert_traces_equal(native: &WorkloadOutput, derived: &WorkloadOutput, what: &str) {
+        assert_eq!(
+            native.traces.threads.len(),
+            derived.traces.threads.len(),
+            "{what}: thread count"
+        );
+        for (tid, (n, d)) in
+            native.traces.threads.iter().zip(&derived.traces.threads).enumerate()
+        {
+            assert_eq!(n.events, d.events, "{what}: thread {tid} events differ");
+        }
+        assert_eq!(native.ops, derived.ops, "{what}: ops");
+    }
+
+    /// The load-bearing property: for every derivable workload and mode,
+    /// rewriting the baseline gives exactly the trace a native recording
+    /// under that mode produces.
+    #[test]
+    fn derived_traces_match_native_recordings() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        let modes = [PrestoreMode::Clean, PrestoreMode::Demote, PrestoreMode::Skip];
+
+        let p1 = Listing1Params::quick();
+        for mode in modes {
+            assert_traces_equal(
+                &record_listing1(&p1, mode),
+                &listing1(&p1, mode),
+                &format!("listing1/{mode:?}"),
+            );
+        }
+
+        let p2 = Listing2Params::quick();
+        assert_traces_equal(&record_listing2(&p2, true), &listing2(&p2, true), "listing2");
+        assert_traces_equal(&record_listing3(500, true), &listing3(500, true), "listing3");
+
+        let pk = YcsbParams::quick();
+        for mode in modes {
+            assert_traces_equal(
+                &run_clht(&pk, mode),
+                &clht(&pk, mode),
+                &format!("clht/{mode:?}"),
+            );
+            assert_traces_equal(
+                &run_masstree(&pk, mode),
+                &masstree(&pk, mode),
+                &format!("masstree/{mode:?}"),
+            );
+        }
+
+        let px = X9Params::quick();
+        for mode in [PrestoreMode::Clean, PrestoreMode::Demote] {
+            assert_traces_equal(
+                &record_x9(&px, mode),
+                &x9(&px, mode),
+                &format!("x9/{mode:?}"),
+            );
+        }
+
+        let pt = TensorParams::quick();
+        for mode in modes {
+            assert_traces_equal(
+                &training_step(&pt, mode),
+                &tensor(&pt, mode),
+                &format!("tensor/{mode:?}"),
+            );
+        }
+        clear();
+    }
+
+    #[test]
+    fn baseline_recordings_are_cached() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        let p = Listing1Params::quick();
+        let a = listing1(&p, PrestoreMode::None);
+        let before = counters();
+        let b = listing1(&p, PrestoreMode::None);
+        let after = counters();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the recording");
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+        clear();
+    }
+
+    #[test]
+    fn eviction_keeps_the_cache_bounded() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        // Record more than the budget in distinct keys.
+        let mut p = Listing1Params::quick();
+        for i in 0..6 {
+            p.seed = i + 100;
+            let _ = listing1(&p, PrestoreMode::None);
+        }
+        let guard = CACHE.lock().unwrap();
+        let inner = guard.as_ref().expect("cache populated");
+        assert!(inner.events <= MAX_CACHED_EVENTS || inner.map.len() == 1);
+        assert_eq!(inner.map.len(), inner.order.len());
+        drop(guard);
+        clear();
+    }
+}

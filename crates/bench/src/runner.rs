@@ -1,0 +1,82 @@
+//! The parallel experiment runner behind `figures --jobs N`.
+//!
+//! Two levels of parallelism share one [`simcore::par`] thread budget:
+//! independent experiments run concurrently, and inside each experiment
+//! the sweep loops fan their points out with [`sweep`]. Results are
+//! collected in input order at both levels, so the rendered text, CSV and
+//! JSON are byte-identical to a `--jobs 1` run.
+
+use crate::FigureResult;
+
+/// An experiment id paired with the function regenerating it.
+pub type Experiment = (&'static str, fn(bool) -> FigureResult);
+
+/// Set the total thread budget (experiments + sweep points combined).
+pub fn set_jobs(jobs: usize) {
+    simcore::par::set_parallelism(jobs);
+}
+
+/// The configured thread budget.
+pub fn jobs() -> usize {
+    simcore::par::parallelism()
+}
+
+/// The default for `--jobs`: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    simcore::par::available_parallelism()
+}
+
+/// Evaluate `f` over `0..n` sweep points, in parallel when the budget
+/// allows, returning results in input order.
+pub fn sweep<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    simcore::par::map_indexed(n, f)
+}
+
+/// One regenerated experiment plus its wall-clock cost.
+pub struct TimedFigure {
+    /// The experiment id (`fig3a`, `table2`, ...).
+    pub id: &'static str,
+    /// The regenerated figure.
+    pub fig: FigureResult,
+    /// Wall-clock seconds this experiment took (its sweep points may have
+    /// run on several pool threads; this is elapsed time, not CPU time).
+    pub seconds: f64,
+}
+
+/// Run `experiments` (id, regenerate-function) pairs under the current
+/// jobs budget and return the results in input order.
+pub fn run_experiments(experiments: &[Experiment], quick: bool) -> Vec<TimedFigure> {
+    sweep(experiments.len(), |i| {
+        let (id, f) = experiments[i];
+        let start = std::time::Instant::now();
+        let fig = f(quick);
+        TimedFigure { id, fig, seconds: start.elapsed().as_secs_f64() }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_experiments_preserves_order_and_ids() {
+        fn mk_a(_q: bool) -> FigureResult {
+            FigureResult::new("a", "A", "x", "y")
+        }
+        fn mk_b(_q: bool) -> FigureResult {
+            FigureResult::new("b", "B", "x", "y")
+        }
+        let exps: &[(&'static str, fn(bool) -> FigureResult)] =
+            &[("a", mk_a), ("b", mk_b)];
+        let out = run_experiments(exps, true);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, "a");
+        assert_eq!(out[1].id, "b");
+        assert_eq!(out[0].fig.id, "a");
+        assert!(out[0].seconds >= 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Engine determinism: `RunStats` on the x9 and microbench traces are
+//! bit-identical run-to-run and stable across the internal hash-table
+//! swap (golden values captured on the SipHash build).
+
+use machine::{simulate, try_simulate, MachineConfig};
+use prestore::PrestoreMode;
+use workloads::microbench::{listing1, Listing1Params};
+use workloads::x9::{run as run_x9, X9Params};
+
+fn golden_cases() -> Vec<(&'static str, MachineConfig, simcore::TraceSet)> {
+    let mut p1 = Listing1Params::new(2, 256);
+    p1.footprint = 4 * 1024 * 1024;
+    p1.iters = p1.footprint / 256 / 2;
+    vec![
+        (
+            "listing1/none",
+            MachineConfig::machine_a(),
+            listing1(&p1, PrestoreMode::None).traces,
+        ),
+        (
+            "listing1/clean",
+            MachineConfig::machine_a(),
+            listing1(&p1, PrestoreMode::Clean).traces,
+        ),
+        ("x9/none", MachineConfig::machine_b_fast(), run_x9(&X9Params::quick(), PrestoreMode::None).traces),
+        (
+            "x9/demote",
+            MachineConfig::machine_b_slow(),
+            run_x9(&X9Params::quick(), PrestoreMode::Demote).traces,
+        ),
+    ]
+}
+
+/// Re-running the same trace twice gives bit-identical stats, and the
+/// fallible path agrees with the panicking path.
+#[test]
+fn replay_is_bit_identical_run_to_run() {
+    for (name, cfg, traces) in golden_cases() {
+        let a = simulate(&cfg, &traces);
+        let b = simulate(&cfg, &traces);
+        assert_eq!(a, b, "{name}: replay not deterministic");
+        let c = try_simulate(&cfg, &traces).expect("valid traces");
+        assert_eq!(a, c, "{name}: try_simulate diverges from simulate");
+    }
+}
+
+/// Golden cycle counts captured before the FxHash swap: the hasher is an
+/// implementation detail and must not change any observable statistic.
+#[test]
+fn replay_matches_pre_fxhash_golden_values() {
+    let golden: Vec<(&str, u64, u64, f64)> = vec![
+        // (name, cycles, cpu_cycles, write_amplification) — printed by
+        // the capture run below on the SipHash build.
+        ("listing1/none", 2143413, 1540622, 2.330444),
+        ("listing1/clean", 1573386, 1573386, 1.000000),
+        ("x9/none", 43811, 43811, 1.000000),
+        ("x9/demote", 73679, 73679, 1.000000),
+    ];
+    for ((name, cfg, traces), (gname, gcycles, gcpu, gwa)) in
+        golden_cases().into_iter().zip(golden)
+    {
+        assert_eq!(name, gname);
+        let r = simulate(&cfg, &traces);
+        eprintln!(
+            "GOLDEN (\"{name}\", {}, {}, {:.6}),",
+            r.cycles,
+            r.cpu_cycles,
+            r.write_amplification()
+        );
+        if gcycles != 0 {
+            assert_eq!(r.cycles, gcycles, "{name}: cycles drifted");
+            assert_eq!(r.cpu_cycles, gcpu, "{name}: cpu_cycles drifted");
+            assert!((r.write_amplification() - gwa).abs() < 1e-6, "{name}: WA drifted");
+        }
+    }
+}

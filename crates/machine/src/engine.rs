@@ -32,8 +32,7 @@ use crate::stats::{CoreStats, RunStats};
 use cachesim::{Cache, StoreBuffer, WriteCombiningBuffer};
 use cachesim::wcbuf::WcFlush;
 use memdev::{Device, MemDevice};
-use simcore::{blocks_touched, Addr, CoreId, Cycles, EventKind, ThreadTrace, TraceSet};
-use std::collections::HashMap;
+use simcore::{blocks_touched, Addr, CoreId, Cycles, EventKind, FxHashMap, ThreadTrace, TraceSet};
 
 /// Floor added to the derived step budget so tiny traces with legitimate
 /// acquire retries never trip the watchdog.
@@ -68,19 +67,19 @@ pub struct Engine<'a> {
     llc: Cache,
     device: Device,
     /// Which core's L1 holds a line dirty.
-    owner: HashMap<Addr, CoreId>,
+    owner: FxHashMap<Addr, CoreId>,
     /// In-flight writebacks (line -> completion time) started by cleans.
-    wb_inflight: HashMap<Addr, Cycles>,
+    wb_inflight: FxHashMap<Addr, Cycles>,
     /// Lines whose non-temporal store is still in flight to memory
     /// (line -> completion time). Reading one stalls until the data lands
     /// and then pays the full device read — the §5/§7.2.1 penalty of
     /// skipping the cache for data that is re-read.
-    nt_inflight: HashMap<Addr, Cycles>,
+    nt_inflight: FxHashMap<Addr, Cycles>,
     /// Per line: how many times it was released by an atomic, and when the
     /// latest release happened (acquire/release replay synchronization).
-    releases: HashMap<Addr, (u32, Cycles)>,
+    releases: FxHashMap<Addr, (u32, Cycles)>,
     /// Cycles attributed to each traced function.
-    func_cycles: HashMap<simcore::FuncId, Cycles>,
+    func_cycles: FxHashMap<simcore::FuncId, Cycles>,
     cores: Vec<CoreState>,
 }
 
@@ -121,17 +120,30 @@ pub fn simulate_single(cfg: &MachineConfig, trace: &ThreadTrace) -> RunStats {
 /// assert!(matches!(err, Err(EngineError::AcquireUnsatisfiable { .. })));
 /// ```
 pub fn try_simulate(cfg: &MachineConfig, traces: &TraceSet) -> Result<RunStats, EngineError> {
-    Machine::new(cfg.clone()).try_run(traces)
+    try_simulate_threads(cfg, &traces.threads)
 }
 
 /// Validate and replay a single-threaded trace; fallible form of
-/// [`simulate_single`].
+/// [`simulate_single`]. Replays from the borrowed trace — nothing is
+/// cloned.
 pub fn try_simulate_single(
     cfg: &MachineConfig,
     trace: &ThreadTrace,
 ) -> Result<RunStats, EngineError> {
-    let traces = TraceSet::new(vec![trace.clone()]);
-    try_simulate(cfg, &traces)
+    try_simulate_threads(cfg, std::slice::from_ref(trace))
+}
+
+/// Validate and replay a borrowed slice of per-thread traces (the
+/// zero-copy core of [`try_simulate`] / [`try_simulate_single`]).
+pub fn try_simulate_threads(
+    cfg: &MachineConfig,
+    threads: &[ThreadTrace],
+) -> Result<RunStats, EngineError> {
+    if threads.is_empty() {
+        return Err(EngineError::EmptyTraceSet);
+    }
+    simcore::trace::validate_threads(threads, cfg.line_size)?;
+    Engine::new(cfg, threads.len()).try_run(threads)
 }
 
 /// A configured machine: the owned-config entry point to replay.
@@ -178,11 +190,7 @@ impl Machine {
     /// * [`EngineError::StepBudgetExceeded`] — the watchdog fired (see
     ///   [`MachineConfig::step_budget`]).
     pub fn try_run(&self, traces: &TraceSet) -> Result<RunStats, EngineError> {
-        if traces.threads.is_empty() {
-            return Err(EngineError::EmptyTraceSet);
-        }
-        simcore::trace::validate(traces, self.cfg.line_size)?;
-        Engine::new(&self.cfg, traces.threads.len()).try_run(&traces.threads)
+        try_simulate_threads(&self.cfg, &traces.threads)
     }
 }
 
@@ -204,12 +212,12 @@ impl<'a> Engine<'a> {
         Self {
             cfg,
             llc: Cache::new(cfg.llc, cfg.seed ^ 0x5A5A),
-            device: cfg.device.clone(),
-            owner: HashMap::new(),
-            wb_inflight: HashMap::new(),
-            nt_inflight: HashMap::new(),
-            releases: HashMap::new(),
-            func_cycles: HashMap::new(),
+            device: cfg.device.fresh(),
+            owner: FxHashMap::default(),
+            wb_inflight: FxHashMap::default(),
+            nt_inflight: FxHashMap::default(),
+            releases: FxHashMap::default(),
+            func_cycles: FxHashMap::default(),
             cores,
         }
     }
@@ -352,7 +360,7 @@ impl<'a> Engine<'a> {
             l1,
             llc: *self.llc.stats(),
             device: dstats,
-            func_cycles: self.func_cycles,
+            func_cycles: self.func_cycles.into_iter().collect(),
         })
     }
 
@@ -363,18 +371,20 @@ impl<'a> Engine<'a> {
                 self.cores[cid].now += ev.addr;
             }
             EventKind::Read => {
+                let mut lines = 0u64;
                 for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
                     self.read_line(cid, line);
+                    lines += 1;
                 }
-                self.cores[cid].stats.read_lines +=
-                    blocks_touched(ev.addr, ev.size as u64, line_size).count() as u64;
+                self.cores[cid].stats.read_lines += lines;
             }
             EventKind::Write => {
+                let mut lines = 0u64;
                 for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
                     self.write_line(cid, line)?;
+                    lines += 1;
                 }
-                self.cores[cid].stats.write_lines +=
-                    blocks_touched(ev.addr, ev.size as u64, line_size).count() as u64;
+                self.cores[cid].stats.write_lines += lines;
             }
             EventKind::NtWrite => {
                 self.nt_write(cid, ev.addr, ev.size as u64);
@@ -664,6 +674,7 @@ impl<'a> Engine<'a> {
     /// Non-temporal store: bypass the caches through the WC buffers.
     fn nt_write(&mut self, cid: CoreId, addr: Addr, size: u64) {
         let line_size = self.cfg.line_size;
+        let mut lines = 0u64;
         for line in blocks_touched(addr, size, line_size) {
             // NT stores invalidate any cached copy.
             if let Some(true) = self.cores[cid].l1.invalidate(line) {
@@ -672,8 +683,9 @@ impl<'a> Engine<'a> {
             self.llc.invalidate(line);
             self.cores[cid].now += self.cfg.costs.store_issue;
             self.note_nt_write(cid, line);
+            lines += 1;
         }
-        self.cores[cid].stats.write_lines += blocks_touched(addr, size, line_size).count() as u64;
+        self.cores[cid].stats.write_lines += lines;
         let flushes = self.cores[cid].wc.nt_write(addr, size);
         self.apply_wc_flushes(&flushes);
     }

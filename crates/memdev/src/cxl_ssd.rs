@@ -34,6 +34,11 @@ impl CxlSsd {
         // a 32-block internal buffer.
         Self { inner: OptanePmem::new(600, 100, 0.5, block, 32) }
     }
+
+    /// A pristine copy with the same parameters; see [`OptanePmem::fresh`].
+    pub fn fresh(&self) -> Self {
+        Self { inner: self.inner.fresh() }
+    }
 }
 
 impl MemDevice for CxlSsd {

@@ -30,6 +30,11 @@ impl Dram {
     pub fn new(read_latency: Cycles, directory_latency: Cycles, bandwidth: f64) -> Self {
         Self { read_latency, directory_latency, bandwidth, stats: DeviceStats::default() }
     }
+
+    /// A pristine copy with the same parameters and zeroed counters.
+    pub fn fresh(&self) -> Self {
+        Self { stats: DeviceStats::default(), ..*self }
+    }
 }
 
 impl MemDevice for Dram {

@@ -40,6 +40,11 @@ impl FpgaMem {
         Self { latency, bandwidth, line, stats: DeviceStats::default(), faults: None }
     }
 
+    /// A pristine copy with the same parameters and fault schedule.
+    pub fn fresh(&self) -> Self {
+        Self { stats: DeviceStats::default(), ..*self }
+    }
+
     /// The paper's low-latency configuration: 60 cycles, 10 GB/s.
     ///
     /// 10 GB/s at 2 GHz is 5 bytes/cycle.

@@ -201,6 +201,21 @@ macro_rules! dispatch {
     };
 }
 
+impl Device {
+    /// A pristine copy of this device: same configuration (including any
+    /// injected fault schedule), empty internal buffers, zeroed counters.
+    /// The replay engine starts every run from one of these instead of
+    /// deep-cloning whatever run state the source device carries.
+    pub fn fresh(&self) -> Device {
+        match self {
+            Device::Dram(d) => Device::Dram(d.fresh()),
+            Device::Optane(d) => Device::Optane(d.fresh()),
+            Device::Fpga(d) => Device::Fpga(d.fresh()),
+            Device::CxlSsd(d) => Device::CxlSsd(d.fresh()),
+        }
+    }
+}
+
 impl MemDevice for Device {
     fn name(&self) -> &'static str {
         dispatch!(self, d => d.name())

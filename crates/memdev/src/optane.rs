@@ -77,6 +77,17 @@ impl OptanePmem {
         }
     }
 
+    /// A pristine module set with the same parameters and fault schedule
+    /// but empty buffers and zeroed counters — what a new replay starts
+    /// from, without cloning accumulated run state.
+    pub fn fresh(&self) -> Self {
+        Self {
+            open: VecDeque::new(),
+            stats: DeviceStats::default(),
+            ..*self
+        }
+    }
+
     fn close_block(&mut self, covered: u64) {
         self.stats.media_bytes_written += self.block;
         if covered < self.block {

@@ -1,0 +1,172 @@
+//! A small, fast, seeded hasher for the simulator's hot-path tables.
+//!
+//! The replay engine keys several per-line maps by [`crate::Addr`]; the
+//! standard library's SipHash is DoS-resistant but needlessly slow for
+//! trusted, simulator-internal keys. This is a Fx-style multiply-xor
+//! hasher: each word of input is folded into the state with an xor, a
+//! rotate and a multiply by a constant derived from the golden ratio.
+//! Determinism matters more than distribution here — the same trace must
+//! replay to bit-identical statistics on every run — so the hasher is
+//! seeded with a fixed constant, never from process randomness.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplier: 2^64 / phi, the usual Fibonacci-hashing constant.
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Default fixed seed; any constant works, randomness is deliberately
+/// avoided to keep replays reproducible.
+const DEFAULT_SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+
+/// The hasher state. Create through [`FxBuildHasher`].
+#[derive(Debug, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// Rotate the *state* (not the freshly xored word) so the word's own
+    /// bits stay in the low half going into the multiply: multiplication
+    /// only propagates entropy upward, so rotating the word's low bits out
+    /// of the low positions first would leave the low 32 output bits
+    /// constant for line-aligned addresses — and hash-table bucket indices
+    /// come from exactly those bits.
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(26) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    /// Fold the well-mixed high half into the low half: multiply-based
+    /// mixing leaves the lowest bits of the state weak (for 64 B-aligned
+    /// keys the low 6 bits are constant), and the bucket index is taken
+    /// from the low bits.
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(K);
+        h ^ (h >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(buf) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// Seeded [`BuildHasher`] producing [`FxHasher`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct FxBuildHasher {
+    seed: u64,
+}
+
+impl FxBuildHasher {
+    /// A builder with an explicit seed (e.g. to diversify per-structure).
+    pub const fn with_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for FxBuildHasher {
+    fn default() -> Self {
+        Self::with_seed(DEFAULT_SEED)
+    }
+}
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher { hash: self.seed }
+    }
+}
+
+/// A `HashMap` using the fast deterministic hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fast deterministic hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        for v in [0u64, 1, 64, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(hash_of(&v), hash_of(&v));
+        }
+    }
+
+    #[test]
+    fn nearby_line_addresses_spread() {
+        // Line addresses differ in low bits times 64; the hashes must not
+        // collide in the low bits the table index uses.
+        let hashes: std::collections::HashSet<u64> =
+            (0..10_000u64).map(|i| hash_of(&(i * 64)) & 0xFFFF).collect();
+        assert!(hashes.len() > 9_000, "only {} distinct low-16 values", hashes.len());
+    }
+
+    #[test]
+    fn seeds_change_the_hash() {
+        let a = FxBuildHasher::with_seed(1).hash_one(42u64);
+        let b = FxBuildHasher::with_seed(2).hash_one(42u64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unaligned_byte_tails_hash_differently() {
+        let a = FxBuildHasher::default().hash_one([1u8, 2, 3].as_slice());
+        let b = FxBuildHasher::default().hash_one([1u8, 2, 3, 0].as_slice());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+    }
+}

@@ -18,7 +18,9 @@ pub mod alloc;
 pub mod error;
 pub mod event;
 pub mod faultinject;
+pub mod fxhash;
 pub mod loc;
+pub mod par;
 pub mod rng;
 pub mod serialize;
 pub mod stats;
@@ -27,6 +29,7 @@ pub mod trace;
 pub use alloc::{AddressSpace, Region};
 pub use error::ValidateError;
 pub use event::{Event, EventKind, PrestoreOp};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use loc::{FuncId, FuncInfo, FuncRegistry};
 pub use stats::Histogram;
 pub use trace::{ThreadTrace, TraceSet, Tracer};

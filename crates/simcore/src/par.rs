@@ -1,0 +1,183 @@
+//! A small scoped-thread job pool with deterministic result collection.
+//!
+//! No external dependencies: plain `std::thread::scope` workers pulling
+//! indices from a shared atomic counter (work-sharing). Results are
+//! returned **in input order** regardless of which worker computed them,
+//! so callers that serialize results (CSV/JSON writers) produce
+//! byte-identical output at any parallelism level.
+//!
+//! Nested use is safe and bounded: a process-wide permit counter caps the
+//! number of *extra* worker threads across all simultaneous [`map_indexed`]
+//! calls, so an outer loop over experiments and inner loops over sweep
+//! points share one budget instead of multiplying. When no permits are
+//! available the calling thread simply runs its loop serially — same
+//! results, no oversubscription.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Extra worker threads currently allowed process-wide (budget minus
+/// threads running). The calling thread never needs a permit.
+static EXTRA_PERMITS: AtomicUsize = AtomicUsize::new(0);
+
+/// The budget configured by [`set_parallelism`] (for reporting).
+static CONFIGURED: AtomicUsize = AtomicUsize::new(1);
+
+/// The number of hardware threads, or 1 when it cannot be determined.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Set the process-wide parallelism budget to `jobs` total threads
+/// (`jobs = 1` disables threading entirely). Call once, before spawning
+/// parallel work; calling while maps are in flight skews the budget.
+pub fn set_parallelism(jobs: usize) {
+    let jobs = jobs.max(1);
+    CONFIGURED.store(jobs, Ordering::Relaxed);
+    EXTRA_PERMITS.store(jobs - 1, Ordering::Relaxed);
+}
+
+/// The budget configured by the last [`set_parallelism`] call (default 1).
+pub fn parallelism() -> usize {
+    CONFIGURED.load(Ordering::Relaxed)
+}
+
+/// Take up to `want` extra-worker permits from the global budget.
+fn acquire_permits(want: usize) -> usize {
+    let mut cur = EXTRA_PERMITS.load(Ordering::Relaxed);
+    loop {
+        let take = want.min(cur);
+        if take == 0 {
+            return 0;
+        }
+        match EXTRA_PERMITS.compare_exchange_weak(
+            cur,
+            cur - take,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return take,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn release_permits(n: usize) {
+    if n > 0 {
+        EXTRA_PERMITS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Evaluate `f(0..n)` and return the results in index order.
+///
+/// Runs on the calling thread plus however many extra workers the global
+/// budget currently allows (possibly none). `f` must be deterministic for
+/// the output to be; the pool itself never reorders results.
+///
+/// # Examples
+///
+/// ```
+/// simcore::par::set_parallelism(4);
+/// let squares = simcore::par::map_indexed(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let helpers = acquire_permits(n - 1);
+    if helpers == 0 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let worker = |out: &mut Vec<(usize, T)>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        out.push((i, f(i)));
+    };
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..helpers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    worker(&mut out);
+                    out
+                })
+            })
+            .collect();
+        let mut own = Vec::new();
+        worker(&mut own);
+        for (i, v) in own {
+            slots[i] = Some(v);
+        }
+        for h in handles {
+            for (i, v) in h.join().expect("pool worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    release_permits(helpers);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The budget is process-global; serialize the tests that change it.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn serial_budget_runs_inline() {
+        let _g = LOCK.lock().unwrap();
+        set_parallelism(1);
+        let v = map_indexed(8, |i| i + 1);
+        assert_eq!(v, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn parallel_results_keep_input_order() {
+        let _g = LOCK.lock().unwrap();
+        set_parallelism(4);
+        // Uneven per-item cost to force out-of-order completion.
+        let v = map_indexed(64, |i| {
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            i * 3
+        });
+        assert_eq!(v, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+        set_parallelism(1);
+    }
+
+    #[test]
+    fn nested_maps_share_the_budget_and_stay_ordered() {
+        let _g = LOCK.lock().unwrap();
+        set_parallelism(3);
+        let v = map_indexed(4, |i| map_indexed(4, move |j| i * 10 + j));
+        for (i, inner) in v.into_iter().enumerate() {
+            assert_eq!(inner, (0..4).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+        // All permits returned.
+        assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 2);
+        set_parallelism(1);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let _g = LOCK.lock().unwrap();
+        set_parallelism(2);
+        assert_eq!(map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, |i| i), vec![0]);
+        set_parallelism(1);
+    }
+}

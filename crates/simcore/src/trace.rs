@@ -286,17 +286,23 @@ impl Tracer {
 /// assert!(err.to_string().contains("acquire"));
 /// ```
 pub fn validate(traces: &TraceSet, line_size: u64) -> Result<(), ValidateError> {
-    use std::collections::HashMap;
+    validate_threads(&traces.threads, line_size)
+}
+
+/// [`validate`] over a borrowed slice of per-thread traces — the zero-copy
+/// entry point used when no [`TraceSet`] wrapper exists (single-trace
+/// replay paths).
+pub fn validate_threads(threads: &[ThreadTrace], line_size: u64) -> Result<(), ValidateError> {
     // Count releases (atomics) per line across all threads.
-    let mut releases: HashMap<Addr, u32> = HashMap::new();
-    for t in &traces.threads {
+    let mut releases: crate::FxHashMap<Addr, u32> = crate::FxHashMap::default();
+    for t in threads {
         for ev in &t.events {
             if ev.kind == EventKind::Atomic {
                 *releases.entry(crate::align_down(ev.addr, line_size)).or_default() += 1;
             }
         }
     }
-    for (tid, t) in traces.threads.iter().enumerate() {
+    for (tid, t) in threads.iter().enumerate() {
         for (i, ev) in t.events.iter().enumerate() {
             match ev.kind {
                 EventKind::Read
