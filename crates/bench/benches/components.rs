@@ -127,14 +127,17 @@ fn tracer_throughput(c: &mut Criterion) {
 }
 
 fn engine_replay(c: &mut Criterion) {
-    use machine::{simulate_single, MachineConfig};
+    use machine::{simulate, MachineConfig};
 
     let mut g = c.benchmark_group("engine_replay");
     g.sample_size(10).measurement_time(Duration::from_secs(6));
 
     // Map-lookup-heavy replay: 1M events over a wide zipfian footprint, so
-    // the engine's per-line tables (hashed by address) dominate. This is
-    // the path the seeded Fx hasher replaced SipHash on.
+    // the engine's per-line state tables dominate. Replayed through the
+    // production entry point (`simulate` on a `TraceSet`), which interns
+    // line ids once per trace set and replays on flat tables — the same
+    // amortization a parameter sweep gets when it re-runs one memoized
+    // trace across many machine configs.
     let scattered = {
         let mut t = Tracer::with_capacity(1 << 20);
         let mut rng = SimRng::new(17);
@@ -144,11 +147,11 @@ fn engine_replay(c: &mut Criterion) {
             t.write(line, 64);
             t.read(z.sample(&mut rng) * 64, 8);
         }
-        t.finish()
+        simcore::TraceSet::new(vec![t.finish()])
     };
     let cfg = MachineConfig::machine_a();
     g.bench_function("scattered_1m_events", |b| {
-        b.iter(|| simulate_single(&cfg, &scattered).cycles);
+        b.iter(|| simulate(&cfg, &scattered).cycles);
     });
 
     // Step throughput on a sequential stream: large multi-line writes
@@ -159,10 +162,79 @@ fn engine_replay(c: &mut Criterion) {
             t.write(i * 1024, 1024);
             t.compute(2);
         }
-        t.finish()
+        simcore::TraceSet::new(vec![t.finish()])
     };
     g.bench_function("stream_1m_events", |b| {
-        b.iter(|| simulate_single(&cfg, &stream).cycles);
+        b.iter(|| simulate(&cfg, &stream).cycles);
+    });
+    g.finish();
+}
+
+fn intern_vs_hash(c: &mut Criterion) {
+    use machine::{simulate, simulate_reference, MachineConfig};
+
+    let mut g = c.benchmark_group("intern_vs_hash");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+
+    // Identical map-lookup-heavy workload to `engine_replay/scattered`,
+    // replayed through both engine monomorphisations: the flat id-indexed
+    // tables versus the hashed reference. The gap between the two rows is
+    // exactly what interning buys.
+    let traces = {
+        let mut t = Tracer::with_capacity(1 << 20);
+        let mut rng = SimRng::new(17);
+        let z = Zipfian::new(1 << 20, 0.99);
+        for _ in 0..500_000u64 {
+            let line = z.sample(&mut rng) * 64;
+            t.write(line, 64);
+            t.read(z.sample(&mut rng) * 64, 8);
+        }
+        simcore::TraceSet::new(vec![t.finish()])
+    };
+    let cfg = MachineConfig::machine_a();
+    g.bench_function(BenchmarkId::new("scattered_1m_events", "flat"), |b| {
+        b.iter(|| simulate(&cfg, &traces).cycles);
+    });
+    g.bench_function(BenchmarkId::new("scattered_1m_events", "hashed"), |b| {
+        b.iter(|| simulate_reference(&cfg, &traces).cycles);
+    });
+    g.finish();
+}
+
+fn nt_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nt_write_path");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+
+    // The allocating legacy API: every nt_write returns a fresh Vec of
+    // flushes (usually empty, but the allocation-per-call shows up at
+    // engine scale).
+    g.bench_function(BenchmarkId::new("nt_stream_64k", "alloc_per_call"), |b| {
+        b.iter(|| {
+            let mut wc = WriteCombiningBuffer::new(64, 10);
+            let mut flushes = 0usize;
+            for i in 0..65_536u64 {
+                flushes += wc.nt_write(i * 16, 16).len();
+            }
+            flushes + wc.flush_all().len()
+        });
+    });
+
+    // The caller-buffer API the engine uses: one Vec reused for the whole
+    // stream, cleared between calls.
+    g.bench_function(BenchmarkId::new("nt_stream_64k", "reused_buffer"), |b| {
+        b.iter(|| {
+            let mut wc = WriteCombiningBuffer::new(64, 10);
+            let mut buf = Vec::new();
+            let mut flushes = 0usize;
+            for i in 0..65_536u64 {
+                buf.clear();
+                wc.nt_write_into(i * 16, 16, &mut buf);
+                flushes += buf.len();
+            }
+            buf.clear();
+            wc.flush_all_into(&mut buf);
+            flushes + buf.len()
+        });
     });
     g.finish();
 }
@@ -201,6 +273,8 @@ criterion_group!(
     zipfian_sampling,
     tracer_throughput,
     engine_replay,
+    intern_vs_hash,
+    nt_write_path,
     dirtbuster_passes
 );
 criterion_main!(benches);

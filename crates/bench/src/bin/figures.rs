@@ -1,7 +1,8 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--json] [--chart] [--jobs N] [--timing] [--out DIR] [id ...]
+//! figures [--quick] [--json] [--chart] [--jobs N] [--timing]
+//!         [--baseline FILE] [--out DIR] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Results are printed as text tables
@@ -16,8 +17,15 @@
 //! byte-for-byte, and writes the wall-clock comparison to
 //! `BENCH_figures.json` in the output directory.
 //!
+//! `--baseline FILE` (requires `--timing`) compares the measured
+//! wall-clock against the `parallel_seconds` recorded in a previously
+//! committed `BENCH_figures.json` and fails if the run regressed by more
+//! than 20% — the CI guard that keeps the replay engine's interning wins
+//! from quietly eroding.
+//!
 //! Exit codes: `0` success, `1` I/O error, no matching experiment, or a
-//! `--timing` identity mismatch.
+//! `--timing` identity mismatch, `2` wall-clock regression vs
+//! `--baseline`.
 
 use ps_bench::runner::{self, TimedFigure};
 use ps_bench::{experiments, memo};
@@ -42,6 +50,9 @@ fn usage() -> ! {
                (default: available parallelism; 1 = serial)
   --timing     run serial then parallel, check outputs are byte-identical,
                write BENCH_figures.json to the output directory
+  --baseline FILE
+               with --timing: fail (exit 2) if this run's wall-clock is
+               more than 20% slower than FILE's parallel_seconds
   --out DIR    output directory (default: results/)"
     );
     std::process::exit(1);
@@ -66,6 +77,11 @@ fn main() {
         })
     };
     let out_dir = flag_value("--out").unwrap_or_else(|| "results".to_owned());
+    let baseline = flag_value("--baseline");
+    if baseline.is_some() && !timing {
+        eprintln!("--baseline needs --timing (it compares measured wall-clock)");
+        usage();
+    }
     let jobs = match flag_value("--jobs") {
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n >= 1 => n,
@@ -78,7 +94,7 @@ fn main() {
     };
     // Positional args are experiment ids; skip flag values.
     let flag_values: Vec<String> =
-        ["--out", "--jobs"].iter().filter_map(|f| flag_value(f)).collect();
+        ["--out", "--jobs", "--baseline"].iter().filter_map(|f| flag_value(f)).collect();
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -218,5 +234,44 @@ fn main() {
             eprintln!("--timing output mismatch in: {}", mismatched.join(", "));
             std::process::exit(1);
         }
+        if let Some(baseline_path) = baseline {
+            let text = match std::fs::read_to_string(&baseline_path) {
+                Ok(t) => t,
+                Err(e) => exit_io_error("read baseline", &baseline_path, e),
+            };
+            let Some(base_seconds) = json_f64_field(&text, "parallel_seconds") else {
+                eprintln!("baseline {baseline_path:?} has no \"parallel_seconds\" field");
+                std::process::exit(1);
+            };
+            let limit = base_seconds * REGRESSION_LIMIT;
+            if parallel_seconds > limit {
+                eprintln!(
+                    "wall-clock regression: {parallel_seconds:.2}s vs baseline \
+                     {base_seconds:.2}s (limit {limit:.2}s, +20%)"
+                );
+                std::process::exit(2);
+            }
+            println!(
+                "baseline: {parallel_seconds:.2}s within {limit:.2}s \
+                 (baseline {base_seconds:.2}s + 20%)"
+            );
+        }
     }
+}
+
+/// A timing run may be at most this factor slower than its `--baseline`.
+const REGRESSION_LIMIT: f64 = 1.20;
+
+/// Extract the number following `"key":` from a flat JSON document.
+///
+/// `BENCH_figures.json` is written by this binary with a fixed shape, so a
+/// scan is enough — no JSON dependency needed for the CI guard.
+fn json_f64_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

@@ -2,7 +2,64 @@
 
 use crate::replacement::{ReplacementKind, SetPolicy};
 use simcore::rng::SimRng;
-use simcore::{align_down, Addr};
+use simcore::{align_down, Addr, LineId};
+
+/// O(1) reverse index from dense [`LineId`]s to cache slots.
+///
+/// When a trace's lines have been interned (`simcore::intern`), the engine
+/// installs one of these per cache via [`Cache::set_id_index`]; lookups
+/// then go straight from a line's id to its slot instead of scanning the
+/// set's ways and comparing tags.
+///
+/// Entries are epoch-stamped: `reset` bumps the epoch, instantly
+/// invalidating every stale mapping without touching the (potentially
+/// multi-megabyte) slot array, so the index can be recycled across runs.
+#[derive(Debug, Clone, Default)]
+pub struct IdIndex {
+    epoch: u32,
+    /// Per line id: `(epoch << 32) | (slot + 1)`.
+    slots: Vec<u64>,
+}
+
+impl IdIndex {
+    /// An empty index (use [`IdIndex::reset`] to size it).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepare the index for a run over `lines` interned lines: all
+    /// previous mappings become invalid in O(1) via an epoch bump.
+    pub fn reset(&mut self, lines: usize) {
+        if self.slots.len() < lines {
+            self.slots.resize(lines, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrap (one bump per replay — takes ~4 billion runs):
+                // pay the O(lines) re-zero once and restart the clock.
+                self.slots.iter_mut().for_each(|s| *s = 0);
+                1
+            }
+        };
+    }
+
+    #[inline]
+    fn get(&self, id: LineId) -> Option<usize> {
+        let e = self.slots[id.index()];
+        ((e >> 32) as u32 == self.epoch).then(|| (e & 0xFFFF_FFFF) as usize - 1)
+    }
+
+    #[inline]
+    fn set(&mut self, id: LineId, slot: usize) {
+        self.slots[id.index()] = ((self.epoch as u64) << 32) | (slot as u64 + 1);
+    }
+
+    #[inline]
+    fn clear(&mut self, id: LineId) {
+        self.slots[id.index()] = 0;
+    }
+}
 
 /// Static geometry of a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +108,9 @@ pub struct Victim {
     pub line: Addr,
     /// Whether the line was dirty (must be written back).
     pub dirty: bool,
+    /// The line's dense id, when the cache has an [`IdIndex`] installed
+    /// ([`LineId::INVALID`] otherwise).
+    pub id: LineId,
 }
 
 /// Result of a cache access.
@@ -116,6 +176,9 @@ pub struct Cache {
     tags: Vec<Addr>,
     valid: Vec<bool>,
     dirty: Vec<bool>,
+    // Per-slot dense line id, meaningful only while `index` is installed.
+    ids: Vec<u32>,
+    index: Option<IdIndex>,
     policies: Vec<SetPolicy>,
     rng: SimRng,
     stats: CacheStats,
@@ -131,10 +194,30 @@ impl Cache {
             tags: vec![0; n],
             valid: vec![false; n],
             dirty: vec![false; n],
+            ids: vec![LineId::INVALID.0; n],
+            index: None,
             policies: (0..cfg.sets).map(|_| SetPolicy::new(cfg.replacement, cfg.ways)).collect(),
             rng: SimRng::new(seed),
             stats: CacheStats::default(),
         }
+    }
+
+    /// Install a [`LineId`] reverse index (already [`IdIndex::reset`] for
+    /// the trace's line count). From here on, the `*_id` operations resolve
+    /// residency in O(1) instead of scanning the set's ways.
+    ///
+    /// The cache must be empty (ids of already-resident lines are unknown),
+    /// and once installed, *only* the `*_id` operations may mutate contents
+    /// — the plain address-keyed ops would silently desynchronise the index.
+    pub fn install_id_index(&mut self, index: IdIndex) {
+        debug_assert_eq!(self.resident(), 0, "id index requires an empty cache");
+        self.index = Some(index);
+    }
+
+    /// Remove and return the installed [`IdIndex`] so a caller can recycle
+    /// its allocation for the next run.
+    pub fn take_id_index(&mut self) -> Option<IdIndex> {
+        self.index.take()
     }
 
     /// The cache geometry.
@@ -176,6 +259,33 @@ impl Cache {
         })
     }
 
+    /// Resolve residency through the id index when installed, falling back
+    /// to the tag scan otherwise. `line` must already be line-aligned.
+    #[inline]
+    fn find_by(&self, line: Addr, id: LineId) -> Option<(usize, usize)> {
+        debug_assert_eq!(line, self.line_of(line));
+        match &self.index {
+            Some(ix) => {
+                let slot = ix.get(id)?;
+                debug_assert_eq!(self.tags[slot], line);
+                debug_assert!(self.valid[slot]);
+                Some((slot / self.cfg.ways, slot % self.cfg.ways))
+            }
+            None => self.find(line),
+        }
+    }
+
+    /// The dense id to report for the line in `slot` (INVALID when no index
+    /// is installed).
+    #[inline]
+    fn id_in(&self, slot: usize) -> LineId {
+        if self.index.is_some() {
+            LineId(self.ids[slot])
+        } else {
+            LineId::INVALID
+        }
+    }
+
     /// Whether `line` (line-aligned) is resident.
     pub fn probe(&self, line: Addr) -> bool {
         self.find(self.line_of(line)).is_some()
@@ -193,7 +303,13 @@ impl Cache {
     /// evicted to make room.
     pub fn access(&mut self, addr: Addr, write: bool) -> AccessOutcome {
         let line = self.line_of(addr);
-        if let Some((set, way)) = self.find(line) {
+        self.access_id(line, LineId::INVALID, write)
+    }
+
+    /// [`Cache::access`] with a pre-aligned line and its dense id (pass
+    /// [`LineId::INVALID`] when no index is installed).
+    pub fn access_id(&mut self, line: Addr, id: LineId, write: bool) -> AccessOutcome {
+        if let Some((set, way)) = self.find_by(line, id) {
             self.stats.hits += 1;
             let s = self.slot(set, way);
             if write {
@@ -203,8 +319,40 @@ impl Cache {
             return AccessOutcome { hit: true, victim: None };
         }
         self.stats.misses += 1;
-        let victim = self.insert_internal(line, write);
+        let victim = self.insert_internal(line, id, write);
         AccessOutcome { hit: false, victim }
+    }
+
+    /// Fused probe-then-read: on a hit, count it and touch the replacement
+    /// state, exactly like `probe(line)` followed by `access(line, false)`;
+    /// on a miss, mutate *nothing* (no miss is counted, no fill happens) and
+    /// return `false` so the caller can take its miss path.
+    #[inline]
+    pub fn hit_read(&mut self, line: Addr, id: LineId) -> bool {
+        match self.find_by(line, id) {
+            Some((set, way)) => {
+                self.stats.hits += 1;
+                self.policies[set].on_access(way, self.cfg.ways);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fused probe-then-write: like [`Cache::hit_read`] but also sets the
+    /// dirty bit on a hit.
+    #[inline]
+    pub fn hit_write(&mut self, line: Addr, id: LineId) -> bool {
+        match self.find_by(line, id) {
+            Some((set, way)) => {
+                self.stats.hits += 1;
+                let s = self.slot(set, way);
+                self.dirty[s] = true;
+                self.policies[set].on_access(way, self.cfg.ways);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Insert `line` (line-aligned) with the given dirty state, bypassing
@@ -215,16 +363,21 @@ impl Cache {
     /// dirty bit is OR-ed.
     pub fn insert(&mut self, line: Addr, dirty: bool) -> Option<Victim> {
         let line = self.line_of(line);
-        if let Some((set, way)) = self.find(line) {
+        self.insert_id(line, LineId::INVALID, dirty)
+    }
+
+    /// [`Cache::insert`] with a pre-aligned line and its dense id.
+    pub fn insert_id(&mut self, line: Addr, id: LineId, dirty: bool) -> Option<Victim> {
+        if let Some((set, way)) = self.find_by(line, id) {
             let s = self.slot(set, way);
             self.dirty[s] |= dirty;
             self.policies[set].on_access(way, self.cfg.ways);
             return None;
         }
-        self.insert_internal(line, dirty)
+        self.insert_internal(line, id, dirty)
     }
 
-    fn insert_internal(&mut self, line: Addr, dirty: bool) -> Option<Victim> {
+    fn insert_internal(&mut self, line: Addr, id: LineId, dirty: bool) -> Option<Victim> {
         let set = self.set_of(line);
         // Prefer an invalid way.
         let way = (0..self.cfg.ways).find(|&w| !self.valid[self.slot(set, w)]);
@@ -233,10 +386,13 @@ impl Cache {
             None => {
                 let w = self.policies[set].victim(self.cfg.ways, &mut self.rng);
                 let s = self.slot(set, w);
-                let v = Victim { line: self.tags[s], dirty: self.dirty[s] };
+                let v = Victim { line: self.tags[s], dirty: self.dirty[s], id: self.id_in(s) };
                 self.stats.evictions += 1;
                 if v.dirty {
                     self.stats.dirty_evictions += 1;
+                }
+                if let Some(ix) = &mut self.index {
+                    ix.clear(LineId(self.ids[s]));
                 }
                 (w, Some(v))
             }
@@ -245,6 +401,11 @@ impl Cache {
         self.tags[s] = line;
         self.valid[s] = true;
         self.dirty[s] = dirty;
+        if let Some(ix) = &mut self.index {
+            debug_assert_ne!(id, LineId::INVALID, "id index installed but id-less op used");
+            ix.set(id, s);
+            self.ids[s] = id.0;
+        }
         self.policies[set].on_access(way, self.cfg.ways);
         victim
     }
@@ -256,7 +417,12 @@ impl Cache {
     /// writeback is actually produced).
     pub fn clean_line(&mut self, addr: Addr) -> bool {
         let line = self.line_of(addr);
-        if let Some((set, way)) = self.find(line) {
+        self.clean_line_id(line, LineId::INVALID)
+    }
+
+    /// [`Cache::clean_line`] with a pre-aligned line and its dense id.
+    pub fn clean_line_id(&mut self, line: Addr, id: LineId) -> bool {
+        if let Some((set, way)) = self.find_by(line, id) {
             let s = self.slot(set, way);
             if self.dirty[s] {
                 self.dirty[s] = false;
@@ -271,26 +437,54 @@ impl Cache {
     /// was resident.
     pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
         let line = self.line_of(addr);
-        self.find(line).map(|(set, way)| {
+        self.invalidate_id(line, LineId::INVALID)
+    }
+
+    /// [`Cache::invalidate`] with a pre-aligned line and its dense id.
+    pub fn invalidate_id(&mut self, line: Addr, id: LineId) -> Option<bool> {
+        self.find_by(line, id).map(|(set, way)| {
             let s = self.slot(set, way);
             self.valid[s] = false;
             let was_dirty = self.dirty[s];
             self.dirty[s] = false;
+            if let Some(ix) = &mut self.index {
+                ix.clear(LineId(self.ids[s]));
+            }
             was_dirty
         })
+    }
+
+    /// Whether the pre-aligned `line` with dense id `id` is resident.
+    #[inline]
+    pub fn probe_id(&self, line: Addr, id: LineId) -> bool {
+        self.find_by(line, id).is_some()
     }
 
     /// Evict everything, returning all resident lines in set order.
     pub fn flush_all(&mut self) -> Vec<Victim> {
         let mut out = Vec::new();
+        self.flush_all_into(&mut out);
+        out
+    }
+
+    /// [`Cache::flush_all`] into a caller-provided buffer (appended, not
+    /// cleared), so a replay loop can reuse one allocation across flushes.
+    ///
+    /// Victims are appended in ascending slot order — i.e. sorted by set
+    /// index, ways in order within a set — which is what makes whole-cache
+    /// flushes deterministic and their downstream device writes
+    /// byte-reproducible across runs.
+    pub fn flush_all_into(&mut self, out: &mut Vec<Victim>) {
         for s in 0..self.tags.len() {
             if self.valid[s] {
-                out.push(Victim { line: self.tags[s], dirty: self.dirty[s] });
+                out.push(Victim { line: self.tags[s], dirty: self.dirty[s], id: self.id_in(s) });
                 self.valid[s] = false;
                 self.dirty[s] = false;
+                if let Some(ix) = &mut self.index {
+                    ix.clear(LineId(self.ids[s]));
+                }
             }
         }
-        out
     }
 
     /// Iterate over resident dirty lines (diagnostics / end-of-run flush
@@ -302,6 +496,13 @@ impl Cache {
             .zip(self.dirty.iter())
             .filter(|((_, &v), &d)| v && d)
             .map(|((&t, _), _)| t)
+    }
+
+    /// Append all resident dirty lines to `out` in ascending slot order
+    /// (set-major), the same deterministic order as
+    /// [`Cache::flush_all_into`].
+    pub fn dirty_lines_into(&self, out: &mut Vec<Addr>) {
+        out.extend(self.dirty_lines());
     }
 
     /// Number of resident lines.
@@ -476,6 +677,87 @@ mod tests {
             c.access(i * 64, true);
         }
         assert!(c.resident() <= 8);
+    }
+
+    #[test]
+    fn fused_hit_ops_match_probe_then_access() {
+        let mut c = small(ReplacementKind::Lru);
+        // A fused miss mutates nothing — no miss counted, no fill.
+        assert!(!c.hit_read(0, LineId::INVALID));
+        assert!(!c.hit_write(0, LineId::INVALID));
+        assert_eq!(c.stats().misses, 0);
+        assert!(!c.probe(0));
+        c.access(0, false);
+        assert!(c.hit_read(0, LineId::INVALID));
+        assert!(!c.is_dirty(0));
+        assert!(c.hit_write(0, LineId::INVALID));
+        assert!(c.is_dirty(0));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn id_index_path_matches_plain_path() {
+        use simcore::LineInterner;
+        // Same access sequence through a plain cache and an id-indexed one
+        // (same seed): outcomes, stats, and flush order must be identical.
+        let cfg = CacheConfig::from_capacity(1024, 2, 64, ReplacementKind::NruRandom);
+        let mut plain = Cache::new(cfg, 9);
+        let mut indexed = Cache::new(cfg, 9);
+        let seq: Vec<(Addr, bool)> =
+            (0..500u64).map(|i| ((i.wrapping_mul(7) % 64) * 64, i % 3 == 0)).collect();
+        let mut interner = LineInterner::new(64);
+        for &(l, _) in &seq {
+            interner.intern(l);
+        }
+        let mut ix = IdIndex::new();
+        ix.reset(interner.len());
+        indexed.install_id_index(ix);
+        for &(line, write) in &seq {
+            let id = interner.id_of(line).unwrap();
+            let a = plain.access(line, write);
+            let b = indexed.access_id(line, id, write);
+            assert_eq!(a.hit, b.hit);
+            assert_eq!(
+                a.victim.map(|v| (v.line, v.dirty)),
+                b.victim.map(|v| (v.line, v.dirty))
+            );
+            if let Some(v) = b.victim {
+                assert_eq!(interner.id_of(v.line), Some(v.id), "victim carries its id");
+            }
+        }
+        assert_eq!(plain.stats(), indexed.stats());
+        let pf: Vec<_> = plain.flush_all().iter().map(|v| (v.line, v.dirty)).collect();
+        let mut buf = Vec::new();
+        indexed.flush_all_into(&mut buf);
+        let inf: Vec<_> = buf.iter().map(|v| (v.line, v.dirty)).collect();
+        assert_eq!(pf, inf, "flush order is slot order on both paths");
+    }
+
+    #[test]
+    fn id_index_epoch_reset_recycles() {
+        let cfg = CacheConfig::from_capacity(512, 2, 64, ReplacementKind::Lru);
+        let mut c = Cache::new(cfg, 1);
+        let mut ix = IdIndex::new();
+        ix.reset(4);
+        c.install_id_index(ix);
+        c.access_id(0, LineId(0), true);
+        assert!(c.probe_id(0, LineId(0)));
+        assert!(c.clean_line_id(0, LineId(0)));
+        assert_eq!(c.invalidate_id(0, LineId(0)), Some(false));
+        assert_eq!(c.invalidate_id(0, LineId(0)), None);
+        c.access_id(64, LineId(1), true);
+        // End of run: flush, recycle the index for a "new trace" where the
+        // same ids mean different lines.
+        let mut buf = Vec::new();
+        c.flush_all_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        let mut ix = c.take_id_index().unwrap();
+        ix.reset(4);
+        c.install_id_index(ix);
+        assert!(!c.probe_id(64, LineId(1)), "epoch bump invalidates stale mappings");
+        c.access_id(128, LineId(1), false);
+        assert!(c.probe_id(128, LineId(1)));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   capacity pressure — or a *demote* pre-store, which is exactly the
 //!   paper's trick for overlapping the drain with later instructions.
 
-use simcore::{Addr, Cycles};
+use simcore::{Addr, Cycles, LineId};
 use std::collections::VecDeque;
 
 /// One pending store (coalesced to cache-line granularity).
@@ -31,6 +31,11 @@ use std::collections::VecDeque;
 pub struct SbEntry {
     /// Line-aligned address.
     pub line: Addr,
+    /// Dense id of the line, when the pusher runs with interned traces
+    /// ([`LineId::INVALID`] otherwise). Carried so that drain cost
+    /// callbacks receive the id alongside the address and never need to
+    /// re-resolve it.
+    pub id: LineId,
     /// Cycle at which the store issued.
     pub issue: Cycles,
     /// Completion time of the drain, once the drain has been started.
@@ -96,8 +101,11 @@ pub struct StoreBuffer {
     /// start by `max(1, c / mlp)`.
     mlp: Cycles,
     /// Lines whose drains were scheduled (retired into the cache by the
-    /// engine when it collects them).
+    /// engine when it collects them). Only recorded while `track_retired`.
     retired: Vec<Addr>,
+    /// Whether retired lines are recorded at all (see
+    /// [`StoreBuffer::set_retired_tracking`]).
+    track_retired: bool,
 }
 
 impl StoreBuffer {
@@ -127,6 +135,39 @@ impl StoreBuffer {
             last_done: 0,
             mlp,
             retired: Vec::new(),
+            track_retired: true,
+        }
+    }
+
+    /// An empty, allocation-free stand-in buffer.
+    ///
+    /// Useful as the temporary value of a `mem::replace` dance when a
+    /// caller needs to move a real buffer out of a struct field: unlike
+    /// [`StoreBuffer::new`], this performs no heap allocation, so it is
+    /// free to construct on a per-event hot path. Pushing into it overflows
+    /// immediately (capacity 1, no backing storage is reserved).
+    pub fn placeholder() -> Self {
+        Self {
+            entries: VecDeque::new(),
+            cap: 1,
+            started: 0,
+            next_earliest: 0,
+            last_done: 0,
+            mlp: DEFAULT_MLP,
+            retired: Vec::new(),
+            track_retired: true,
+        }
+    }
+
+    /// Enable or disable recording of retired lines.
+    ///
+    /// The engine's replay loop schedules drains but never consumes the
+    /// retired list; with tracking off, drained lines are dropped instead
+    /// of being accumulated (and re-allocated) per event.
+    pub fn set_retired_tracking(&mut self, on: bool) {
+        self.track_retired = on;
+        if !on {
+            self.retired.clear();
         }
     }
 
@@ -172,6 +213,17 @@ impl StoreBuffer {
     /// drain has not started yet; `Ok(false)` means a new entry was
     /// allocated.
     pub fn try_push(&mut self, line: Addr, now: Cycles) -> Result<bool, StoreBufferOverflow> {
+        self.try_push_id(line, LineId::INVALID, now)
+    }
+
+    /// [`StoreBuffer::try_push`] with the line's dense id attached to the
+    /// entry, so drain cost callbacks get it back without re-resolving.
+    pub fn try_push_id(
+        &mut self,
+        line: Addr,
+        id: LineId,
+        now: Cycles,
+    ) -> Result<bool, StoreBufferOverflow> {
         if self
             .entries
             .iter()
@@ -183,7 +235,7 @@ impl StoreBuffer {
         if self.is_full() {
             return Err(StoreBufferOverflow { line, capacity: self.cap });
         }
-        self.entries.push_back(SbEntry { line, issue: now, drain_done: None });
+        self.entries.push_back(SbEntry { line, id, issue: now, drain_done: None });
         Ok(false)
     }
 
@@ -206,9 +258,19 @@ impl StoreBuffer {
     ///
     /// Returns the completion time of the latest drain (at least `now`).
     pub fn start_all(&mut self, now: Cycles, mut cost: impl FnMut(Addr) -> Cycles) -> Cycles {
+        self.start_all_id(now, |line, _| cost(line))
+    }
+
+    /// [`StoreBuffer::start_all`] with the cost callback receiving each
+    /// entry's dense line id alongside its address.
+    pub fn start_all_id(
+        &mut self,
+        now: Cycles,
+        mut cost: impl FnMut(Addr, LineId) -> Cycles,
+    ) -> Cycles {
         while self.started < self.entries.len() {
-            let line = self.entries[self.started].line;
-            let c = cost(line);
+            let e = self.entries[self.started];
+            let c = cost(e.line, e.id);
             self.schedule(self.started, now, c);
         }
         self.last_done.max(now)
@@ -226,12 +288,22 @@ impl StoreBuffer {
         now: Cycles,
         mut cost: impl FnMut(Addr) -> Cycles,
     ) -> Cycles {
+        self.demote_id(line, now, |l, _| cost(l))
+    }
+
+    /// [`StoreBuffer::demote`] with an id-aware cost callback.
+    pub fn demote_id(
+        &mut self,
+        line: Addr,
+        now: Cycles,
+        mut cost: impl FnMut(Addr, LineId) -> Cycles,
+    ) -> Cycles {
         let Some(pos) = self.entries.iter().position(|e| e.line == line) else {
             return now;
         };
         while self.started <= pos {
-            let l = self.entries[self.started].line;
-            let c = cost(l);
+            let e = self.entries[self.started];
+            let c = cost(e.line, e.id);
             self.schedule(self.started, now, c);
         }
         self.entries[pos].drain_done.unwrap_or(now)
@@ -239,9 +311,20 @@ impl StoreBuffer {
 
     /// Drain everything and empty the buffer (a fence). Returns the cycle
     /// at which the last drain completes — the fence cannot retire earlier.
-    pub fn drain_all(&mut self, now: Cycles, cost: impl FnMut(Addr) -> Cycles) -> Cycles {
-        let done = self.start_all(now, cost);
-        self.retired.extend(self.entries.iter().map(|e| e.line));
+    pub fn drain_all(&mut self, now: Cycles, mut cost: impl FnMut(Addr) -> Cycles) -> Cycles {
+        self.drain_all_id(now, |l, _| cost(l))
+    }
+
+    /// [`StoreBuffer::drain_all`] with an id-aware cost callback.
+    pub fn drain_all_id(
+        &mut self,
+        now: Cycles,
+        cost: impl FnMut(Addr, LineId) -> Cycles,
+    ) -> Cycles {
+        let done = self.start_all_id(now, cost);
+        if self.track_retired {
+            self.retired.extend(self.entries.iter().map(|e| e.line));
+        }
         self.entries.clear();
         self.started = 0;
         done
@@ -254,17 +337,28 @@ impl StoreBuffer {
     ///
     /// Panics if the buffer is empty.
     pub fn drain_head(&mut self, now: Cycles, mut cost: impl FnMut(Addr) -> Cycles) -> Cycles {
+        self.drain_head_id(now, |l, _| cost(l))
+    }
+
+    /// [`StoreBuffer::drain_head`] with an id-aware cost callback.
+    pub fn drain_head_id(
+        &mut self,
+        now: Cycles,
+        mut cost: impl FnMut(Addr, LineId) -> Cycles,
+    ) -> Cycles {
         assert!(!self.entries.is_empty(), "drain_head on empty buffer");
         let done = if self.started == 0 {
-            let line = self.entries[0].line;
-            let c = cost(line);
+            let e = self.entries[0];
+            let c = cost(e.line, e.id);
             self.schedule(0, now, c)
         } else {
             self.entries[0].drain_done.expect("started entries are scheduled")
         };
         let head = self.entries.pop_front().expect("not empty");
         self.started -= 1;
-        self.retired.push(head.line);
+        if self.track_retired {
+            self.retired.push(head.line);
+        }
         done
     }
 
@@ -274,7 +368,9 @@ impl StoreBuffer {
         while let Some(e) = self.entries.front() {
             match e.drain_done {
                 Some(d) if d <= now => {
-                    self.retired.push(e.line);
+                    if self.track_retired {
+                        self.retired.push(e.line);
+                    }
                     self.entries.pop_front();
                     self.started -= 1;
                 }
@@ -287,6 +383,12 @@ impl StoreBuffer {
     /// last call; the engine applies them to the cache hierarchy.
     pub fn take_retired(&mut self) -> Vec<Addr> {
         std::mem::take(&mut self.retired)
+    }
+
+    /// [`StoreBuffer::take_retired`] into a caller-provided buffer
+    /// (appended, not cleared), reusing its allocation.
+    pub fn take_retired_into(&mut self, out: &mut Vec<Addr>) {
+        out.append(&mut self.retired);
     }
 
     /// Completion time of the latest scheduled drain.

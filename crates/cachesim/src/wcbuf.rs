@@ -64,17 +64,27 @@ impl WriteCombiningBuffer {
     ///
     /// Returns the flushes this store triggered (completed lines, plus any
     /// partial buffer evicted to make room).
+    ///
+    /// Allocates a fresh `Vec` per call; replay loops should prefer
+    /// [`WriteCombiningBuffer::nt_write_into`] with a reused buffer.
     pub fn nt_write(&mut self, addr: Addr, len: u64) -> Vec<WcFlush> {
         let mut flushes = Vec::new();
+        self.nt_write_into(addr, len, &mut flushes);
+        flushes
+    }
+
+    /// [`WriteCombiningBuffer::nt_write`] into a caller-provided buffer
+    /// (appended, not cleared), so a hot loop issuing millions of NT stores
+    /// reuses one allocation instead of building a `Vec` per store.
+    pub fn nt_write_into(&mut self, addr: Addr, len: u64, flushes: &mut Vec<WcFlush>) {
         let mut cur = addr;
         let end = addr + len;
         while cur < end {
             let line = align_down(cur, self.line_size);
             let chunk = (line + self.line_size - cur).min(end - cur);
-            self.fill(line, chunk, &mut flushes);
+            self.fill(line, chunk, flushes);
             cur += chunk;
         }
-        flushes
     }
 
     fn fill(&mut self, line: Addr, bytes: u64, flushes: &mut Vec<WcFlush>) {
@@ -105,16 +115,21 @@ impl WriteCombiningBuffer {
 
     /// Flush all open buffers (an `sfence` after an NT-store sequence).
     pub fn flush_all(&mut self) -> Vec<WcFlush> {
-        self.open
-            .drain(..)
-            .map(|(l, filled)| {
-                if filled >= self.line_size {
-                    WcFlush::Full(l)
-                } else {
-                    WcFlush::Partial(l, filled)
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.flush_all_into(&mut out);
+        out
+    }
+
+    /// [`WriteCombiningBuffer::flush_all`] into a caller-provided buffer
+    /// (appended, not cleared). Buffers flush oldest-first.
+    pub fn flush_all_into(&mut self, out: &mut Vec<WcFlush>) {
+        out.extend(self.open.drain(..).map(|(l, filled)| {
+            if filled >= self.line_size {
+                WcFlush::Full(l)
+            } else {
+                WcFlush::Partial(l, filled)
+            }
+        }));
     }
 
     /// Number of open (partially filled) buffers.

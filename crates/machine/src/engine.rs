@@ -29,10 +29,13 @@
 use crate::config::{MachineConfig, MemModel};
 use crate::error::{BlockedAcquire, EngineError};
 use crate::stats::{CoreStats, RunStats};
+use crate::tables::{take_scratch, FlatTables, HashTables, LineTables};
 use cachesim::{Cache, StoreBuffer, WriteCombiningBuffer};
 use cachesim::wcbuf::WcFlush;
 use memdev::{Device, MemDevice};
-use simcore::{blocks_touched, Addr, CoreId, Cycles, EventKind, FxHashMap, ThreadTrace, TraceSet};
+use simcore::{
+    blocks_touched, Addr, CoreId, Cycles, EventKind, InternedTraces, LineId, ThreadTrace, TraceSet,
+};
 
 /// Floor added to the derived step budget so tiny traces with legitimate
 /// acquire retries never trip the watchdog.
@@ -57,30 +60,38 @@ struct CoreState {
     /// Next expected line of each detected read stream (hardware stream
     /// prefetcher state).
     streams: std::collections::VecDeque<Addr>,
-    /// Acquire this core is blocked on: (line, release sequence number).
-    blocked: Option<(Addr, u32)>,
+    /// Acquire this core is blocked on: (line, id, release sequence
+    /// number).
+    blocked: Option<(Addr, LineId, u32)>,
 }
 
 /// The replay engine. Create one per run via [`simulate`].
-pub struct Engine<'a> {
+///
+/// Generic over its per-line state representation: [`FlatTables`] (dense
+/// [`LineId`]-indexed vectors fed by the trace's [`LineInterner`] — the
+/// default and production path) or [`HashTables`] (the pre-interning
+/// per-line hash maps, kept as the reference twin for equivalence tests
+/// and benchmarks). Both monomorphisations replay bit-identically.
+pub struct Engine<'a, T: LineTables = FlatTables> {
     cfg: &'a MachineConfig,
+    /// The traces' interned view: per-event streams of pre-resolved line
+    /// ids, read in lockstep with event splitting (never consulted on the
+    /// reference path).
+    interned: &'a InternedTraces,
     llc: Cache,
     device: Device,
-    /// Which core's L1 holds a line dirty.
-    owner: FxHashMap<Addr, CoreId>,
-    /// In-flight writebacks (line -> completion time) started by cleans.
-    wb_inflight: FxHashMap<Addr, Cycles>,
-    /// Lines whose non-temporal store is still in flight to memory
-    /// (line -> completion time). Reading one stalls until the data lands
-    /// and then pays the full device read — the §5/§7.2.1 penalty of
-    /// skipping the cache for data that is re-read.
-    nt_inflight: FxHashMap<Addr, Cycles>,
-    /// Per line: how many times it was released by an atomic, and when the
-    /// latest release happened (acquire/release replay synchronization).
-    releases: FxHashMap<Addr, (u32, Cycles)>,
-    /// Cycles attributed to each traced function.
-    func_cycles: FxHashMap<simcore::FuncId, Cycles>,
+    /// Per-line bookkeeping: dirty-line ownership, in-flight writebacks
+    /// (started by cleans), in-flight non-temporal stores (reading one
+    /// stalls until the data lands and then pays the full device read —
+    /// the §5/§7.2.1 penalty of skipping the cache for data that is
+    /// re-read), release sequencing for acquire/release replay
+    /// synchronization, and per-function cycle attribution.
+    tables: T,
     cores: Vec<CoreState>,
+    /// Reused buffer for write-combining flushes (cleared per use).
+    wc_buf: Vec<WcFlush>,
+    /// Reused buffer for end-of-run residual dirty lines.
+    residual: Vec<Addr>,
 }
 
 /// Replay `traces` on the machine described by `cfg`.
@@ -92,7 +103,8 @@ pub struct Engine<'a> {
 /// error instead; unlike this function, it also validates the traces
 /// statically first.
 pub fn simulate(cfg: &MachineConfig, traces: &TraceSet) -> RunStats {
-    Engine::new(cfg, traces.threads.len()).run(&traces.threads)
+    let interned = traces.interned_for(cfg.line_size);
+    Engine::new_flat(cfg, &interned, traces.threads.len()).run(&traces.threads)
 }
 
 /// Replay a single-threaded trace.
@@ -102,7 +114,38 @@ pub fn simulate(cfg: &MachineConfig, traces: &TraceSet) -> RunStats {
 /// Panics with a formatted [`EngineError`] on replay failure; see
 /// [`try_simulate_single`] for the fallible form.
 pub fn simulate_single(cfg: &MachineConfig, trace: &ThreadTrace) -> RunStats {
-    Engine::new(cfg, 1).run(std::slice::from_ref(trace))
+    let interned = InternedTraces::from_threads(std::slice::from_ref(trace), cfg.line_size);
+    Engine::new_flat(cfg, &interned, 1).run(std::slice::from_ref(trace))
+}
+
+/// Replay `traces` through the hashed *reference* engine — the exact
+/// pre-interning data paths ([`HashTables`], no [`IdIndex`] on the
+/// caches). Bit-identical to [`simulate`] by construction; kept callable
+/// so the equivalence suite and the `intern_vs_hash` microbenchmark can
+/// always compare the two.
+///
+/// # Panics
+///
+/// Panics with a formatted [`EngineError`] on replay failure, like
+/// [`simulate`].
+pub fn simulate_reference(cfg: &MachineConfig, traces: &TraceSet) -> RunStats {
+    // The interned view is never consulted on the reference path.
+    let interned = InternedTraces::empty(cfg.line_size);
+    Engine::<HashTables>::new_reference(cfg, &interned, traces.threads.len())
+        .run(&traces.threads)
+}
+
+/// Fallible form of [`simulate_reference`] over borrowed threads.
+pub fn try_simulate_threads_reference(
+    cfg: &MachineConfig,
+    threads: &[ThreadTrace],
+) -> Result<RunStats, EngineError> {
+    if threads.is_empty() {
+        return Err(EngineError::EmptyTraceSet);
+    }
+    simcore::trace::validate_threads(threads, cfg.line_size)?;
+    let interned = InternedTraces::empty(cfg.line_size);
+    Engine::<HashTables>::new_reference(cfg, &interned, threads.len()).try_run(threads)
 }
 
 /// Validate and replay `traces`, returning a typed error instead of
@@ -142,8 +185,9 @@ pub fn try_simulate_threads(
     if threads.is_empty() {
         return Err(EngineError::EmptyTraceSet);
     }
-    simcore::trace::validate_threads(threads, cfg.line_size)?;
-    Engine::new(cfg, threads.len()).try_run(threads)
+    // Validation already walks every event; interning rides along for free.
+    let interned = simcore::trace::validate_and_intern(threads, cfg.line_size)?;
+    Engine::new_flat(cfg, &interned, threads.len()).try_run(threads)
 }
 
 /// A configured machine: the owned-config entry point to replay.
@@ -194,31 +238,74 @@ impl Machine {
     }
 }
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a MachineConfig, cores: usize) -> Self {
+impl<'a> Engine<'a, FlatTables> {
+    /// Build the production engine: flat tables recycled from this
+    /// thread's scratch set, an [`IdIndex`] installed on every cache.
+    fn new_flat(cfg: &'a MachineConfig, interned: &'a InternedTraces, cores: usize) -> Self {
+        debug_assert_eq!(interned.interner().line_size(), cfg.line_size);
+        let lines = interned.interner().len();
+        let mut scratch = take_scratch();
+        let mut flat = std::mem::take(&mut scratch.flat);
+        flat.reset(lines);
+        let mut engine = Self::with_tables(cfg, interned, cores, flat);
+        let mut install = |cache: &mut Cache| {
+            let mut ix = scratch.indices.pop().unwrap_or_default();
+            ix.reset(lines);
+            cache.install_id_index(ix);
+        };
+        install(&mut engine.llc);
+        for c in &mut engine.cores {
+            install(&mut c.l1);
+        }
+        engine.wc_buf = std::mem::take(&mut scratch.wc_buf);
+        engine.residual = std::mem::take(&mut scratch.residual);
+        engine
+    }
+}
+
+impl<'a> Engine<'a, HashTables> {
+    /// Build the hashed reference engine (the pre-interning data paths).
+    /// The interned view is carried but never consulted.
+    fn new_reference(cfg: &'a MachineConfig, interned: &'a InternedTraces, cores: usize) -> Self {
+        Self::with_tables(cfg, interned, cores, HashTables::default())
+    }
+}
+
+impl<'a, T: LineTables> Engine<'a, T> {
+    fn with_tables(
+        cfg: &'a MachineConfig,
+        interned: &'a InternedTraces,
+        cores: usize,
+        tables: T,
+    ) -> Self {
         assert!(cores > 0, "need at least one core");
         let cores = (0..cores)
-            .map(|i| CoreState {
-                now: 0,
-                sb: StoreBuffer::with_mlp(cfg.store_buffer_entries, cfg.sb_mlp),
-                l1: Cache::new(cfg.l1, cfg.seed ^ (i as u64).wrapping_mul(0x9E37)),
-                wc: WriteCombiningBuffer::new(cfg.line_size, cfg.wc_buffers),
-                stats: CoreStats::default(),
-                pc: 0,
-                streams: std::collections::VecDeque::with_capacity(STREAM_TRACKERS),
-                blocked: None,
+            .map(|i| {
+                let mut sb = StoreBuffer::with_mlp(cfg.store_buffer_entries, cfg.sb_mlp);
+                // The engine schedules drains but never consumes the
+                // retired-lines list; with tracking off it is never built.
+                sb.set_retired_tracking(false);
+                CoreState {
+                    now: 0,
+                    sb,
+                    l1: Cache::new(cfg.l1, cfg.seed ^ (i as u64).wrapping_mul(0x9E37)),
+                    wc: WriteCombiningBuffer::new(cfg.line_size, cfg.wc_buffers),
+                    stats: CoreStats::default(),
+                    pc: 0,
+                    streams: std::collections::VecDeque::with_capacity(STREAM_TRACKERS),
+                    blocked: None,
+                }
             })
             .collect();
         Self {
             cfg,
+            interned,
             llc: Cache::new(cfg.llc, cfg.seed ^ 0x5A5A),
             device: cfg.device.fresh(),
-            owner: FxHashMap::default(),
-            wb_inflight: FxHashMap::default(),
-            nt_inflight: FxHashMap::default(),
-            releases: FxHashMap::default(),
-            func_cycles: FxHashMap::default(),
+            tables,
             cores,
+            wc_buf: Vec::new(),
+            residual: Vec::new(),
         }
     }
 
@@ -233,7 +320,7 @@ impl<'a> Engine<'a> {
         self.cores
             .iter()
             .enumerate()
-            .filter_map(|(cid, c)| c.blocked.map(|(line, seq)| (cid, line, seq as u64)))
+            .filter_map(|(cid, c)| c.blocked.map(|(line, _, seq)| (cid, line, seq as u64)))
             .collect()
     }
 
@@ -259,9 +346,9 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 any_left = true;
-                if let Some((line, seq)) = core.blocked {
-                    match self.releases.get(&line) {
-                        Some(&(count, when)) if count >= seq => {
+                if let Some((line, id, seq)) = core.blocked {
+                    match self.tables.release_get(id, line) {
+                        Some((count, when)) if count >= seq => {
                             // The release happened: wake up at its time.
                             core.now = core.now.max(when);
                             core.blocked = None;
@@ -295,13 +382,14 @@ impl<'a> Engine<'a> {
                         .collect(),
                 });
             }
-            let ev = traces[cid].events[self.cores[cid].pc];
+            let idx = self.cores[cid].pc;
+            let ev = traces[cid].events[idx];
             self.cores[cid].pc += 1;
             let before = self.cores[cid].now;
-            self.step(cid, ev)?;
+            self.step(cid, ev, idx)?;
             let spent = self.cores[cid].now - before;
             if spent > 0 {
-                *self.func_cycles.entry(ev.func).or_insert(0) += spent;
+                self.tables.func_add(ev.func, spent);
             }
         }
         // Programs complete when their stores are globally visible.
@@ -314,16 +402,18 @@ impl<'a> Engine<'a> {
         // at simulation scale (the paper's 6.4 GB working sets make cache
         // residue negligible; our scaled ones do not).
         let line_size = self.cfg.line_size;
-        let mut residual: Vec<Addr> = Vec::new();
+        let mut residual = std::mem::take(&mut self.residual);
+        residual.clear();
         for c in &self.cores {
-            residual.extend(c.l1.dirty_lines());
+            c.l1.dirty_lines_into(&mut residual);
         }
-        residual.extend(self.llc.dirty_lines());
+        self.llc.dirty_lines_into(&mut residual);
         residual.sort_unstable();
         residual.dedup();
-        for line in residual {
+        for &line in &residual {
             self.device.receive_write(line, line_size);
         }
+        self.residual = residual;
         self.device.flush();
 
         let cpu_cycles = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
@@ -352,7 +442,7 @@ impl<'a> Engine<'a> {
             c.stats.cycles = c.now;
             cores_stats.push(c.stats);
         }
-        Ok(RunStats {
+        let stats = RunStats {
             cycles: cpu_cycles.max(media_busy),
             cpu_cycles,
             media_busy_cycles: media_busy,
@@ -360,44 +450,70 @@ impl<'a> Engine<'a> {
             l1,
             llc: *self.llc.stats(),
             device: dstats,
-            func_cycles: self.func_cycles.into_iter().collect(),
-        })
+            func_cycles: self.tables.take_func_cycles().into_iter().collect(),
+        };
+        // Hand the reusable allocations back for the next run on this
+        // thread (flat tables only; the reference tables drop them).
+        let mut indices = Vec::new();
+        if T::USE_IDS {
+            indices.extend(self.llc.take_id_index());
+            for c in &mut self.cores {
+                indices.extend(c.l1.take_id_index());
+            }
+        }
+        self.residual.clear();
+        self.wc_buf.clear();
+        self.tables.recycle(indices, self.wc_buf, self.residual);
+        Ok(stats)
     }
 
-    fn step(&mut self, cid: CoreId, ev: simcore::Event) -> Result<(), EngineError> {
+    /// The id at position `i` of an event's pre-resolved id run
+    /// ([`LineId::INVALID`] on the reference path, which never indexes the
+    /// empty stream).
+    #[inline]
+    fn pick(ids: &[LineId], i: usize) -> LineId {
+        if T::USE_IDS { ids[i] } else { LineId::INVALID }
+    }
+
+    fn step(&mut self, cid: CoreId, ev: simcore::Event, idx: usize) -> Result<(), EngineError> {
         let line_size = self.cfg.line_size;
+        // The pre-resolved line ids of this event, in splitting order. The
+        // borrow is against the trace's interned view (`'a`), not `self`,
+        // so it stays usable across the `&mut self` calls below.
+        let ids: &'a [LineId] =
+            if T::USE_IDS { self.interned.ids_for(cid, idx) } else { &[] };
         match ev.kind {
             EventKind::Compute => {
                 self.cores[cid].now += ev.addr;
             }
             EventKind::Read => {
                 let mut lines = 0u64;
-                for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
-                    self.read_line(cid, line);
+                for (i, line) in blocks_touched(ev.addr, ev.size as u64, line_size).enumerate() {
+                    self.read_line(cid, line, Self::pick(ids, i));
                     lines += 1;
                 }
                 self.cores[cid].stats.read_lines += lines;
             }
             EventKind::Write => {
                 let mut lines = 0u64;
-                for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
-                    self.write_line(cid, line)?;
+                for (i, line) in blocks_touched(ev.addr, ev.size as u64, line_size).enumerate() {
+                    self.write_line(cid, line, Self::pick(ids, i))?;
                     lines += 1;
                 }
                 self.cores[cid].stats.write_lines += lines;
             }
             EventKind::NtWrite => {
-                self.nt_write(cid, ev.addr, ev.size as u64);
+                self.nt_write(cid, ev.addr, ev.size as u64, ids);
             }
             EventKind::PrestoreClean => {
-                for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
-                    self.prestore_clean(cid, line);
+                for (i, line) in blocks_touched(ev.addr, ev.size as u64, line_size).enumerate() {
+                    self.prestore_clean(cid, line, Self::pick(ids, i));
                 }
                 self.cores[cid].stats.prestores += 1;
             }
             EventKind::PrestoreDemote => {
-                for line in blocks_touched(ev.addr, ev.size as u64, line_size) {
-                    self.prestore_demote(cid, line);
+                for (i, line) in blocks_touched(ev.addr, ev.size as u64, line_size).enumerate() {
+                    self.prestore_demote(cid, line, Self::pick(ids, i));
                 }
                 self.cores[cid].stats.prestores += 1;
             }
@@ -407,25 +523,25 @@ impl<'a> Engine<'a> {
                 self.cores[cid].stats.fences += 1;
             }
             EventKind::Atomic => {
-                self.atomic(cid, ev.addr);
+                let line = simcore::align_down(ev.addr, line_size);
+                let id = Self::pick(ids, 0);
+                self.atomic(cid, line, id);
                 // An atomic releases its line for acquire/release replay
                 // synchronization.
-                let line = simcore::align_down(ev.addr, line_size);
                 let now = self.cores[cid].now;
-                let e = self.releases.entry(line).or_insert((0, 0));
-                e.0 += 1;
-                e.1 = now;
+                self.tables.release_bump(id, line, now);
             }
             EventKind::Acquire => {
                 let line = simcore::align_down(ev.addr, line_size);
+                let id = Self::pick(ids, 0);
                 let seq = ev.size;
-                match self.releases.get(&line) {
-                    Some(&(count, when)) if count >= seq => {
+                match self.tables.release_get(id, line) {
+                    Some((count, when)) if count >= seq => {
                         self.cores[cid].now = self.cores[cid].now.max(when);
                     }
                     _ => {
                         // Not yet released: block and retry this event.
-                        self.cores[cid].blocked = Some((line, seq));
+                        self.cores[cid].blocked = Some((line, id, seq));
                         self.cores[cid].pc -= 1;
                     }
                 }
@@ -435,8 +551,8 @@ impl<'a> Engine<'a> {
     }
 
     /// Insert a line into the LLC, writing any dirty victim to the device.
-    fn llc_insert(&mut self, line: Addr, dirty: bool) {
-        if let Some(v) = self.llc.insert(line, dirty) {
+    fn llc_insert(&mut self, line: Addr, id: LineId, dirty: bool) {
+        if let Some(v) = self.llc.insert_id(line, id, dirty) {
             if v.dirty {
                 self.device.receive_write(v.line, self.cfg.line_size);
             }
@@ -445,18 +561,18 @@ impl<'a> Engine<'a> {
 
     /// Fill a line into `cid`'s L1 (counting the miss), spilling any dirty
     /// victim to the LLC.
-    fn l1_fill(&mut self, cid: CoreId, line: Addr, dirty: bool) {
-        let victim = self.cores[cid].l1.access(line, dirty).victim;
+    fn l1_fill(&mut self, cid: CoreId, line: Addr, id: LineId, dirty: bool) {
+        let victim = self.cores[cid].l1.access_id(line, id, dirty).victim;
         if let Some(v) = victim {
-            if self.owner.get(&v.line) == Some(&cid) {
-                self.owner.remove(&v.line);
+            if self.tables.owner_get(v.id, v.line) == Some(cid) {
+                self.tables.owner_clear(v.id, v.line);
             }
             if v.dirty {
-                self.llc_insert(v.line, true);
+                self.llc_insert(v.line, v.id, true);
             }
         }
         if dirty {
-            self.owner.insert(line, cid);
+            self.tables.owner_set(id, line, cid);
         }
     }
 
@@ -483,7 +599,7 @@ impl<'a> Engine<'a> {
     /// that continues a tracked stream costs `latency / STREAM_MLP` instead
     /// of the full latency, reflecting the prefetch fills the hardware
     /// keeps in flight ahead of a streaming reader.
-    fn read_line(&mut self, cid: CoreId, line: Addr) {
+    fn read_line(&mut self, cid: CoreId, line: Addr, id: LineId) {
         let costs = self.cfg.costs;
         // Store-to-load forwarding: an un-drained entry in the own store
         // buffer means the data is right here.
@@ -491,28 +607,30 @@ impl<'a> Engine<'a> {
             self.cores[cid].now += costs.l1_hit;
             return;
         }
-        if self.cores[cid].l1.probe(line) {
+        // Fused probe-and-touch: on a miss nothing is mutated, so the
+        // fall-through paths below behave exactly like the historical
+        // probe-then-access pair.
+        if self.cores[cid].l1.hit_read(line, id) {
             self.cores[cid].now += costs.l1_hit;
-            self.cores[cid].l1.access(line, false);
             return;
         }
         // A non-temporal store to this line may still be in flight: wait
         // for it to land, then fetch from the device at full latency.
-        if let Some(&done) = self.nt_inflight.get(&line) {
+        if let Some(done) = self.tables.nt_get(id, line) {
             let now = self.cores[cid].now;
             if done > now {
                 self.cores[cid].stats.writeback_stall_cycles += done - now;
                 self.cores[cid].now = done;
             }
-            self.nt_inflight.remove(&line);
+            self.tables.nt_clear(id, line);
             self.cores[cid].now += self.device.read_latency() + self.device.fault_stall();
             self.device.receive_read(line, self.cfg.line_size);
-            self.llc_insert(line, false);
-            self.l1_fill(cid, line, false);
+            self.llc_insert(line, id, false);
+            self.l1_fill(cid, line, id, false);
             return;
         }
         let streamed = self.stream_check(cid, line);
-        if let Some(&o) = self.owner.get(&line) {
+        if let Some(o) = self.tables.owner_get(id, line) {
             if o != cid {
                 // Dirty in a remote L1: directory lookup + transfer.
                 let cost = self.device.directory_latency() + costs.remote_transfer;
@@ -521,25 +639,24 @@ impl<'a> Engine<'a> {
                 // disagree. Treat the line as clean (the safe accounting:
                 // no spurious writeback) but flag the inconsistency in
                 // debug builds instead of silently defaulting.
-                let dirty = self.cores[o].l1.invalidate(line).unwrap_or_else(|| {
+                let dirty = self.cores[o].l1.invalidate_id(line, id).unwrap_or_else(|| {
                     debug_assert!(
                         false,
                         "owner map names core {o} for line {line:#x} but its L1 has no copy"
                     );
                     false
                 });
-                self.owner.remove(&line);
-                self.llc_insert(line, dirty);
+                self.tables.owner_clear(id, line);
+                self.llc_insert(line, id, dirty);
                 self.cores[cid].now += cost;
-                self.l1_fill(cid, line, false);
+                self.l1_fill(cid, line, id, false);
                 return;
             }
         }
-        if self.llc.probe(line) {
+        if self.llc.hit_read(line, id) {
             let cost = if streamed { (costs.llc_hit / 4).max(costs.l1_hit) } else { costs.llc_hit };
             self.cores[cid].now += cost;
-            self.llc.access(line, false);
-            self.l1_fill(cid, line, false);
+            self.l1_fill(cid, line, id, false);
             return;
         }
         // Device read. An injected transient fault stalls the whole
@@ -548,15 +665,15 @@ impl<'a> Engine<'a> {
         let cost = if streamed { (lat / STREAM_MLP).max(costs.l1_hit) } else { lat };
         self.cores[cid].now += cost + self.device.fault_stall();
         self.device.receive_read(line, self.cfg.line_size);
-        self.llc_insert(line, false);
-        self.l1_fill(cid, line, false);
+        self.llc_insert(line, id, false);
+        self.l1_fill(cid, line, id, false);
     }
 
     /// Cost of acquiring `line` for writing, applying the cache effects.
     ///
     /// Called when a store-buffer entry drains: the line lands dirty in the
     /// core's L1.
-    fn acquire_for_write(&mut self, cid: CoreId, line: Addr) -> Cycles {
+    fn acquire_for_write(&mut self, cid: CoreId, line: Addr, id: LineId) -> Cycles {
         let costs = self.cfg.costs;
         // Under a weak model the coherence directory lives on the cached
         // device and has no on-die cache: *every* visibility event pays a
@@ -567,10 +684,9 @@ impl<'a> Engine<'a> {
         } else {
             0
         };
-        if self.cores[cid].l1.probe(line) {
-            let already_owner = self.owner.get(&line) == Some(&cid);
-            self.cores[cid].l1.access(line, true);
-            self.owner.insert(line, cid);
+        if self.cores[cid].l1.hit_write(line, id) {
+            let already_owner = self.tables.owner_get(id, line) == Some(cid);
+            self.tables.owner_set(id, line, cid);
             return if already_owner {
                 costs.l1_hit + visibility_floor
             } else {
@@ -578,62 +694,62 @@ impl<'a> Engine<'a> {
                 costs.l1_hit + self.device.directory_latency()
             };
         }
-        if let Some(&o) = self.owner.get(&line) {
+        if let Some(o) = self.tables.owner_get(id, line) {
             if o != cid {
                 // Same invariant as in `read_line`: an entry in the owner
                 // map implies a resident L1 copy on that core. Default to
                 // clean on disagreement, loudly in debug builds.
-                let dirty = self.cores[o].l1.invalidate(line).unwrap_or_else(|| {
+                let dirty = self.cores[o].l1.invalidate_id(line, id).unwrap_or_else(|| {
                     debug_assert!(
                         false,
                         "owner map names core {o} for line {line:#x} but its L1 has no copy"
                     );
                     false
                 });
-                self.owner.remove(&line);
-                self.llc_insert(line, dirty);
-                self.l1_fill(cid, line, true);
+                self.tables.owner_clear(id, line);
+                self.llc_insert(line, id, dirty);
+                self.l1_fill(cid, line, id, true);
                 return self.device.directory_latency() + costs.remote_transfer;
             }
         }
-        if self.llc.probe(line) {
-            self.llc.access(line, false);
-            self.l1_fill(cid, line, true);
+        if self.llc.hit_read(line, id) {
+            self.l1_fill(cid, line, id, true);
             return costs.llc_hit + self.device.directory_latency();
         }
         // Write-allocate: read the full line from the device (RFO), plus
         // the directory update — and any injected transient-fault stall.
         let stall = self.device.fault_stall();
         self.device.receive_read(line, self.cfg.line_size);
-        self.llc_insert(line, false);
-        self.l1_fill(cid, line, true);
+        self.llc_insert(line, id, false);
+        self.l1_fill(cid, line, id, true);
         self.device.read_latency() + self.device.directory_latency() + stall
     }
 
     /// Start the drains of all pending store-buffer entries of `cid`.
     fn start_drains(&mut self, cid: CoreId) -> Cycles {
-        let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+        // `placeholder()` performs no allocation, unlike `new(1)`, so this
+        // swap dance is free on the per-event hot path.
+        let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
         let now = self.cores[cid].now;
-        let done = sb.start_all(now, |line| self.acquire_for_write(cid, line));
+        let done = sb.start_all_id(now, |line, id| self.acquire_for_write(cid, line, id));
         sb.collect_completed(now);
-        let _ = sb.take_retired();
         self.cores[cid].sb = sb;
         done
     }
 
     /// Execute one line store.
-    fn write_line(&mut self, cid: CoreId, line: Addr) -> Result<(), EngineError> {
+    fn write_line(&mut self, cid: CoreId, line: Addr, id: LineId) -> Result<(), EngineError> {
         let costs = self.cfg.costs;
         self.cores[cid].now += costs.store_issue;
         // Rewriting a line whose clean-initiated writeback is in flight
         // stalls until the writeback completes (the Listing-3 pitfall).
-        if let Some(&done) = self.wb_inflight.get(&line) {
+        if let Some(done) = self.tables.wb_get(id, line) {
             let now = self.cores[cid].now;
             if done > now {
                 self.cores[cid].stats.writeback_stall_cycles += done - now;
                 self.cores[cid].now = done;
             }
-            self.wb_inflight.remove(&line);
+            self.tables.wb_clear(id, line);
         }
         // Capacity pressure: the hardware drains the whole buffer in the
         // background once it fills; the pipeline waits for the head slot.
@@ -642,10 +758,9 @@ impl<'a> Engine<'a> {
             // already completed in the past; only wait if still full.
             self.start_drains(cid);
             if self.cores[cid].sb.is_full() {
-                let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+                let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
                 let now = self.cores[cid].now;
-                let done = sb.drain_head(now, |l| self.acquire_for_write(cid, l));
-                let _ = sb.take_retired();
+                let done = sb.drain_head_id(now, |l, i| self.acquire_for_write(cid, l, i));
                 self.cores[cid].sb = sb;
                 if done > self.cores[cid].now {
                     self.cores[cid].stats.sb_pressure_stall_cycles += done - self.cores[cid].now;
@@ -657,37 +772,48 @@ impl<'a> Engine<'a> {
         // The forced head drain above always makes room, so an overflow
         // here means the engine's buffer bookkeeping is corrupt — report
         // it as a typed error rather than unwinding mid-replay.
-        self.cores[cid].sb.try_push(line, now).map_err(|e| EngineError::StoreBufferOverflow {
-            core: cid,
-            line: e.line,
-            capacity: e.capacity,
+        self.cores[cid].sb.try_push_id(line, id, now).map_err(|e| {
+            EngineError::StoreBufferOverflow {
+                core: cid,
+                line: e.line,
+                capacity: e.capacity,
+            }
         })?;
         if self.cfg.mem_model == MemModel::Tso {
             // TSO: drains begin immediately (in order) in the background.
             self.start_drains(cid);
         }
         self.cores[cid].sb.collect_completed(now);
-        let _ = self.cores[cid].sb.take_retired();
         Ok(())
     }
 
     /// Non-temporal store: bypass the caches through the WC buffers.
-    fn nt_write(&mut self, cid: CoreId, addr: Addr, size: u64) {
+    /// `ids` is the event's pre-resolved id run (one per touched line).
+    fn nt_write(&mut self, cid: CoreId, addr: Addr, size: u64, ids: &[LineId]) {
         let line_size = self.cfg.line_size;
         let mut lines = 0u64;
-        for line in blocks_touched(addr, size, line_size) {
+        for (i, line) in blocks_touched(addr, size, line_size).enumerate() {
+            let id = Self::pick(ids, i);
             // NT stores invalidate any cached copy.
-            if let Some(true) = self.cores[cid].l1.invalidate(line) {
-                self.owner.remove(&line);
+            if let Some(true) = self.cores[cid].l1.invalidate_id(line, id) {
+                self.tables.owner_clear(id, line);
             }
-            self.llc.invalidate(line);
+            self.llc.invalidate_id(line, id);
             self.cores[cid].now += self.cfg.costs.store_issue;
-            self.note_nt_write(cid, line);
+            // The line was NT-written now; its flush completes one device
+            // write latency later.
+            let done = self.cores[cid].now + self.device.write_latency();
+            self.tables.nt_set(id, line, done);
             lines += 1;
         }
         self.cores[cid].stats.write_lines += lines;
-        let flushes = self.cores[cid].wc.nt_write(addr, size);
-        self.apply_wc_flushes(&flushes);
+        // Reuse one flush buffer for the whole run instead of allocating a
+        // Vec per NT store (`mem::take` of a Vec moves, never allocates).
+        let mut buf = std::mem::take(&mut self.wc_buf);
+        buf.clear();
+        self.cores[cid].wc.nt_write_into(addr, size, &mut buf);
+        self.apply_wc_flushes(&buf);
+        self.wc_buf = buf;
     }
 
     fn apply_wc_flushes(&mut self, flushes: &[WcFlush]) {
@@ -699,73 +825,66 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Record that `line` was NT-written at `now` (its flush completes one
-    /// device write latency later).
-    fn note_nt_write(&mut self, cid: CoreId, line: Addr) {
-        let done = self.cores[cid].now + self.device.write_latency();
-        self.nt_inflight.insert(line, done);
-    }
-
     /// A `clean` pre-store: write the dirty line back, keep it cached.
-    fn prestore_clean(&mut self, cid: CoreId, line: Addr) {
+    fn prestore_clean(&mut self, cid: CoreId, line: Addr, id: LineId) {
         self.cores[cid].now += self.cfg.costs.prestore_issue;
         // Order with respect to a pending private store: force its drain
         // (asynchronously) first, like a demote.
         let in_sb = self.cores[cid].sb.contains(line);
         if in_sb {
-            let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+            let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
             let now = self.cores[cid].now;
-            sb.demote(line, now, |l| self.acquire_for_write(cid, l));
-            let _ = sb.take_retired();
+            sb.demote_id(line, now, |l, i| self.acquire_for_write(cid, l, i));
             self.cores[cid].sb = sb;
         }
-        let dirty_l1 = self.cores[cid].l1.clean_line(line);
-        let dirty_llc = self.llc.clean_line(line);
+        let dirty_l1 = self.cores[cid].l1.clean_line_id(line, id);
+        let dirty_llc = self.llc.clean_line_id(line, id);
         if dirty_l1 || dirty_llc || in_sb {
             if dirty_l1 {
-                self.owner.remove(&line);
+                self.tables.owner_clear(id, line);
             }
             self.device.receive_write(line, self.cfg.line_size);
             let now = self.cores[cid].now;
             let ready = now + self.device.write_latency();
-            self.wb_inflight.insert(line, ready);
+            self.tables.wb_set(id, line, ready);
         }
     }
 
     /// A `demote` pre-store: push the line down to the shared level.
-    fn prestore_demote(&mut self, cid: CoreId, line: Addr) {
+    fn prestore_demote(&mut self, cid: CoreId, line: Addr, id: LineId) {
         self.cores[cid].now += self.cfg.costs.prestore_issue;
         // Start the background drain of the private store, if any.
         {
-            let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+            let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
             let now = self.cores[cid].now;
-            sb.demote(line, now, |l| self.acquire_for_write(cid, l));
-            let _ = sb.take_retired();
+            sb.demote_id(line, now, |l, i| self.acquire_for_write(cid, l, i));
             self.cores[cid].sb = sb;
         }
         // Push the data down to the shared level so other cores can hit
         // it there. ARM's `dc cvau` *cleans* to the point of unification:
         // the L1 keeps a (now clean) copy, so the producer's next write to
         // the same line still hits locally.
-        let was_dirty = self.cores[cid].l1.clean_line(line);
-        if was_dirty || self.cores[cid].l1.probe(line) {
-            self.owner.remove(&line);
-            self.llc_insert(line, was_dirty);
+        let was_dirty = self.cores[cid].l1.clean_line_id(line, id);
+        if was_dirty || self.cores[cid].l1.probe_id(line, id) {
+            self.tables.owner_clear(id, line);
+            self.llc_insert(line, id, was_dirty);
         }
     }
 
     /// Full fence: wait for every pending store to become visible, flush
     /// the WC buffers. Returns the stall in cycles.
     fn fence(&mut self, cid: CoreId) -> Cycles {
-        let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::new(1));
+        let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
         let now = self.cores[cid].now;
-        let done = sb.drain_all(now, |l| self.acquire_for_write(cid, l));
-        let _ = sb.take_retired();
+        let done = sb.drain_all_id(now, |l, i| self.acquire_for_write(cid, l, i));
         self.cores[cid].sb = sb;
         let stall = done.saturating_sub(now);
         self.cores[cid].now = now.max(done);
-        let flushes = self.cores[cid].wc.flush_all();
-        self.apply_wc_flushes(&flushes);
+        let mut buf = std::mem::take(&mut self.wc_buf);
+        buf.clear();
+        self.cores[cid].wc.flush_all_into(&mut buf);
+        self.apply_wc_flushes(&buf);
+        self.wc_buf = buf;
         stall
     }
 
@@ -774,19 +893,18 @@ impl<'a> Engine<'a> {
     /// The drain of the store buffer and the RFO of the atomic's own line
     /// are independent cache operations and overlap; the atomic retires
     /// when the slower of the two completes.
-    fn atomic(&mut self, cid: CoreId, addr: Addr) {
+    fn atomic(&mut self, cid: CoreId, line: Addr, id: LineId) {
         let start = self.cores[cid].now;
         let stall = self.fence(cid);
-        let line = simcore::align_down(addr, self.cfg.line_size);
-        if let Some(&done) = self.wb_inflight.get(&line) {
+        if let Some(done) = self.tables.wb_get(id, line) {
             let now = self.cores[cid].now;
             if done > now {
                 self.cores[cid].stats.writeback_stall_cycles += done - now;
                 self.cores[cid].now = done;
             }
-            self.wb_inflight.remove(&line);
+            self.tables.wb_clear(id, line);
         }
-        let rfo = self.acquire_for_write(cid, line);
+        let rfo = self.acquire_for_write(cid, line, id);
         // Overlap the drain stall with the RFO.
         self.cores[cid].now = (start + stall.max(rfo)).max(self.cores[cid].now - stall)
             + self.cfg.costs.atomic_op;

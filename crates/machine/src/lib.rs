@@ -34,8 +34,12 @@ pub mod engine;
 pub mod error;
 pub mod report;
 pub mod stats;
+pub mod tables;
 
 pub use config::{CostModel, MachineConfig, MemModel};
-pub use engine::{simulate, simulate_single, try_simulate, try_simulate_single, Engine, Machine};
+pub use engine::{
+    simulate, simulate_reference, simulate_single, try_simulate, try_simulate_single,
+    try_simulate_threads, try_simulate_threads_reference, Engine, Machine,
+};
 pub use error::{BlockedAcquire, EngineError};
 pub use stats::{CoreStats, RunStats};

@@ -1,0 +1,316 @@
+//! Dense line-id interning: map every line-aligned address a trace touches
+//! to a compact `u32` id, once, so the replay engine can index flat state
+//! tables instead of hashing on every event.
+//!
+//! Trace-driven simulators spend a surprising fraction of their time
+//! re-hashing the same line addresses (the engine consults up to five
+//! per-line maps per event). The set of distinct lines is fixed the moment
+//! a trace exists, so we pay one hash per *line occurrence* here — during
+//! validation, a pass that is already mandatory — and zero hashes during
+//! replay. The id space is dense (`0..len`), which is what makes
+//! epoch-stamped `Vec` state tables in `machine::engine` possible.
+//!
+//! The interning rules mirror the engine's event splitting exactly:
+//! accesses intern every line of [`crate::blocks_touched`], atomics and
+//! acquires intern the single line containing their address, fences and
+//! compute events intern nothing. If the engine touches a line, the
+//! interner knows it.
+
+use crate::{align_down, blocks_touched, Addr, Event, EventKind, FxHashMap, ThreadTrace};
+
+/// Dense identifier of a line-aligned address within one trace set.
+///
+/// Ids are assigned in first-touch order (thread-major, program order) and
+/// form a gap-free range `0..interner.len()`, so they can index plain
+/// `Vec`s. A [`LineId`] is only meaningful relative to the
+/// [`LineInterner`] that produced it.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineId(pub u32);
+
+impl LineId {
+    /// Sentinel for "no line" (never produced by an interner).
+    pub const INVALID: LineId = LineId(u32::MAX);
+
+    /// The id as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns line-aligned addresses to dense [`LineId`]s.
+///
+/// Built once per (trace set, line size) pair — either as a by-product of
+/// validation ([`crate::trace::validate_and_intern`]) or directly via
+/// [`LineInterner::from_threads`] — and then shared read-only by every
+/// replay of that trace.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::intern::LineInterner;
+/// use simcore::Tracer;
+///
+/// let mut t = Tracer::new();
+/// t.write(100, 64); // touches lines 64 and 128
+/// let interner = LineInterner::from_threads(&[t.finish()], 64);
+/// assert_eq!(interner.len(), 2);
+/// let id = interner.id_of(64).unwrap();
+/// assert_eq!(interner.line_of(id), 64);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LineInterner {
+    line_size: u64,
+    map: FxHashMap<Addr, LineId>,
+    lines: Vec<Addr>,
+}
+
+impl LineInterner {
+    /// Empty interner for `line_size`-byte lines (a power of two).
+    pub fn new(line_size: u64) -> Self {
+        debug_assert!(line_size.is_power_of_two());
+        Self { line_size, map: FxHashMap::default(), lines: Vec::new() }
+    }
+
+    /// The line size this interner splits on.
+    #[inline]
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of distinct lines interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no lines have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Intern a line-aligned address, assigning the next dense id on first
+    /// sight.
+    #[inline]
+    pub fn intern(&mut self, line: Addr) -> LineId {
+        debug_assert_eq!(line, align_down(line, self.line_size));
+        *self.map.entry(line).or_insert_with(|| {
+            let id = LineId(self.lines.len() as u32);
+            self.lines.push(line);
+            id
+        })
+    }
+
+    /// Intern the line containing an arbitrary address.
+    #[inline]
+    pub fn intern_addr(&mut self, addr: Addr) -> LineId {
+        self.intern(align_down(addr, self.line_size))
+    }
+
+    /// The id of a line-aligned address, if it was interned.
+    #[inline]
+    pub fn id_of(&self, line: Addr) -> Option<LineId> {
+        self.map.get(&line).copied()
+    }
+
+    /// The line address behind an id (panics on a foreign id).
+    #[inline]
+    pub fn line_of(&self, id: LineId) -> Addr {
+        self.lines[id.index()]
+    }
+
+    /// Intern every line `ev` will make the replay engine touch, using the
+    /// same splitting rules as the engine: accesses split into
+    /// [`blocks_touched`] lines, atomics and acquires resolve to the single
+    /// line containing their address, fences and compute events touch no
+    /// lines.
+    #[inline]
+    pub fn intern_event(&mut self, ev: &Event) {
+        self.intern_event_with(ev, |_| {});
+    }
+
+    /// [`LineInterner::intern_event`], invoking `sink` with the id of each
+    /// interned line, in the engine's splitting order. This is how
+    /// [`InternedTraces`] records the per-event id streams in the same
+    /// pass that builds the interner.
+    #[inline]
+    pub fn intern_event_with(&mut self, ev: &Event, mut sink: impl FnMut(LineId)) {
+        match ev.kind {
+            EventKind::Read
+            | EventKind::Write
+            | EventKind::NtWrite
+            | EventKind::PrestoreClean
+            | EventKind::PrestoreDemote => {
+                for line in blocks_touched(ev.addr, ev.size as u64, self.line_size) {
+                    sink(self.intern(line));
+                }
+            }
+            EventKind::Atomic | EventKind::Acquire => {
+                sink(self.intern_addr(ev.addr));
+            }
+            EventKind::Fence | EventKind::Compute => {}
+        }
+    }
+
+    /// Build an interner covering every line `threads` touch.
+    ///
+    /// Infallible companion to [`crate::trace::validate_and_intern`] for
+    /// replay paths that skip validation.
+    pub fn from_threads(threads: &[ThreadTrace], line_size: u64) -> Self {
+        let mut interner = Self::new(line_size);
+        for t in threads {
+            for ev in &t.events {
+                interner.intern_event(ev);
+            }
+        }
+        interner
+    }
+}
+
+/// Per-thread streams of pre-resolved [`LineId`]s, one run per event.
+#[derive(Debug, Default, Clone)]
+struct IdStream {
+    /// Every line id every event of the thread touches, flattened in
+    /// program order (the engine's splitting order within each event).
+    ids: Vec<LineId>,
+    /// `offsets[i]..offsets[i + 1]` indexes event `i`'s ids. One entry per
+    /// event plus a trailing end marker.
+    offsets: Vec<u32>,
+}
+
+/// A [`LineInterner`] together with per-event id streams for a fixed set
+/// of threads: every line id the replay engine will need, pre-resolved in
+/// replay order.
+///
+/// Resolving ids during replay would hash into a map sized by the trace's
+/// whole line footprint — cache-cold by construction, unlike the small
+/// resident-bounded per-line maps it replaces. Pre-resolving turns the hot
+/// loop's id lookups into a sequential, prefetch-friendly array walk; the
+/// one hash per line occurrence is paid here, in the same mandatory pass
+/// that validates (or first walks) the trace.
+#[derive(Debug, Default, Clone)]
+pub struct InternedTraces {
+    interner: LineInterner,
+    threads: Vec<IdStream>,
+}
+
+impl InternedTraces {
+    /// Intern `threads`, recording each event's id run.
+    pub fn from_threads(threads: &[ThreadTrace], line_size: u64) -> Self {
+        let mut this = Self::empty(line_size);
+        for t in threads {
+            this.push_thread(t);
+        }
+        this
+    }
+
+    /// An interner with no threads recorded (line size still fixed).
+    /// Building block for incremental construction — and the stand-in for
+    /// engine paths that never consult ids.
+    pub fn empty(line_size: u64) -> Self {
+        Self { interner: LineInterner::new(line_size), threads: Vec::new() }
+    }
+
+    /// Intern one more thread's events, appending its id stream.
+    pub fn push_thread(&mut self, t: &ThreadTrace) {
+        let mut s = IdStream {
+            ids: Vec::new(),
+            offsets: Vec::with_capacity(t.events.len() + 1),
+        };
+        for ev in &t.events {
+            s.offsets.push(s.ids.len() as u32);
+            self.interner.intern_event_with(ev, |id| s.ids.push(id));
+        }
+        s.offsets.push(s.ids.len() as u32);
+        self.threads.push(s);
+    }
+
+    /// The interner shared by all recorded threads.
+    #[inline]
+    pub fn interner(&self) -> &LineInterner {
+        &self.interner
+    }
+
+    /// The ids event `ev` of `thread` touches, in the engine's splitting
+    /// order: one id per [`blocks_touched`] line for accesses, exactly one
+    /// for atomics and acquires, none for fences and compute events.
+    #[inline]
+    pub fn ids_for(&self, thread: usize, ev: usize) -> &[LineId] {
+        let s = &self.threads[thread];
+        &s.ids[s.offsets[ev] as usize..s.offsets[ev + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = LineInterner::new(64);
+        let a = i.intern(0);
+        let b = i.intern(64);
+        let a2 = i.intern(0);
+        assert_eq!(a, LineId(0));
+        assert_eq!(b, LineId(1));
+        assert_eq!(a, a2);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.line_of(a), 0);
+        assert_eq!(i.line_of(b), 64);
+        assert_eq!(i.id_of(64), Some(b));
+        assert_eq!(i.id_of(128), None);
+    }
+
+    #[test]
+    fn event_rules_match_engine_splitting() {
+        let mut t = Tracer::new();
+        t.write(60, 10); // lines 0 and 64
+        t.atomic(130, 8); // line 128
+        t.acquire(129, 1); // line 128 again
+        t.fence(); // nothing
+        t.compute(1_000_000); // nothing (addr is a cycle count)
+        let i = LineInterner::from_threads(&[t.finish()], 64);
+        assert_eq!(i.len(), 3);
+        assert!(i.id_of(0).is_some());
+        assert!(i.id_of(64).is_some());
+        assert!(i.id_of(128).is_some());
+    }
+
+    #[test]
+    fn respects_line_size() {
+        let mut t = Tracer::new();
+        t.write(0, 256);
+        let tr = t.finish();
+        assert_eq!(LineInterner::from_threads(std::slice::from_ref(&tr), 64).len(), 4);
+        assert_eq!(LineInterner::from_threads(std::slice::from_ref(&tr), 128).len(), 2);
+    }
+
+    #[test]
+    fn interned_traces_stream_per_event_ids_in_split_order() {
+        let mut t = Tracer::new();
+        t.write(60, 10); // lines 0 and 64
+        t.fence(); // no ids
+        t.atomic(130, 8); // line 128
+        t.read(64, 4); // line 64 again — same id as before
+        let it = InternedTraces::from_threads(&[t.finish()], 64);
+        assert_eq!(it.interner().len(), 3);
+        assert_eq!(it.ids_for(0, 0), &[LineId(0), LineId(1)]);
+        assert_eq!(it.ids_for(0, 1), &[]);
+        assert_eq!(it.ids_for(0, 2), &[LineId(2)]);
+        assert_eq!(it.ids_for(0, 3), &[LineId(1)]);
+        // The streams agree with the interner's map.
+        assert_eq!(it.interner().id_of(128), Some(LineId(2)));
+    }
+
+    #[test]
+    fn zero_size_access_still_touches_one_line() {
+        // `simulate` does not validate, so the interner must cover the same
+        // lines the engine would touch even for malformed events.
+        let mut t = Tracer::new();
+        t.read(100, 0);
+        let i = LineInterner::from_threads(&[t.finish()], 64);
+        assert_eq!(i.len(), 1);
+        assert!(i.id_of(64).is_some());
+    }
+}

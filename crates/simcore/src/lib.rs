@@ -19,6 +19,7 @@ pub mod error;
 pub mod event;
 pub mod faultinject;
 pub mod fxhash;
+pub mod intern;
 pub mod loc;
 pub mod par;
 pub mod rng;
@@ -30,6 +31,7 @@ pub use alloc::{AddressSpace, Region};
 pub use error::ValidateError;
 pub use event::{Event, EventKind, PrestoreOp};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::{InternedTraces, LineId, LineInterner};
 pub use loc::{FuncId, FuncInfo, FuncRegistry};
 pub use stats::Histogram;
 pub use trace::{ThreadTrace, TraceSet, Tracer};
@@ -87,17 +89,60 @@ pub const fn align_up(addr: Addr, unit: u64) -> Addr {
 ///
 /// A zero-length access still touches the block containing `addr`.
 ///
+/// Returns a concrete, non-allocating [`BlockIter`] (a bare add-and-compare
+/// loop): this runs once per trace event on the replay hot path, where the
+/// previous `RangeInclusive::step_by` form optimized poorly.
+///
 /// # Examples
 ///
 /// ```
 /// let lines: Vec<u64> = simcore::blocks_touched(60, 10, 64).collect();
 /// assert_eq!(lines, vec![0, 64]);
 /// ```
-pub fn blocks_touched(addr: Addr, len: u64, unit: u64) -> impl Iterator<Item = Addr> {
+#[inline]
+pub fn blocks_touched(addr: Addr, len: u64, unit: u64) -> BlockIter {
     let first = align_down(addr, unit);
-    let last = if len == 0 { first } else { align_down(addr + len - 1, unit) };
-    (first..=last).step_by(unit as usize)
+    let last = if len == 0 { first } else { align_down(addr + (len - 1), unit) };
+    BlockIter { next: first, last, unit, done: false }
 }
+
+/// Non-allocating iterator over the aligned blocks of one access; see
+/// [`blocks_touched`].
+#[derive(Debug, Clone)]
+pub struct BlockIter {
+    next: Addr,
+    last: Addr,
+    unit: u64,
+    done: bool,
+}
+
+impl Iterator for BlockIter {
+    type Item = Addr;
+
+    #[inline]
+    fn next(&mut self) -> Option<Addr> {
+        if self.done {
+            return None;
+        }
+        let cur = self.next;
+        if cur == self.last {
+            // Stop by flag rather than by stepping past `last`, which could
+            // overflow for blocks at the top of the address space.
+            self.done = true;
+        } else {
+            self.next = cur + self.unit;
+        }
+        Some(cur)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = if self.done { 0 } else { ((self.last - self.next) / self.unit + 1) as usize };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BlockIter {}
 
 #[cfg(test)]
 mod tests {
@@ -131,6 +176,16 @@ mod tests {
         assert_eq!(v, vec![0, 256]);
         let v: Vec<_> = blocks_touched(0, 0, 64).collect();
         assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn blocks_touched_reports_exact_len_and_survives_address_top() {
+        assert_eq!(blocks_touched(4096, 4096, 64).len(), 64);
+        assert_eq!(blocks_touched(0, 0, 64).len(), 1);
+        // The very last 64B block of the address space must not overflow.
+        let top = u64::MAX - 63;
+        let v: Vec<_> = blocks_touched(top, 64, 64).collect();
+        assert_eq!(v, vec![top]);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! different simulated machines.
 
 use crate::error::{ValidateError, MAX_ACCESS_BYTES};
+use crate::intern::InternedTraces;
 use crate::{Addr, Event, EventKind, FuncId, PrestoreOp};
+use std::sync::{Arc, Mutex};
 
 /// The trace of a single simulated thread.
 #[derive(Debug, Default, Clone)]
@@ -49,16 +51,50 @@ impl ThreadTrace {
 }
 
 /// A set of per-thread traces produced by one workload run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct TraceSet {
     /// One trace per simulated thread.
     pub threads: Vec<ThreadTrace>,
+    /// Lazily-built interned views (line interner + per-event id streams),
+    /// one per line size this set has been replayed with (Machine A uses
+    /// 64 B lines, Machine B 128 B). This is a derived side cache, not part
+    /// of the trace's value: `Clone` resets it, and it never affects
+    /// equality or serialization.
+    interners: Mutex<Vec<(u64, Arc<InternedTraces>)>>,
+}
+
+impl Clone for TraceSet {
+    fn clone(&self) -> Self {
+        // Deliberately drop the interner cache: clones are typically made
+        // to *mutate* the events (fault injection, pre-store patching), so
+        // any cached interner would silently go stale.
+        Self::new(self.threads.clone())
+    }
 }
 
 impl TraceSet {
     /// Build a trace set from per-thread traces.
     pub fn new(threads: Vec<ThreadTrace>) -> Self {
-        Self { threads }
+        Self { threads, interners: Mutex::new(Vec::new()) }
+    }
+
+    /// The interned view of this trace set for `line_size`-byte lines
+    /// (line interner plus per-event id streams), built on first use and
+    /// cached on the trace set.
+    ///
+    /// Memoized workloads (`ps_bench::memo`) hand out one shared
+    /// `TraceSet` per sweep, so every machine config and pre-store mode
+    /// replaying it reuses the same interned view instead of re-hashing
+    /// the trace — the interning cost is paid once per (workload, line
+    /// size).
+    pub fn interned_for(&self, line_size: u64) -> Arc<InternedTraces> {
+        let mut cache = self.interners.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, interned)) = cache.iter().find(|(ls, _)| *ls == line_size) {
+            return Arc::clone(interned);
+        }
+        let built = Arc::new(InternedTraces::from_threads(&self.threads, line_size));
+        cache.push((line_size, Arc::clone(&built)));
+        built
     }
 
     /// Total number of events across all threads.
@@ -293,7 +329,26 @@ pub fn validate(traces: &TraceSet, line_size: u64) -> Result<(), ValidateError> 
 /// entry point used when no [`TraceSet`] wrapper exists (single-trace
 /// replay paths).
 pub fn validate_threads(threads: &[ThreadTrace], line_size: u64) -> Result<(), ValidateError> {
-    // Count releases (atomics) per line across all threads.
+    validate_and_intern(threads, line_size).map(|_| ())
+}
+
+/// Validate `threads` and intern every line they touch, in one sweep.
+///
+/// Validation already walks every event of every thread, making it the
+/// natural place to discover the trace's line set: the returned
+/// [`InternedTraces`] maps each line-aligned address the replay engine
+/// will touch to a dense `u32` id — and records, per event, the exact run
+/// of ids the engine's splitting will need, so replay resolves ids by
+/// walking an array instead of hashing addresses on every event.
+///
+/// The checks (and the order errors are reported in) are exactly those of
+/// [`validate`].
+pub fn validate_and_intern(
+    threads: &[ThreadTrace],
+    line_size: u64,
+) -> Result<InternedTraces, ValidateError> {
+    // Pass 1: count releases (atomics) per line across all threads, so
+    // acquires can be checked against the whole trace set in pass 2.
     let mut releases: crate::FxHashMap<Addr, u32> = crate::FxHashMap::default();
     for t in threads {
         for ev in &t.events {
@@ -302,6 +357,9 @@ pub fn validate_threads(threads: &[ThreadTrace], line_size: u64) -> Result<(), V
             }
         }
     }
+    // Pass 2: per-event checks. Interning happens only after the whole set
+    // validates (an oversize access must be rejected *before* its blocks
+    // are expanded, and a partially-built intern view is useless anyway).
     for (tid, t) in threads.iter().enumerate() {
         for (i, ev) in t.events.iter().enumerate() {
             match ev.kind {
@@ -352,7 +410,7 @@ pub fn validate_threads(threads: &[ThreadTrace], line_size: u64) -> Result<(), V
             }
         }
     }
-    Ok(())
+    Ok(InternedTraces::from_threads(threads, line_size))
 }
 
 #[cfg(test)]
@@ -483,6 +541,42 @@ mod tests {
         t.acquire(0, 0);
         let err = validate(&TraceSet::new(vec![t.finish()]), 64).unwrap_err();
         assert!(matches!(err, ValidateError::ZeroSequenceAcquire { .. }), "{err}");
+    }
+
+    #[test]
+    fn validate_and_intern_covers_every_touched_line() {
+        let mut p = Tracer::new();
+        p.write(60, 10); // lines 0 and 64
+        p.atomic(128, 8);
+        let mut c = Tracer::new();
+        c.acquire(130, 1);
+        let interned =
+            validate_and_intern(&[p.finish(), c.finish()], 64).expect("valid traces");
+        let interner = interned.interner();
+        assert_eq!(interner.len(), 3);
+        for line in [0, 64, 128] {
+            assert!(interner.id_of(line).is_some(), "line {line} not interned");
+        }
+        // The id streams cover both threads: producer's write split into
+        // two lines, consumer's acquire resolved to one.
+        assert_eq!(interned.ids_for(0, 0).len(), 2);
+        assert_eq!(interned.ids_for(1, 0).len(), 1);
+    }
+
+    #[test]
+    fn interned_for_is_cached_per_line_size_and_reset_by_clone() {
+        let mut t = Tracer::new();
+        t.write(0, 256);
+        let set = TraceSet::new(vec![t.finish()]);
+        let a = set.interned_for(64);
+        let b = set.interned_for(64);
+        assert!(Arc::ptr_eq(&a, &b), "same line size must reuse the cached intern view");
+        let wide = set.interned_for(128);
+        assert_eq!(a.interner().len(), 4);
+        assert_eq!(wide.interner().len(), 2);
+        // A clone may be mutated, so it must not inherit the cache.
+        let cloned = set.clone();
+        assert!(!Arc::ptr_eq(&a, &cloned.interned_for(64)));
     }
 
     #[test]
