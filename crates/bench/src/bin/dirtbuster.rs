@@ -119,6 +119,7 @@ fn main() {
 
     let cfg = DirtBusterConfig { sample_interval, ..Default::default() };
 
+    let input_start = std::time::Instant::now();
     let (name, out) = if let Some(path) = from_trace {
         let (traces, registry) = match simcore::serialize::load_traces(&path) {
             Ok(loaded) => loaded,
@@ -153,6 +154,7 @@ fn main() {
         }
         println!("trace saved to {path}");
     }
+    let input_elapsed = input_start.elapsed();
 
     let start = std::time::Instant::now();
     let analysis = analyze(&out.traces, &out.registry, &cfg);
@@ -181,10 +183,17 @@ fn main() {
             }
         }
     }
+    let report_start = std::time::Instant::now();
     if analysis.reports.is_empty() {
         println!("\nno write-intensive functions to instrument; nothing to patch.");
-        return;
+    } else {
+        println!("\nstep 2+3 (instrumentation + recommendations):\n");
+        print!("{}", analysis.render(&out.registry));
     }
-    println!("\nstep 2+3 (instrumentation + recommendations):\n");
-    print!("{}", analysis.render(&out.registry));
+    let report_elapsed = report_start.elapsed();
+
+    println!("\n-- phase timing --");
+    println!("  input    {input_elapsed:>10.2?}  (record workload / load trace)");
+    println!("  analyze  {elapsed:>10.2?}");
+    println!("  report   {report_elapsed:>10.2?}");
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [--quick] [--json] [--chart] [--jobs N] [--timing]
-//!         [--baseline FILE] [--out DIR] [id ...]
+//!         [--baseline FILE] [--metrics FILE] [--out DIR] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Results are printed as text tables
@@ -23,12 +23,34 @@
 //! than 20% — the CI guard that keeps the replay engine's interning wins
 //! from quietly eroding.
 //!
+//! `--metrics FILE` writes a JSON snapshot of the telemetry registry
+//! (engine, runner and memo-cache counters plus span timings) covering the
+//! main pass, next to the other outputs. The snapshot is always written;
+//! the per-probe values are nonzero only when the binary was built with
+//! `--features telemetry`, and the flag never changes the experiment
+//! outputs either way (pinned by the `metrics_identity` test).
+//!
 //! Exit codes: `0` success, `1` I/O error, no matching experiment, or a
 //! `--timing` identity mismatch, `2` wall-clock regression vs
 //! `--baseline`.
 
 use ps_bench::runner::{self, TimedFigure};
 use ps_bench::{experiments, memo};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Span events seen by the demo [`simcore::telemetry::SpanObserver`] that
+/// `--metrics` installs (zero without `--features telemetry`).
+static SPAN_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// The profiling hook `--metrics` subscribes: counts every span
+/// completion the telemetry layer reports.
+struct CountSpans;
+
+impl simcore::telemetry::SpanObserver for CountSpans {
+    fn on_span(&self, _name: &'static str, _nanos: u64) {
+        SPAN_EVENTS.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// An experiment id paired with the function regenerating it.
 type Experiment = (&'static str, fn(bool) -> ps_bench::FigureResult);
@@ -53,6 +75,9 @@ fn usage() -> ! {
   --baseline FILE
                with --timing: fail (exit 2) if this run's wall-clock is
                more than 20% slower than FILE's parallel_seconds
+  --metrics FILE
+               write a telemetry snapshot (JSON) of the main pass; values
+               are nonzero only with a --features telemetry build
   --out DIR    output directory (default: results/)"
     );
     std::process::exit(1);
@@ -78,6 +103,7 @@ fn main() {
     };
     let out_dir = flag_value("--out").unwrap_or_else(|| "results".to_owned());
     let baseline = flag_value("--baseline");
+    let metrics = flag_value("--metrics");
     if baseline.is_some() && !timing {
         eprintln!("--baseline needs --timing (it compares measured wall-clock)");
         usage();
@@ -93,8 +119,10 @@ fn main() {
         None => runner::default_jobs(),
     };
     // Positional args are experiment ids; skip flag values.
-    let flag_values: Vec<String> =
-        ["--out", "--jobs", "--baseline"].iter().filter_map(|f| flag_value(f)).collect();
+    let flag_values: Vec<String> = ["--out", "--jobs", "--baseline", "--metrics"]
+        .iter()
+        .filter_map(|f| flag_value(f))
+        .collect();
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -158,6 +186,14 @@ fn main() {
         None
     };
 
+    // The --metrics snapshot covers the main pass only: drop whatever the
+    // serial --timing pass accumulated and subscribe the span hook. Both
+    // calls are no-ops without `--features telemetry`.
+    if metrics.is_some() {
+        simcore::telemetry::set_span_observer(Some(Box::new(CountSpans)));
+    }
+    simcore::telemetry::reset();
+
     memo::clear();
     runner::set_jobs(jobs);
     let start = std::time::Instant::now();
@@ -181,6 +217,18 @@ fn main() {
                 exit_io_error("write JSON", &path, e);
             }
         }
+    }
+
+    if let Some(metrics_path) = metrics {
+        simcore::telemetry::set_span_observer(None);
+        let report = render_metrics_json(&counters, SPAN_EVENTS.load(Ordering::Relaxed));
+        if let Err(e) = std::fs::write(&metrics_path, report) {
+            exit_io_error("write metrics snapshot", &metrics_path, e);
+        }
+        println!(
+            "metrics: telemetry {}; snapshot written to {metrics_path}",
+            if simcore::telemetry::enabled() { "enabled" } else { "compiled out" }
+        );
     }
 
     if let Some((serial_figs, serial_seconds, serial_counters)) = serial_baseline {
@@ -257,6 +305,42 @@ fn main() {
             );
         }
     }
+}
+
+/// Render the `--metrics` snapshot: the telemetry registry (name-sorted),
+/// the memo-cache ledger, and the span-observer event count. Hand-rolled
+/// JSON like `BENCH_figures.json` — the names are static identifiers, so
+/// no escaping is needed.
+fn render_metrics_json(memo: &memo::MemoCounters, span_events: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"telemetry\": {},\n", simcore::telemetry::enabled()));
+    out.push_str(&format!("  \"span_events_observed\": {span_events},\n"));
+    out.push_str(&format!(
+        "  \"memo\": {{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \"inserts\": {}, \
+         \"evictions\": {}, \"derived\": {}, \"derive_ns\": {}}},\n",
+        memo.lookups,
+        memo.hits,
+        memo.misses,
+        memo.inserts,
+        memo.evictions,
+        memo.derived,
+        memo.derive_ns
+    ));
+    out.push_str("  \"metrics\": [");
+    for (i, m) in simcore::telemetry::snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"kind\": \"{}\", \"value\": {}, \"count\": {}}}",
+            m.name,
+            m.kind.as_str(),
+            m.value,
+            m.count
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 /// A timing run may be at most this factor slower than its `--baseline`.

@@ -41,6 +41,18 @@ use workloads::WorkloadOutput;
 /// (~24 B each) before the oldest entries are dropped.
 const MAX_CACHED_EVENTS: usize = 24_000_000;
 
+/// The active event budget: [`MAX_CACHED_EVENTS`] in production, shrunk by
+/// tests to exercise eviction accounting without multi-GB recordings.
+static CAPACITY: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(MAX_CACHED_EVENTS);
+
+/// Test-only: shrink the eviction budget. Pair with [`clear`] and restore
+/// [`MAX_CACHED_EVENTS`] afterwards; production code never calls this.
+#[cfg(test)]
+fn set_capacity_for_test(events: usize) {
+    CAPACITY.store(events, Ordering::Relaxed);
+}
+
 struct CacheInner {
     map: HashMap<String, Arc<WorkloadOutput>>,
     /// Insertion order, oldest first (FIFO eviction).
@@ -49,27 +61,68 @@ struct CacheInner {
 }
 
 static CACHE: Mutex<Option<CacheInner>> = Mutex::new(None);
+static LOOKUPS: AtomicU64 = AtomicU64::new(0);
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static INSERTS: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static DERIVED: AtomicU64 = AtomicU64::new(0);
+static DERIVE_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Telemetry mirrors of the always-on atomics above, so `figures
+/// --metrics` reports the memo cache next to the engine and runner
+/// counters. No-ops unless simcore's `telemetry` feature is on.
+mod probes {
+    use simcore::telemetry::Metric;
+
+    pub(super) static LOOKUPS: Metric = Metric::counter("memo.lookups");
+    pub(super) static HITS: Metric = Metric::counter("memo.hits");
+    pub(super) static MISSES: Metric = Metric::counter("memo.misses");
+    pub(super) static INSERTS: Metric = Metric::counter("memo.inserts");
+    pub(super) static EVICTIONS: Metric = Metric::counter("memo.evictions");
+    pub(super) static DERIVED: Metric = Metric::counter("memo.derived");
+    /// Time spent recording a missed key (workload run or derivation).
+    pub(super) static RECORD: Metric = Metric::span("memo.record");
+    /// Time spent rewriting baselines into mode variants.
+    pub(super) static DERIVE: Metric = Metric::span("memo.derive");
+}
 
 /// Cache-effectiveness counters since the last [`clear`].
+///
+/// Invariants (pinned by the reconciliation test): every [`cached`] call
+/// is exactly one lookup and either a hit or a miss, so
+/// `hits + misses == lookups`; an entry can only be evicted after being
+/// inserted, so `evictions <= inserts`; and a recording race's loser is
+/// never inserted, so `inserts <= misses`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MemoCounters {
+    /// Cache lookups (every memoized fetch).
+    pub lookups: u64,
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that recorded the workload.
     pub misses: u64,
+    /// Recordings actually inserted (race losers are dropped, not
+    /// inserted).
+    pub inserts: u64,
+    /// Entries evicted by the FIFO event budget.
+    pub evictions: u64,
     /// Mode variants derived by trace rewriting instead of re-recording.
     pub derived: u64,
+    /// Nanoseconds spent in trace rewriting ([`dirtbuster::apply_plan`]).
+    pub derive_ns: u64,
 }
 
 /// Current counters.
 pub fn counters() -> MemoCounters {
     MemoCounters {
+        lookups: LOOKUPS.load(Ordering::Relaxed),
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        inserts: INSERTS.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
         derived: DERIVED.load(Ordering::Relaxed),
+        derive_ns: DERIVE_NS.load(Ordering::Relaxed),
     }
 }
 
@@ -79,9 +132,13 @@ pub fn counters() -> MemoCounters {
 pub fn clear() {
     let mut guard = CACHE.lock().expect("memo cache poisoned");
     *guard = None;
+    LOOKUPS.store(0, Ordering::Relaxed);
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+    INSERTS.store(0, Ordering::Relaxed);
+    EVICTIONS.store(0, Ordering::Relaxed);
     DERIVED.store(0, Ordering::Relaxed);
+    DERIVE_NS.store(0, Ordering::Relaxed);
 }
 
 /// Fetch `key` from the cache or record it with `record`.
@@ -90,6 +147,8 @@ pub fn clear() {
 /// to record the same key, in which case the first insertion wins and the
 /// loser's output is dropped (both are deterministic and identical).
 fn cached(key: String, record: impl FnOnce() -> WorkloadOutput) -> Arc<WorkloadOutput> {
+    LOOKUPS.fetch_add(1, Ordering::Relaxed);
+    probes::LOOKUPS.inc();
     {
         let mut guard = CACHE.lock().expect("memo cache poisoned");
         let inner = guard.get_or_insert_with(|| CacheInner {
@@ -99,11 +158,16 @@ fn cached(key: String, record: impl FnOnce() -> WorkloadOutput) -> Arc<WorkloadO
         });
         if let Some(out) = inner.map.get(&key) {
             HITS.fetch_add(1, Ordering::Relaxed);
+            probes::HITS.inc();
             return Arc::clone(out);
         }
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
-    let out = Arc::new(record());
+    probes::MISSES.inc();
+    let out = {
+        let _timed = simcore::telemetry::span(&probes::RECORD);
+        Arc::new(record())
+    };
     let events = out.traces.total_events();
     let mut guard = CACHE.lock().expect("memo cache poisoned");
     let inner = guard.get_or_insert_with(|| CacheInner {
@@ -112,16 +176,21 @@ fn cached(key: String, record: impl FnOnce() -> WorkloadOutput) -> Arc<WorkloadO
         events: 0,
     });
     if let Some(existing) = inner.map.get(&key) {
-        // Lost a recording race; the entries are identical.
+        // Lost a recording race; the entries are identical. The loser is
+        // dropped without an insert, which is why `inserts <= misses`.
         return Arc::clone(existing);
     }
     inner.events += events;
     inner.map.insert(key.clone(), Arc::clone(&out));
     inner.order.push_back(key);
-    while inner.events > MAX_CACHED_EVENTS && inner.order.len() > 1 {
+    INSERTS.fetch_add(1, Ordering::Relaxed);
+    probes::INSERTS.inc();
+    while inner.events > CAPACITY.load(Ordering::Relaxed) && inner.order.len() > 1 {
         let oldest = inner.order.pop_front().expect("order tracks map");
         if let Some(evicted) = inner.map.remove(&oldest) {
             inner.events -= evicted.traces.total_events();
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            probes::EVICTIONS.inc();
         }
     }
     out
@@ -156,11 +225,14 @@ fn derive_variant(
         "derivation plan matched no functions among {funcs:?}"
     );
     DERIVED.fetch_add(1, Ordering::Relaxed);
-    WorkloadOutput {
-        traces: apply_plan(&base.traces, &plan),
-        registry: base.registry.clone(),
-        ops: base.ops,
-    }
+    probes::DERIVED.inc();
+    let start = std::time::Instant::now();
+    let traces = {
+        let _timed = simcore::telemetry::span(&probes::DERIVE);
+        apply_plan(&base.traces, &plan)
+    };
+    DERIVE_NS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    WorkloadOutput { traces, registry: base.registry.clone(), ops: base.ops }
 }
 
 /// The generic memoized mode-sweep entry point: baseline recordings are
@@ -256,7 +328,7 @@ mod tests {
     /// under that mode produces.
     #[test]
     fn derived_traces_match_native_recordings() {
-        let _g = LOCK.lock().unwrap();
+        let _g = LOCK.lock().expect("no memo test panicked while holding the lock");
         clear();
         let modes = [PrestoreMode::Clean, PrestoreMode::Demote, PrestoreMode::Skip];
 
@@ -309,7 +381,7 @@ mod tests {
 
     #[test]
     fn baseline_recordings_are_cached() {
-        let _g = LOCK.lock().unwrap();
+        let _g = LOCK.lock().expect("no memo test panicked while holding the lock");
         clear();
         let p = Listing1Params::quick();
         let a = listing1(&p, PrestoreMode::None);
@@ -324,7 +396,7 @@ mod tests {
 
     #[test]
     fn eviction_keeps_the_cache_bounded() {
-        let _g = LOCK.lock().unwrap();
+        let _g = LOCK.lock().expect("no memo test panicked while holding the lock");
         clear();
         // Record more than the budget in distinct keys.
         let mut p = Listing1Params::quick();
@@ -332,11 +404,43 @@ mod tests {
             p.seed = i + 100;
             let _ = listing1(&p, PrestoreMode::None);
         }
-        let guard = CACHE.lock().unwrap();
+        let guard = CACHE.lock().expect("memo cache poisoned");
         let inner = guard.as_ref().expect("cache populated");
         assert!(inner.events <= MAX_CACHED_EVENTS || inner.map.len() == 1);
         assert_eq!(inner.map.len(), inner.order.len());
         drop(guard);
+        clear();
+    }
+
+    /// Satellite: the counter ledger must reconcile even while the FIFO
+    /// budget is actively evicting — every lookup is a hit or a miss,
+    /// nothing is evicted that was never inserted, and race losers never
+    /// inflate the insert count.
+    #[test]
+    fn counters_reconcile_under_capacity_pressure() {
+        let _g = LOCK.lock().expect("no memo test panicked while holding the lock");
+        clear();
+        // One event of budget: every insert but the newest is evicted.
+        set_capacity_for_test(1);
+        let mut p = Listing1Params::quick();
+        for i in 0..4 {
+            p.seed = 300 + i;
+            let first = listing1(&p, PrestoreMode::None);
+            // Immediate re-lookup hits: the newest entry survives eviction.
+            let second = listing1(&p, PrestoreMode::None);
+            assert!(Arc::ptr_eq(&first, &second));
+        }
+        // Re-recording an evicted key is a miss again, not an error.
+        p.seed = 300;
+        let _ = listing1(&p, PrestoreMode::None);
+        let c = counters();
+        assert_eq!(c.hits + c.misses, c.lookups, "every lookup is a hit or a miss: {c:?}");
+        assert!(c.evictions <= c.inserts, "evicted more than was inserted: {c:?}");
+        assert!(c.inserts <= c.misses, "inserted without a miss: {c:?}");
+        assert!(c.evictions > 0, "a one-event budget must evict: {c:?}");
+        assert_eq!(c.hits, 4, "each seed's immediate re-lookup hits: {c:?}");
+        assert_eq!(c.misses, 5, "four first recordings plus one re-recording: {c:?}");
+        set_capacity_for_test(MAX_CACHED_EVENTS);
         clear();
     }
 }

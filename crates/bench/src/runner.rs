@@ -8,6 +8,16 @@
 
 use crate::FigureResult;
 
+/// Experiment-level telemetry: how many figures were regenerated and how
+/// long each took end to end (sweep fan-out included). No-ops unless
+/// simcore's `telemetry` feature is on.
+mod probes {
+    use simcore::telemetry::Metric;
+
+    pub(super) static EXPERIMENTS: Metric = Metric::counter("bench.experiments");
+    pub(super) static EXPERIMENT: Metric = Metric::span("bench.experiment");
+}
+
 /// An experiment id paired with the function regenerating it.
 pub type Experiment = (&'static str, fn(bool) -> FigureResult);
 
@@ -52,6 +62,8 @@ pub struct TimedFigure {
 pub fn run_experiments(experiments: &[Experiment], quick: bool) -> Vec<TimedFigure> {
     sweep(experiments.len(), |i| {
         let (id, f) = experiments[i];
+        probes::EXPERIMENTS.inc();
+        let _timed = simcore::telemetry::span(&probes::EXPERIMENT);
         let start = std::time::Instant::now();
         let fig = f(quick);
         TimedFigure { id, fig, seconds: start.elapsed().as_secs_f64() }

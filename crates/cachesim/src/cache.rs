@@ -553,7 +553,7 @@ mod tests {
         c.access(256, true); // also set 0
         let out = c.access(512, false); // evicts LRU (line 0)
         assert!(!out.hit);
-        let v = out.victim.unwrap();
+        let v = out.victim.expect("a full set must evict on fill");
         assert_eq!(v.line, 0);
         assert!(v.dirty);
         assert_eq!(c.stats().dirty_evictions, 1);
@@ -581,7 +581,7 @@ mod tests {
         c.clean_line(0);
         c.access(256, false);
         let out = c.access(512, false);
-        let v = out.victim.unwrap();
+        let v = out.victim.expect("a full set must evict on fill");
         assert_eq!(v.line, 0);
         assert!(!v.dirty, "cleaned line must not be written back again");
     }
@@ -714,7 +714,7 @@ mod tests {
         ix.reset(interner.len());
         indexed.install_id_index(ix);
         for &(line, write) in &seq {
-            let id = interner.id_of(line).unwrap();
+            let id = interner.id_of(line).expect("every test line was interned above");
             let a = plain.access(line, write);
             let b = indexed.access_id(line, id, write);
             assert_eq!(a.hit, b.hit);
@@ -752,7 +752,7 @@ mod tests {
         let mut buf = Vec::new();
         c.flush_all_into(&mut buf);
         assert_eq!(buf.len(), 1);
-        let mut ix = c.take_id_index().unwrap();
+        let mut ix = c.take_id_index().expect("an index was installed above");
         ix.reset(4);
         c.install_id_index(ix);
         assert!(!c.probe_id(64, LineId(1)), "epoch bump invalidates stale mappings");

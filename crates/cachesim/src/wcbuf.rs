@@ -7,8 +7,14 @@
 //! WC buffers (the bad case — a partial write that forces the device into a
 //! read-modify-write).
 
+use simcore::telemetry::Metric;
 use simcore::{align_down, Addr};
 use std::collections::VecDeque;
+
+/// Partial WC-buffer evictions under capacity pressure — each one forces
+/// the device into a read-modify-write, the bad case the module docs
+/// describe. No-op unless simcore's `telemetry` feature is on.
+static PARTIAL_EVICTIONS: Metric = Metric::counter("wcbuf.partial_evictions");
 
 /// A flush emitted by the WC buffer towards the memory device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +114,7 @@ impl WriteCombiningBuffer {
         if self.open.len() >= self.cap {
             // Out of buffers: evict the oldest, partially filled.
             let (l, filled) = self.open.pop_front().expect("cap > 0");
+            PARTIAL_EVICTIONS.inc();
             flushes.push(WcFlush::Partial(l, filled));
         }
         self.open.push_back((line, bytes));

@@ -92,6 +92,10 @@ pub struct Engine<'a, T: LineTables = FlatTables> {
     wc_buf: Vec<WcFlush>,
     /// Reused buffer for end-of-run residual dirty lines.
     residual: Vec<Addr>,
+    /// Per-replay action counts, flushed into the telemetry registry at
+    /// the end of [`Engine::try_run`] (plain `u64`s: the step loop pays no
+    /// atomics, and with telemetry compiled out the flush is a no-op).
+    acts: crate::probes::ActionCounts,
 }
 
 /// Replay `traces` on the machine described by `cfg`.
@@ -306,6 +310,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             cores,
             wc_buf: Vec::new(),
             residual: Vec::new(),
+            acts: crate::probes::ActionCounts::default(),
         }
     }
 
@@ -326,6 +331,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
 
     fn try_run(mut self, traces: &[ThreadTrace]) -> Result<RunStats, EngineError> {
         assert_eq!(traces.len(), self.cores.len());
+        let _replay_span = simcore::telemetry::span(&crate::probes::REPLAY);
         // Progress watchdog: a valid replay executes at most ~2 steps per
         // event (each step either consumes an event or re-runs an acquire
         // exactly once after its wakeup), so the derived budget only fires
@@ -464,6 +470,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
         self.residual.clear();
         self.wc_buf.clear();
         self.tables.recycle(indices, self.wc_buf, self.residual);
+        crate::probes::flush_run(&stats, &self.acts, steps);
         Ok(stats)
     }
 
@@ -727,6 +734,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
 
     /// Start the drains of all pending store-buffer entries of `cid`.
     fn start_drains(&mut self, cid: CoreId) -> Cycles {
+        self.acts.sb_drains += 1;
         // `placeholder()` performs no allocation, unlike `new(1)`, so this
         // swap dance is free on the per-event hot path.
         let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
@@ -758,6 +766,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             // already completed in the past; only wait if still full.
             self.start_drains(cid);
             if self.cores[cid].sb.is_full() {
+                self.acts.sb_forced_drains += 1;
                 let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
                 let now = self.cores[cid].now;
                 let done = sb.drain_head_id(now, |l, i| self.acquire_for_write(cid, l, i));
@@ -807,6 +816,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             lines += 1;
         }
         self.cores[cid].stats.write_lines += lines;
+        self.acts.nt_lines += lines;
         // Reuse one flush buffer for the whole run instead of allocating a
         // Vec per NT store (`mem::take` of a Vec moves, never allocates).
         let mut buf = std::mem::take(&mut self.wc_buf);
@@ -827,6 +837,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
 
     /// A `clean` pre-store: write the dirty line back, keep it cached.
     fn prestore_clean(&mut self, cid: CoreId, line: Addr, id: LineId) {
+        self.acts.cleans += 1;
         self.cores[cid].now += self.cfg.costs.prestore_issue;
         // Order with respect to a pending private store: force its drain
         // (asynchronously) first, like a demote.
@@ -852,6 +863,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
 
     /// A `demote` pre-store: push the line down to the shared level.
     fn prestore_demote(&mut self, cid: CoreId, line: Addr, id: LineId) {
+        self.acts.demotes += 1;
         self.cores[cid].now += self.cfg.costs.prestore_issue;
         // Start the background drain of the private store, if any.
         {

@@ -32,6 +32,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+mod probes;
 pub mod report;
 pub mod stats;
 pub mod tables;

@@ -136,6 +136,7 @@ impl FlatTables {
     /// the per-function table is drained by
     /// [`LineTables::take_func_cycles`] at the end of each run.
     pub(crate) fn reset(&mut self, lines: usize) {
+        crate::probes::TABLE_EPOCHS.inc();
         if self.hot.len() < lines {
             self.hot.resize(lines, HotEntry::default());
             // `cold` is sized lazily by the first wb/nt/release setter:
@@ -148,6 +149,7 @@ impl FlatTables {
                 // Epoch wrap: pay one O(lines) re-zero and restart. A
                 // stale stamp could otherwise collide with the new epoch.
                 // (The cold table is flag-gated, so it needs no re-zero.)
+                crate::probes::TABLE_EPOCH_WRAPS.inc();
                 self.hot.iter_mut().for_each(|e| *e = HotEntry::default());
                 1
             }
@@ -436,7 +438,7 @@ mod tests {
         let mut hash = HashTables::default();
         // Interleave the full op set over both implementations.
         for (i, &line) in lines.iter().enumerate() {
-            let id = interner.id_of(line).unwrap();
+            let id = interner.id_of(line).expect("every test line was interned above");
             let t = i as Cycles;
             assert_eq!(flat.owner_get(id, line), hash.owner_get(id, line));
             flat.owner_set(id, line, i % 3);

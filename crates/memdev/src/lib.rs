@@ -177,6 +177,20 @@ pub trait MemDevice {
     }
 }
 
+/// Telemetry probes on the [`Device`] dispatch layer (the engine's single
+/// funnel to any device model): no-ops unless simcore's `telemetry`
+/// feature is on.
+mod probes {
+    use simcore::telemetry::Metric;
+
+    /// Bytes handed to [`super::MemDevice::receive_write`].
+    pub(super) static WRITE_BYTES: Metric = Metric::counter("device.write_bytes");
+    /// Bytes handed to [`super::MemDevice::receive_read`].
+    pub(super) static READ_BYTES: Metric = Metric::counter("device.read_bytes");
+    /// End-of-run [`super::MemDevice::flush`] calls.
+    pub(super) static FLUSHES: Metric = Metric::counter("device.flushes");
+}
+
 /// Enum dispatch over the concrete device models.
 #[derive(Debug, Clone)]
 pub enum Device {
@@ -250,14 +264,17 @@ impl MemDevice for Device {
     }
 
     fn receive_write(&mut self, addr: Addr, bytes: u64) {
+        probes::WRITE_BYTES.add(bytes);
         dispatch!(self, d => d.receive_write(addr, bytes))
     }
 
     fn receive_read(&mut self, addr: Addr, bytes: u64) {
+        probes::READ_BYTES.add(bytes);
         dispatch!(self, d => d.receive_read(addr, bytes))
     }
 
     fn flush(&mut self) {
+        probes::FLUSHES.inc();
         dispatch!(self, d => d.flush())
     }
 

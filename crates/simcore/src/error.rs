@@ -55,6 +55,31 @@ pub enum ValidateError {
         /// The acquired address.
         addr: Addr,
     },
+    /// A memory access extends past the top of the 64-bit address space
+    /// (`addr + size - 1` overflows): trace corruption or an adversarial
+    /// input, never a workload recording.
+    AddressOverflow {
+        /// Thread containing the event.
+        thread: usize,
+        /// Index of the event within the thread.
+        index: usize,
+        /// The access kind.
+        kind: EventKind,
+        /// The accessed address.
+        addr: Addr,
+        /// The claimed size in bytes.
+        size: u32,
+    },
+    /// Interning the trace set would exhaust the dense [`crate::LineId`]
+    /// space: more distinct cache lines (or per-thread line occurrences)
+    /// than fit in a `u32`. Without this guard the interner would silently
+    /// truncate ids and alias unrelated lines.
+    TooManyLines {
+        /// How many entries the trace set needed.
+        needed: u64,
+        /// The interner's id-space limit.
+        limit: u64,
+    },
     /// An acquire waits for more releases of its line than the whole trace
     /// set performs: replay would deadlock.
     AcquireUnsatisfiable {
@@ -81,6 +106,16 @@ impl fmt::Display for ValidateError {
                 f,
                 "thread {thread} event {index}: implausible {size}-byte {kind:?} at {addr:#x} \
                  (max {MAX_ACCESS_BYTES})"
+            ),
+            ValidateError::AddressOverflow { thread, index, kind, addr, size } => write!(
+                f,
+                "thread {thread} event {index}: {size}-byte {kind:?} at {addr:#x} extends past \
+                 the top of the address space"
+            ),
+            ValidateError::TooManyLines { needed, limit } => write!(
+                f,
+                "trace set needs {needed} interned line entries, but the dense id space holds \
+                 only {limit}"
             ),
             ValidateError::ZeroSequenceAcquire { thread, index, .. } => {
                 write!(f, "thread {thread} event {index}: acquire with sequence number 0")

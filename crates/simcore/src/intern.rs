@@ -16,7 +16,9 @@
 //! compute events intern nothing. If the engine touches a line, the
 //! interner knows it.
 
-use crate::{align_down, blocks_touched, Addr, Event, EventKind, FxHashMap, ThreadTrace};
+use crate::{
+    align_down, blocks_touched, Addr, Event, EventKind, FxHashMap, ThreadTrace, ValidateError,
+};
 
 /// Dense identifier of a line-aligned address within one trace set.
 ///
@@ -58,18 +60,44 @@ impl LineId {
 /// let id = interner.id_of(64).unwrap();
 /// assert_eq!(interner.line_of(id), 64);
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct LineInterner {
     line_size: u64,
     map: FxHashMap<Addr, LineId>,
     lines: Vec<Addr>,
+    /// Refuse to intern more than this many distinct lines. The default,
+    /// [`LineInterner::DEFAULT_MAX_LINES`], is the full dense-id space;
+    /// tests shrink it to exercise the exhaustion path without 4 G inserts.
+    max_lines: u32,
+}
+
+impl Default for LineInterner {
+    fn default() -> Self {
+        Self {
+            line_size: 0,
+            map: FxHashMap::default(),
+            lines: Vec::new(),
+            max_lines: Self::DEFAULT_MAX_LINES,
+        }
+    }
 }
 
 impl LineInterner {
+    /// The full dense id space: `u32::MAX` distinct lines. Keeping the
+    /// count strictly below `u32::MAX + 1` guarantees no assigned id ever
+    /// equals [`LineId::INVALID`].
+    pub const DEFAULT_MAX_LINES: u32 = u32::MAX;
+
     /// Empty interner for `line_size`-byte lines (a power of two).
     pub fn new(line_size: u64) -> Self {
+        Self::with_max_lines(line_size, Self::DEFAULT_MAX_LINES)
+    }
+
+    /// [`LineInterner::new`] with a smaller id-space bound, so tests can
+    /// reach the [`ValidateError::TooManyLines`] path cheaply.
+    pub fn with_max_lines(line_size: u64, max_lines: u32) -> Self {
         debug_assert!(line_size.is_power_of_two());
-        Self { line_size, map: FxHashMap::default(), lines: Vec::new() }
+        Self { line_size, map: FxHashMap::default(), lines: Vec::new(), max_lines }
     }
 
     /// The line size this interner splits on.
@@ -90,18 +118,54 @@ impl LineInterner {
     }
 
     /// Intern a line-aligned address, assigning the next dense id on first
+    /// sight. Errors with [`ValidateError::TooManyLines`] once the id
+    /// space (`max_lines`) is exhausted — the map and id assignment are
+    /// left untouched, so the interner stays usable for known lines.
+    #[inline]
+    pub fn try_intern(&mut self, line: Addr) -> Result<LineId, ValidateError> {
+        debug_assert_eq!(line, align_down(line, self.line_size));
+        if let Some(&id) = self.map.get(&line) {
+            return Ok(id);
+        }
+        if self.lines.len() >= self.max_lines as usize {
+            return Err(ValidateError::TooManyLines {
+                needed: self.lines.len() as u64 + 1,
+                limit: self.max_lines as u64,
+            });
+        }
+        let id = LineId(self.lines.len() as u32);
+        self.map.insert(line, id);
+        self.lines.push(line);
+        Ok(id)
+    }
+
+    /// Intern a line-aligned address, assigning the next dense id on first
     /// sight.
+    ///
+    /// # Panics
+    ///
+    /// On id-space exhaustion (> [`LineInterner::DEFAULT_MAX_LINES`]
+    /// distinct lines — previously a silent `u32` wrap that aliased
+    /// unrelated lines). Validated paths reach the same condition as a
+    /// typed [`ValidateError::TooManyLines`] via [`LineInterner::try_intern`].
     #[inline]
     pub fn intern(&mut self, line: Addr) -> LineId {
-        debug_assert_eq!(line, align_down(line, self.line_size));
-        *self.map.entry(line).or_insert_with(|| {
-            let id = LineId(self.lines.len() as u32);
-            self.lines.push(line);
-            id
-        })
+        self.try_intern(line)
+            .expect("line-id space exhausted; use try_intern/validate_and_intern for typed errors")
+    }
+
+    /// [`LineInterner::try_intern`] for the line containing an arbitrary
+    /// address.
+    #[inline]
+    pub fn try_intern_addr(&mut self, addr: Addr) -> Result<LineId, ValidateError> {
+        self.try_intern(align_down(addr, self.line_size))
     }
 
     /// Intern the line containing an arbitrary address.
+    ///
+    /// # Panics
+    ///
+    /// On id-space exhaustion, like [`LineInterner::intern`].
     #[inline]
     pub fn intern_addr(&mut self, addr: Addr) -> LineId {
         self.intern(align_down(addr, self.line_size))
@@ -130,11 +194,15 @@ impl LineInterner {
     }
 
     /// [`LineInterner::intern_event`], invoking `sink` with the id of each
-    /// interned line, in the engine's splitting order. This is how
-    /// [`InternedTraces`] records the per-event id streams in the same
-    /// pass that builds the interner.
+    /// interned line, in the engine's splitting order, stopping at the
+    /// first id-space exhaustion. This is how [`InternedTraces`] records
+    /// the per-event id streams in the same pass that builds the interner.
     #[inline]
-    pub fn intern_event_with(&mut self, ev: &Event, mut sink: impl FnMut(LineId)) {
+    pub fn try_intern_event_with(
+        &mut self,
+        ev: &Event,
+        mut sink: impl FnMut(LineId),
+    ) -> Result<(), ValidateError> {
         match ev.kind {
             EventKind::Read
             | EventKind::Write
@@ -142,14 +210,27 @@ impl LineInterner {
             | EventKind::PrestoreClean
             | EventKind::PrestoreDemote => {
                 for line in blocks_touched(ev.addr, ev.size as u64, self.line_size) {
-                    sink(self.intern(line));
+                    sink(self.try_intern(line)?);
                 }
             }
             EventKind::Atomic | EventKind::Acquire => {
-                sink(self.intern_addr(ev.addr));
+                sink(self.try_intern_addr(ev.addr)?);
             }
             EventKind::Fence | EventKind::Compute => {}
         }
+        Ok(())
+    }
+
+    /// [`LineInterner::try_intern_event_with`] for unvalidated (panicking)
+    /// paths.
+    ///
+    /// # Panics
+    ///
+    /// On id-space exhaustion, like [`LineInterner::intern`].
+    #[inline]
+    pub fn intern_event_with(&mut self, ev: &Event, sink: impl FnMut(LineId)) {
+        self.try_intern_event_with(ev, sink)
+            .expect("line-id space exhausted; use try_intern_event_with for typed errors");
     }
 
     /// Build an interner covering every line `threads` touch.
@@ -195,13 +276,28 @@ pub struct InternedTraces {
 }
 
 impl InternedTraces {
-    /// Intern `threads`, recording each event's id run.
-    pub fn from_threads(threads: &[ThreadTrace], line_size: u64) -> Self {
+    /// Intern `threads`, recording each event's id run; errors with
+    /// [`ValidateError::TooManyLines`] if the dense id space is exhausted.
+    pub fn try_from_threads(
+        threads: &[ThreadTrace],
+        line_size: u64,
+    ) -> Result<Self, ValidateError> {
         let mut this = Self::empty(line_size);
         for t in threads {
-            this.push_thread(t);
+            this.try_push_thread(t)?;
         }
-        this
+        Ok(this)
+    }
+
+    /// Intern `threads`, recording each event's id run.
+    ///
+    /// # Panics
+    ///
+    /// On id-space exhaustion, like [`LineInterner::intern`]; validated
+    /// paths use [`InternedTraces::try_from_threads`].
+    pub fn from_threads(threads: &[ThreadTrace], line_size: u64) -> Self {
+        Self::try_from_threads(threads, line_size)
+            .expect("line-id space exhausted; use try_from_threads for typed errors")
     }
 
     /// An interner with no threads recorded (line size still fixed).
@@ -211,18 +307,53 @@ impl InternedTraces {
         Self { interner: LineInterner::new(line_size), threads: Vec::new() }
     }
 
-    /// Intern one more thread's events, appending its id stream.
-    pub fn push_thread(&mut self, t: &ThreadTrace) {
+    /// [`InternedTraces::empty`] with a reduced interner id-space bound,
+    /// so tests can exercise [`ValidateError::TooManyLines`] cheaply.
+    pub fn empty_with_max_lines(line_size: u64, max_lines: u32) -> Self {
+        Self {
+            interner: LineInterner::with_max_lines(line_size, max_lines),
+            threads: Vec::new(),
+        }
+    }
+
+    /// Intern one more thread's events, appending its id stream. Errors
+    /// with [`ValidateError::TooManyLines`] if either the interner's dense
+    /// id space or the thread's `u32` id-stream offset space would
+    /// overflow (the latter needs > `u32::MAX` line occurrences in one
+    /// thread — previously a silent truncation that cross-linked events).
+    /// On error the thread is not recorded; already-recorded threads stay
+    /// intact.
+    pub fn try_push_thread(&mut self, t: &ThreadTrace) -> Result<(), ValidateError> {
         let mut s = IdStream {
             ids: Vec::new(),
             offsets: Vec::with_capacity(t.events.len() + 1),
         };
         for ev in &t.events {
-            s.offsets.push(s.ids.len() as u32);
-            self.interner.intern_event_with(ev, |id| s.ids.push(id));
+            s.offsets.push(Self::checked_offset(s.ids.len())?);
+            self.interner.try_intern_event_with(ev, |id| s.ids.push(id))?;
         }
-        s.offsets.push(s.ids.len() as u32);
+        s.offsets.push(Self::checked_offset(s.ids.len())?);
         self.threads.push(s);
+        Ok(())
+    }
+
+    /// Intern one more thread's events, appending its id stream.
+    ///
+    /// # Panics
+    ///
+    /// On id-space or offset overflow, like [`LineInterner::intern`];
+    /// validated paths use [`InternedTraces::try_push_thread`].
+    pub fn push_thread(&mut self, t: &ThreadTrace) {
+        self.try_push_thread(t)
+            .expect("line-id space exhausted; use try_push_thread for typed errors");
+    }
+
+    /// An id-stream offset, checked against the `u32` offset space.
+    fn checked_offset(len: usize) -> Result<u32, ValidateError> {
+        u32::try_from(len).map_err(|_| ValidateError::TooManyLines {
+            needed: len as u64,
+            limit: u32::MAX as u64,
+        })
     }
 
     /// The interner shared by all recorded threads.
@@ -301,6 +432,28 @@ mod tests {
         assert_eq!(it.ids_for(0, 3), &[LineId(1)]);
         // The streams agree with the interner's map.
         assert_eq!(it.interner().id_of(128), Some(LineId(2)));
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_a_typed_error_and_leaves_state_intact() {
+        let mut i = LineInterner::with_max_lines(64, 2);
+        let a = i.try_intern(0).expect("within capacity");
+        let b = i.try_intern(64).expect("within capacity");
+        let err = i.try_intern(128).expect_err("over capacity");
+        assert!(matches!(err, ValidateError::TooManyLines { needed: 3, limit: 2 }));
+        // Known lines still resolve; nothing was truncated or aliased.
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.try_intern(0).expect("known line"), a);
+        assert_eq!(i.try_intern(64).expect("known line"), b);
+        assert_eq!(i.id_of(128), None);
+    }
+
+    #[test]
+    fn infallible_intern_panics_instead_of_wrapping() {
+        let mut i = LineInterner::with_max_lines(64, 1);
+        i.intern(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| i.intern(64)));
+        assert!(r.is_err(), "intern past capacity must panic, not alias ids");
     }
 
     #[test]

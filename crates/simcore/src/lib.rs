@@ -25,6 +25,7 @@ pub mod par;
 pub mod rng;
 pub mod serialize;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use alloc::{AddressSpace, Region};
@@ -99,10 +100,16 @@ pub const fn align_up(addr: Addr, unit: u64) -> Addr {
 /// let lines: Vec<u64> = simcore::blocks_touched(60, 10, 64).collect();
 /// assert_eq!(lines, vec![0, 64]);
 /// ```
+/// Accesses whose end would overflow the address space are clamped to the
+/// top block: `addr.saturating_add(len - 1)`. Without the clamp, `last`
+/// would wrap below `first` and the iterator would walk essentially the
+/// whole address space — [`crate::trace::validate`] rejects such events
+/// with [`error::ValidateError::AddressOverflow`], and the clamp keeps the
+/// unvalidated (panicking) replay path from hanging on the same input.
 #[inline]
 pub fn blocks_touched(addr: Addr, len: u64, unit: u64) -> BlockIter {
     let first = align_down(addr, unit);
-    let last = if len == 0 { first } else { align_down(addr + (len - 1), unit) };
+    let last = if len == 0 { first } else { align_down(addr.saturating_add(len - 1), unit) };
     BlockIter { next: first, last, unit, done: false }
 }
 
@@ -186,6 +193,18 @@ mod tests {
         let top = u64::MAX - 63;
         let v: Vec<_> = blocks_touched(top, 64, 64).collect();
         assert_eq!(v, vec![top]);
+    }
+
+    #[test]
+    fn blocks_touched_clamps_past_the_address_top() {
+        // An access whose end would overflow u64 must terminate at the top
+        // block instead of wrapping `last` below `first` (which would walk
+        // the whole address space).
+        let v: Vec<_> = blocks_touched(u64::MAX - 3, 64, 64).collect();
+        assert_eq!(v, vec![align_down(u64::MAX - 3, 64)]);
+        let v: Vec<_> = blocks_touched(u64::MAX - 100, u64::MAX, 64).collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(*v.last().unwrap(), align_down(u64::MAX, 64));
     }
 
     #[test]

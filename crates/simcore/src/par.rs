@@ -15,6 +15,28 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Telemetry probes for the pool: all no-ops unless the `telemetry`
+/// feature is on (see [`crate::telemetry`]).
+mod probes {
+    use crate::telemetry::Metric;
+
+    /// `map_indexed` calls.
+    pub(super) static MAPS: Metric = Metric::counter("runner.maps");
+    /// Jobs submitted across all maps.
+    pub(super) static JOBS: Metric = Metric::counter("runner.jobs");
+    /// Extra worker threads spawned (permits actually acquired).
+    pub(super) static HELPERS: Metric = Metric::counter("runner.helpers_spawned");
+    /// Multi-job maps that ran serially because the permit budget was
+    /// exhausted — the pool's contention signal.
+    pub(super) static SERIAL_FALLBACKS: Metric = Metric::counter("runner.serial_fallbacks");
+    /// The budget configured by the last `set_parallelism` call.
+    pub(super) static CONFIGURED_JOBS: Metric = Metric::gauge("runner.configured_jobs");
+    /// Time from map start to each job being picked up (queue wait).
+    pub(super) static JOB_QUEUE_WAIT: Metric = Metric::span("runner.job_queue_wait");
+    /// Time spent inside each job body.
+    pub(super) static JOB_RUN: Metric = Metric::span("runner.job_run");
+}
+
 /// Extra worker threads currently allowed process-wide (budget minus
 /// threads running). The calling thread never needs a permit.
 static EXTRA_PERMITS: AtomicUsize = AtomicUsize::new(0);
@@ -34,6 +56,7 @@ pub fn set_parallelism(jobs: usize) {
     let jobs = jobs.max(1);
     CONFIGURED.store(jobs, Ordering::Relaxed);
     EXTRA_PERMITS.store(jobs - 1, Ordering::Relaxed);
+    probes::CONFIGURED_JOBS.set(jobs as u64);
 }
 
 /// The budget configured by the last [`set_parallelism`] call (default 1).
@@ -85,20 +108,30 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    probes::MAPS.inc();
+    probes::JOBS.add(n as u64);
+    let run_job = |i: usize| {
+        let _timed = crate::telemetry::span(&probes::JOB_RUN);
+        f(i)
+    };
     if n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(run_job).collect();
     }
     let helpers = acquire_permits(n - 1);
     if helpers == 0 {
-        return (0..n).map(f).collect();
+        probes::SERIAL_FALLBACKS.inc();
+        return (0..n).map(run_job).collect();
     }
+    probes::HELPERS.add(helpers as u64);
+    let queue_start = crate::telemetry::Stopwatch::start();
     let next = AtomicUsize::new(0);
     let worker = |out: &mut Vec<(usize, T)>| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             break;
         }
-        out.push((i, f(i)));
+        probes::JOB_QUEUE_WAIT.record_ns(queue_start.elapsed_ns());
+        out.push((i, run_job(i)));
     };
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
@@ -138,7 +171,7 @@ mod tests {
 
     #[test]
     fn serial_budget_runs_inline() {
-        let _g = LOCK.lock().unwrap();
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
         set_parallelism(1);
         let v = map_indexed(8, |i| i + 1);
         assert_eq!(v, vec![1, 2, 3, 4, 5, 6, 7, 8]);
@@ -146,7 +179,7 @@ mod tests {
 
     #[test]
     fn parallel_results_keep_input_order() {
-        let _g = LOCK.lock().unwrap();
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
         set_parallelism(4);
         // Uneven per-item cost to force out-of-order completion.
         let v = map_indexed(64, |i| {
@@ -161,7 +194,7 @@ mod tests {
 
     #[test]
     fn nested_maps_share_the_budget_and_stay_ordered() {
-        let _g = LOCK.lock().unwrap();
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
         set_parallelism(3);
         let v = map_indexed(4, |i| map_indexed(4, move |j| i * 10 + j));
         for (i, inner) in v.into_iter().enumerate() {
@@ -174,7 +207,7 @@ mod tests {
 
     #[test]
     fn empty_and_single_inputs() {
-        let _g = LOCK.lock().unwrap();
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
         set_parallelism(2);
         assert_eq!(map_indexed(0, |i| i), Vec::<usize>::new());
         assert_eq!(map_indexed(1, |i| i), vec![0]);

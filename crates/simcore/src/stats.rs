@@ -171,8 +171,8 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v);
         }
-        let p50 = h.percentile(0.5).unwrap();
-        let p99 = h.percentile(0.99).unwrap();
+        let p50 = h.percentile(0.5).expect("non-empty histogram has percentiles");
+        let p99 = h.percentile(0.99).expect("non-empty histogram has percentiles");
         assert!(p50 <= p99);
         assert!((256..=1024).contains(&p50), "p50 bucket {p50}");
     }

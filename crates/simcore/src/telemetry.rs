@@ -1,0 +1,550 @@
+//! Zero-dependency, feature-gated metrics and tracing.
+//!
+//! The replay pipeline's only observable output used to be end-of-run
+//! [`RunStats`]-style aggregates; everything between — eviction ordering,
+//! pre-store action mix, store-buffer drain pressure, sweep-runner queue
+//! times, memo-cache churn — was invisible until an output diverged. This
+//! module is the measurement surface: process-global counters, gauges and
+//! monotonic spans that every crate in the workspace can probe without new
+//! dependencies.
+//!
+//! # Feature gating
+//!
+//! Everything here is compiled in two variants, switched by `simcore`'s
+//! `telemetry` cargo feature:
+//!
+//! * **enabled** — [`Metric`] is an atomic cell that registers itself in a
+//!   process-global registry on first touch; [`span`] times with
+//!   [`std::time::Instant`] and notifies the installed [`SpanObserver`].
+//! * **disabled (default)** — [`Metric`], [`SpanGuard`] and [`Stopwatch`]
+//!   are zero-sized types whose methods are empty `#[inline]` bodies, so
+//!   every probe in the workspace compiles to nothing and replay output
+//!   stays byte-identical. `results/` reproduction runs use this variant.
+//!
+//! Probe sites therefore never need `#[cfg]`: they declare a
+//! `static M: Metric = Metric::counter("engine.replays");` and call
+//! `M.inc()` unconditionally. All gating lives in this one module; other
+//! crates forward a `telemetry` feature to `simcore/telemetry` purely for
+//! `cargo build -p <crate> --features telemetry` convenience.
+//!
+//! # Registry design
+//!
+//! Metrics are `static`s owned by their probe site. On the first mutation
+//! a metric pushes `&'static self` onto a `Mutex<Vec<_>>` registry (an
+//! `AtomicBool` keeps the fast path to one relaxed load); after that,
+//! updates are plain relaxed `fetch_add`s with no locking. [`snapshot`]
+//! walks the registry and returns samples sorted by name — registration
+//! order depends on which probe fired first and is deliberately not part
+//! of the output.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::telemetry::{self, Metric};
+//!
+//! static REPLAYS: Metric = Metric::counter("example.replays");
+//! static REPLAY_TIME: Metric = Metric::span("example.replay");
+//!
+//! {
+//!     let _timed = telemetry::span(&REPLAY_TIME);
+//!     REPLAYS.inc();
+//! }
+//! // With the `telemetry` feature off (the default), both probes compiled
+//! // to nothing and the snapshot is empty.
+//! assert_eq!(telemetry::snapshot().is_empty(), !telemetry::enabled());
+//! ```
+//!
+//! [`RunStats`]: crate::stats
+
+/// What a [`Metric`] measures — how to interpret its `value`/`count` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricKind {
+    /// `value` is a monotonically increasing total; `count` the number of
+    /// increments.
+    Counter,
+    /// `value` is the last (or maximum) level recorded; `count` the number
+    /// of recordings.
+    Gauge,
+    /// `value` is total nanoseconds spent inside the span; `count` the
+    /// number of entries.
+    Span,
+}
+
+impl MetricKind {
+    /// Stable lowercase name for reports (`"counter"`, `"gauge"`,
+    /// `"span"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Span => "span",
+        }
+    }
+}
+
+/// One metric's state as read by [`snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// The metric's registered name (dotted, e.g. `"engine.replays"`).
+    pub name: &'static str,
+    /// How to interpret [`MetricSample::value`].
+    pub kind: MetricKind,
+    /// Counter total, gauge level, or span total-nanoseconds.
+    pub value: u64,
+    /// Number of updates that produced `value`.
+    pub count: u64,
+}
+
+/// Profiling hook: installed via [`set_span_observer`], called once per
+/// completed [`span`] with the span's name and duration in nanoseconds.
+///
+/// This is how benches subscribe to span events without the telemetry
+/// layer knowing anything about them. Observers run on the thread that
+/// closed the span and must be cheap; with the `telemetry` feature off no
+/// span ever fires, so the observer is never called.
+pub trait SpanObserver: Send + Sync {
+    /// One span named `name` just closed after `nanos` nanoseconds.
+    fn on_span(&self, name: &'static str, nanos: u64);
+}
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use super::{MetricKind, MetricSample, SpanObserver};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    /// All metrics that have been touched at least once, in first-touch
+    /// order. Append-only: metrics are `static`s and never unregister.
+    static REGISTRY: Mutex<Vec<&'static Metric>> = Mutex::new(Vec::new());
+
+    /// The installed span observer, with an atomic fast-path flag so
+    /// spans skip the lock entirely while no observer is installed.
+    static OBSERVER: Mutex<Option<Box<dyn SpanObserver>>> = Mutex::new(None);
+    static OBSERVER_SET: AtomicBool = AtomicBool::new(false);
+
+    /// A process-global atomic metric (counter, gauge or span accumulator).
+    ///
+    /// Declare as a `static` at the probe site; the metric registers
+    /// itself on first touch. All updates are relaxed atomics — telemetry
+    /// is additive bookkeeping, never synchronization.
+    #[derive(Debug)]
+    pub struct Metric {
+        name: &'static str,
+        kind: MetricKind,
+        value: AtomicU64,
+        count: AtomicU64,
+        registered: AtomicBool,
+    }
+
+    impl Metric {
+        const fn new(name: &'static str, kind: MetricKind) -> Self {
+            Self {
+                name,
+                kind,
+                value: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+                registered: AtomicBool::new(false),
+            }
+        }
+
+        /// A monotonically increasing counter.
+        pub const fn counter(name: &'static str) -> Self {
+            Self::new(name, MetricKind::Counter)
+        }
+
+        /// A last-value (or maximum) level gauge.
+        pub const fn gauge(name: &'static str) -> Self {
+            Self::new(name, MetricKind::Gauge)
+        }
+
+        /// A span accumulator: total nanoseconds plus entry count, fed by
+        /// [`super::span`] or [`Metric::record_ns`].
+        pub const fn span(name: &'static str) -> Self {
+            Self::new(name, MetricKind::Span)
+        }
+
+        /// The metric's name.
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+
+        /// The metric's kind.
+        pub fn kind(&self) -> MetricKind {
+            self.kind
+        }
+
+        /// Push onto the global registry on first touch (one relaxed load
+        /// on every later call).
+        #[inline]
+        fn register(&'static self) {
+            if !self.registered.load(Ordering::Acquire) {
+                self.register_slow();
+            }
+        }
+
+        #[cold]
+        fn register_slow(&'static self) {
+            let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+            // Re-check under the lock: two threads may race the fast path.
+            if !self.registered.load(Ordering::Acquire) {
+                reg.push(self);
+                self.registered.store(true, Ordering::Release);
+            }
+        }
+
+        /// Add `n` to a counter (and bump its update count).
+        #[inline]
+        pub fn add(&'static self, n: u64) {
+            self.register();
+            self.value.fetch_add(n, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Add 1 to a counter.
+        #[inline]
+        pub fn inc(&'static self) {
+            self.add(1);
+        }
+
+        /// Set a gauge's level.
+        #[inline]
+        pub fn set(&'static self, v: u64) {
+            self.register();
+            self.value.store(v, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Raise a gauge to `v` if `v` is above its current level.
+        #[inline]
+        pub fn set_max(&'static self, v: u64) {
+            self.register();
+            self.value.fetch_max(v, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Account `ns` nanoseconds to a span (one entry).
+        #[inline]
+        pub fn record_ns(&'static self, ns: u64) {
+            self.register();
+            self.value.fetch_add(ns, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// The current value (counter total / gauge level / span total ns).
+        pub fn value(&self) -> u64 {
+            self.value.load(Ordering::Relaxed)
+        }
+
+        /// The number of updates so far.
+        pub fn count(&self) -> u64 {
+            self.count.load(Ordering::Relaxed)
+        }
+    }
+
+    /// RAII timer for one span entry; created by [`super::span`]. Records
+    /// the elapsed nanoseconds into its metric — and notifies the
+    /// installed [`SpanObserver`], if any — when dropped.
+    #[must_use = "a span measures the scope it is alive for"]
+    #[derive(Debug)]
+    pub struct SpanGuard {
+        metric: &'static Metric,
+        start: Instant,
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let ns = self.start.elapsed().as_nanos() as u64;
+            self.metric.record_ns(ns);
+            if OBSERVER_SET.load(Ordering::Acquire) {
+                let guard = OBSERVER.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(obs) = guard.as_deref() {
+                    obs.on_span(self.metric.name, ns);
+                }
+            }
+        }
+    }
+
+    /// Time the enclosing scope into `metric` (which should be a
+    /// [`Metric::span`]).
+    #[inline]
+    pub fn span(metric: &'static Metric) -> SpanGuard {
+        SpanGuard { metric, start: Instant::now() }
+    }
+
+    /// A manual monotonic timer for spans that do not nest lexically
+    /// (e.g. queue-wait measured from a start point in another scope).
+    /// Zero-sized and free when the feature is off.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Stopwatch {
+        start: Instant,
+    }
+
+    impl Stopwatch {
+        /// Start timing now.
+        #[inline]
+        pub fn start() -> Self {
+            Self { start: Instant::now() }
+        }
+
+        /// Nanoseconds since [`Stopwatch::start`] (0 when the feature is
+        /// off).
+        #[inline]
+        pub fn elapsed_ns(&self) -> u64 {
+            self.start.elapsed().as_nanos() as u64
+        }
+    }
+
+    /// Whether the `telemetry` feature is compiled in.
+    #[inline]
+    pub fn enabled() -> bool {
+        true
+    }
+
+    /// Sample every registered metric, sorted by name (registration order
+    /// is racy and deliberately not exposed).
+    pub fn snapshot() -> Vec<MetricSample> {
+        let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<MetricSample> = reg
+            .iter()
+            .map(|m| MetricSample {
+                name: m.name(),
+                kind: m.kind(),
+                value: m.value(),
+                count: m.count(),
+            })
+            .collect();
+        out.sort_by_key(|s| s.name);
+        out
+    }
+
+    /// Zero every registered metric (they stay registered). Used between
+    /// measurement passes so a snapshot covers exactly one run.
+    pub fn reset() {
+        let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        for m in reg.iter() {
+            m.value.store(0, Ordering::Relaxed);
+            m.count.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Install (or with `None` remove) the process-global span observer.
+    pub fn set_span_observer(obs: Option<Box<dyn SpanObserver>>) {
+        let mut guard = OBSERVER.lock().unwrap_or_else(|e| e.into_inner());
+        OBSERVER_SET.store(obs.is_some(), Ordering::Release);
+        *guard = obs;
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod imp {
+    use super::{MetricSample, SpanObserver};
+
+    /// Zero-sized no-op stand-in for the enabled [`Metric`]: every probe
+    /// site compiles to nothing. See the module docs for the enabled API.
+    #[derive(Debug)]
+    pub struct Metric;
+
+    impl Metric {
+        /// No-op counter.
+        pub const fn counter(_name: &'static str) -> Self {
+            Metric
+        }
+
+        /// No-op gauge.
+        pub const fn gauge(_name: &'static str) -> Self {
+            Metric
+        }
+
+        /// No-op span accumulator.
+        pub const fn span(_name: &'static str) -> Self {
+            Metric
+        }
+
+        /// Always the empty string when telemetry is compiled out.
+        pub fn name(&self) -> &'static str {
+            ""
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn inc(&self) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn set(&self, _v: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn set_max(&self, _v: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record_ns(&self, _ns: u64) {}
+
+        /// Always 0 when telemetry is compiled out.
+        pub fn value(&self) -> u64 {
+            0
+        }
+
+        /// Always 0 when telemetry is compiled out.
+        pub fn count(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Zero-sized stand-in for the enabled span guard; dropping it does
+    /// nothing.
+    #[must_use = "a span measures the scope it is alive for"]
+    #[derive(Debug)]
+    pub struct SpanGuard;
+
+    /// No-op: no clock is read when telemetry is compiled out.
+    #[inline(always)]
+    pub fn span(_metric: &'static Metric) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// Zero-sized stand-in for the enabled stopwatch.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Stopwatch;
+
+    impl Stopwatch {
+        /// No-op: no clock is read when telemetry is compiled out.
+        #[inline(always)]
+        pub fn start() -> Self {
+            Stopwatch
+        }
+
+        /// Always 0 when telemetry is compiled out.
+        #[inline(always)]
+        pub fn elapsed_ns(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Whether the `telemetry` feature is compiled in.
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// Always empty when telemetry is compiled out.
+    pub fn snapshot() -> Vec<MetricSample> {
+        Vec::new()
+    }
+
+    /// No-op.
+    pub fn reset() {}
+
+    /// Accepted and dropped: no span ever fires to observe.
+    pub fn set_span_observer(_obs: Option<Box<dyn SpanObserver>>) {}
+}
+
+pub use imp::{enabled, reset, set_span_observer, snapshot, span, Metric, SpanGuard, Stopwatch};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: Metric = Metric::counter("test.counter");
+    static GAUGE: Metric = Metric::gauge("test.gauge");
+    static SPAN: Metric = Metric::span("test.span");
+
+    #[test]
+    fn counters_accumulate_or_compile_out() {
+        let before = COUNTER.value();
+        COUNTER.inc();
+        COUNTER.add(4);
+        if enabled() {
+            assert_eq!(COUNTER.value(), before + 5);
+            assert!(COUNTER.count() >= 2);
+            let snap = snapshot();
+            let s = snap
+                .iter()
+                .find(|s| s.name == "test.counter")
+                .expect("touched metric must be registered");
+            assert_eq!(s.kind, MetricKind::Counter);
+        } else {
+            assert_eq!(COUNTER.value(), 0);
+            assert_eq!(COUNTER.count(), 0);
+            assert!(snapshot().is_empty());
+        }
+    }
+
+    #[test]
+    fn gauges_track_levels() {
+        GAUGE.set(7);
+        GAUGE.set_max(3); // below: stays
+        GAUGE.set_max(11); // above: raises
+        if enabled() {
+            assert_eq!(GAUGE.value(), 11);
+        } else {
+            assert_eq!(GAUGE.value(), 0);
+        }
+    }
+
+    #[test]
+    fn spans_time_and_notify_the_observer() {
+        static SEEN: AtomicU64 = AtomicU64::new(0);
+        struct Count;
+        impl SpanObserver for Count {
+            fn on_span(&self, name: &'static str, _nanos: u64) {
+                if name == "test.span" {
+                    SEEN.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        set_span_observer(Some(Box::new(Count)));
+        let before = SPAN.count();
+        {
+            let _g = span(&SPAN);
+        }
+        set_span_observer(None);
+        if enabled() {
+            assert_eq!(SPAN.count(), before + 1);
+            assert_eq!(SEEN.load(Ordering::Relaxed), 1);
+        } else {
+            assert_eq!(SPAN.count(), 0);
+            assert_eq!(SEEN.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_reset_zeroes() {
+        COUNTER.inc();
+        GAUGE.set(5);
+        let snap = snapshot();
+        let names: Vec<_> = snap.iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "snapshot must be name-sorted");
+        // `reset` zeroes values but keeps registration; other tests run
+        // concurrently, so only assert on our own metrics' reachability.
+        reset();
+        if enabled() {
+            assert!(snapshot().iter().any(|s| s.name == "test.counter"));
+        }
+    }
+
+    #[test]
+    fn stopwatch_reads_zero_when_disabled() {
+        let sw = Stopwatch::start();
+        let ns = sw.elapsed_ns();
+        if !enabled() {
+            assert_eq!(ns, 0);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(MetricKind::Counter.as_str(), "counter");
+        assert_eq!(MetricKind::Gauge.as_str(), "gauge");
+        assert_eq!(MetricKind::Span.as_str(), "span");
+    }
+}

@@ -306,9 +306,13 @@ impl Tracer {
 /// Checks:
 /// * every memory access has a non-zero size no larger than
 ///   [`MAX_ACCESS_BYTES`];
+/// * no access extends past the top of the 64-bit address space
+///   (`addr + size - 1` must not overflow);
 /// * every [`EventKind::Acquire`] can be satisfied — some thread performs
 ///   at least `seq` atomics on the same line (64 B granularity);
-/// * acquire sequence numbers are non-zero.
+/// * acquire sequence numbers are non-zero;
+/// * the trace set's distinct-line footprint fits the dense
+///   [`crate::LineId`] space ([`ValidateError::TooManyLines`]).
 ///
 /// # Examples
 ///
@@ -385,6 +389,15 @@ pub fn validate_and_intern(
                             size: ev.size,
                         });
                     }
+                    if ev.addr.checked_add(ev.size as u64 - 1).is_none() {
+                        return Err(ValidateError::AddressOverflow {
+                            thread: tid,
+                            index: i,
+                            kind: ev.kind,
+                            addr: ev.addr,
+                            size: ev.size,
+                        });
+                    }
                 }
                 EventKind::Acquire => {
                     if ev.size == 0 {
@@ -410,7 +423,7 @@ pub fn validate_and_intern(
             }
         }
     }
-    Ok(InternedTraces::from_threads(threads, line_size))
+    InternedTraces::try_from_threads(threads, line_size)
 }
 
 #[cfg(test)]
@@ -511,6 +524,22 @@ mod tests {
         // The bound itself is accepted.
         let mut t = Tracer::new();
         t.write(0, MAX_ACCESS_BYTES);
+        assert!(validate(&TraceSet::new(vec![t.finish()]), 64).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_address_overflow() {
+        let mut t = Tracer::new();
+        t.write(u64::MAX - 3, 64); // end would wrap past the address top
+        let err = validate(&TraceSet::new(vec![t.finish()]), 64).unwrap_err();
+        assert!(
+            matches!(err, ValidateError::AddressOverflow { thread: 0, index: 0, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("address space"), "{err}");
+        // An access ending exactly at the top is accepted.
+        let mut t = Tracer::new();
+        t.write(u64::MAX - 63, 64);
         assert!(validate(&TraceSet::new(vec![t.finish()]), 64).is_ok());
     }
 

@@ -267,8 +267,16 @@ mod tests {
             "value clean"
         );
         // The value write precedes the lock atomic (write-before-fence).
-        let widx = tr.events.iter().position(|e| e.kind == EventKind::Write).unwrap();
-        let aidx = tr.events.iter().position(|e| e.kind == EventKind::Atomic).unwrap();
+        let widx = tr
+            .events
+            .iter()
+            .position(|e| e.kind == EventKind::Write)
+            .expect("clht put writes its bucket");
+        let aidx = tr
+            .events
+            .iter()
+            .position(|e| e.kind == EventKind::Atomic)
+            .expect("clht put unlocks via an atomic");
         assert!(widx < aidx);
     }
 

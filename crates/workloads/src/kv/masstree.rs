@@ -312,7 +312,11 @@ mod tests {
             .iter()
             .position(|e| e.kind == EventKind::Write && e.size == 700)
             .expect("value write");
-        let aidx = tr.events.iter().position(|e| e.kind == EventKind::Atomic).unwrap();
+        let aidx = tr
+            .events
+            .iter()
+            .position(|e| e.kind == EventKind::Atomic)
+            .expect("masstree put commits via an atomic");
         assert!(widx < aidx, "value must be crafted before the lock");
     }
 

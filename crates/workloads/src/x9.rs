@@ -133,9 +133,15 @@ mod tests {
         assert_eq!(demotes as u64, 200);
         // Each demote precedes the matching atomic.
         let first_demote =
-            prod.events.iter().position(|e| e.kind == EventKind::PrestoreDemote).unwrap();
+            prod.events
+            .iter()
+            .position(|e| e.kind == EventKind::PrestoreDemote)
+            .expect("x9 producer demotes the flag line");
         let first_atomic =
-            prod.events.iter().position(|e| e.kind == EventKind::Atomic).unwrap();
+            prod.events
+            .iter()
+            .position(|e| e.kind == EventKind::Atomic)
+            .expect("x9 producer releases via an atomic");
         assert!(first_demote < first_atomic);
     }
 
