@@ -3,17 +3,29 @@
 //!
 //! ```text
 //! dirtbuster <workload> [--sample-interval N] [--verbose] [--save-trace F]
+//!            [--trace-out F]
 //! dirtbuster --from-trace FILE [--sample-interval N] [--verbose]
 //!
 //! workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9
 //!            listing1 listing3 pytorch numpy lzma ...
 //! ```
 //!
+//! After the DirtBuster recommendations, the tool replays the workload on
+//! the paper's Machine A and prints the per-site attribution table: which
+//! trace sites cause the device's write-amplified media traffic and the
+//! cores' stall cycles (the paper's Table-3 view). `--trace-out FILE`
+//! additionally writes the run's telemetry spans as a Chrome Trace Event
+//! JSON timeline (Perfetto-loadable; empty without `--features
+//! telemetry`). Per-phase wall-clock timing goes to stderr so stdout stays
+//! pipeable.
+//!
 //! Exit codes: `0` success, `1` trace I/O or validation error, `2` usage
 //! error (unknown workload, missing argument, unparsable flag value).
 
 use dirtbuster::{analyze, DirtBusterConfig};
+use machine::MachineConfig;
 use prestore::PrestoreMode;
+use ps_bench::tracefmt::TraceRecorder;
 use workloads::WorkloadOutput;
 
 fn workload_by_name(name: &str) -> Option<WorkloadOutput> {
@@ -74,13 +86,20 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
 fn usage() -> String {
     format!(
         "usage: dirtbuster <workload> [--sample-interval N] [--verbose] \
-         [--save-trace FILE]\n       dirtbuster --from-trace FILE \
-         [--sample-interval N] [--verbose]\n\
+         [--save-trace FILE] [--trace-out FILE]\n       dirtbuster --from-trace FILE \
+         [--sample-interval N] [--verbose] [--trace-out FILE]\n\
          \n\
          workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9 \
          listing1 listing3 {}\n\
          \n\
-         exit codes: 0 success; 1 trace I/O or validation error; 2 usage error",
+         --trace-out FILE  write telemetry spans as Chrome Trace Event JSON\n\
+         \u{20}                  (load in https://ui.perfetto.dev; empty without\n\
+         \u{20}                  a --features telemetry build)\n\
+         \n\
+         phase timing is printed to stderr; stdout carries only the report\n\
+         \n\
+         exit codes: 0 success; 1 trace I/O or validation error; 2 usage error\n\
+         \u{20}           (the exit code never depends on the report's content)",
         workloads::phoronix::names().join(" ")
     )
 }
@@ -108,16 +127,25 @@ fn main() {
     };
     let save_trace = flag_value(&args, "--save-trace").cloned();
     let from_trace = flag_value(&args, "--from-trace").cloned();
+    let trace_out = flag_value(&args, "--trace-out").cloned();
 
-    let flag_values: Vec<&String> = ["--sample-interval", "--save-trace", "--from-trace"]
-        .iter()
-        .filter_map(|f| flag_value(&args, f))
-        .collect();
+    let flag_values: Vec<&String> =
+        ["--sample-interval", "--save-trace", "--from-trace", "--trace-out"]
+            .iter()
+            .filter_map(|f| flag_value(&args, f))
+            .collect();
     let positional = args
         .iter()
         .find(|a| !a.starts_with("--") && !flag_values.contains(a));
 
     let cfg = DirtBusterConfig { sample_interval, ..Default::default() };
+
+    // Record telemetry spans for --trace-out; both calls are no-ops
+    // without `--features telemetry`.
+    let recorder = TraceRecorder::new();
+    if trace_out.is_some() {
+        simcore::telemetry::set_span_observer(Some(Box::new(recorder.clone())));
+    }
 
     let input_start = std::time::Instant::now();
     let (name, out) = if let Some(path) = from_trace {
@@ -162,7 +190,7 @@ fn main() {
 
     println!("== DirtBuster: {name} ==");
     println!(
-        "{} events across {} thread(s); analysed in {elapsed:.2?}\n",
+        "{} events across {} thread(s)\n",
         out.traces.total_events(),
         out.traces.threads.len()
     );
@@ -192,8 +220,35 @@ fn main() {
     }
     let report_elapsed = report_start.elapsed();
 
-    println!("\n-- phase timing --");
-    println!("  input    {input_elapsed:>10.2?}  (record workload / load trace)");
-    println!("  analyze  {elapsed:>10.2?}");
-    println!("  report   {report_elapsed:>10.2?}");
+    // Replay the workload on Machine A and attribute its device write
+    // amplification and stall cycles back to trace sites — the paper's
+    // Table-3 view of *why* DirtBuster recommends what it recommends.
+    let replay_start = std::time::Instant::now();
+    let machine_cfg = MachineConfig::machine_a();
+    match machine::try_simulate(&machine_cfg, &out.traces) {
+        Ok(stats) => {
+            println!("\nstep 4 (attribution replay on {}):\n", machine_cfg.name);
+            print!("{}", machine::report::render_site_table(&stats, &out.registry, 12));
+        }
+        Err(e) => eprintln!("attribution replay failed: {e}"),
+    }
+    let replay_elapsed = replay_start.elapsed();
+
+    if let Some(path) = trace_out {
+        simcore::telemetry::set_span_observer(None);
+        if let Err(e) = std::fs::write(&path, recorder.render_chrome_trace()) {
+            eprintln!("cannot write Chrome trace to {path:?}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "\ntrace: {} span event(s) written to {path} (load in https://ui.perfetto.dev)",
+            recorder.len()
+        );
+    }
+
+    eprintln!("-- phase timing --");
+    eprintln!("  input    {input_elapsed:>10.2?}  (record workload / load trace)");
+    eprintln!("  analyze  {elapsed:>10.2?}");
+    eprintln!("  report   {report_elapsed:>10.2?}");
+    eprintln!("  replay   {replay_elapsed:>10.2?}  (site attribution on Machine A)");
 }

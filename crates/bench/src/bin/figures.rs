@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [--quick] [--json] [--chart] [--jobs N] [--timing]
-//!         [--baseline FILE] [--metrics FILE] [--out DIR] [id ...]
+//!         [--baseline FILE] [--metrics FILE] [--metrics-baseline FILE]
+//!         [--trace-out FILE] [--out DIR] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Results are printed as text tables
@@ -24,33 +25,27 @@
 //! from quietly eroding.
 //!
 //! `--metrics FILE` writes a JSON snapshot of the telemetry registry
-//! (engine, runner and memo-cache counters plus span timings) covering the
-//! main pass, next to the other outputs. The snapshot is always written;
-//! the per-probe values are nonzero only when the binary was built with
-//! `--features telemetry`, and the flag never changes the experiment
-//! outputs either way (pinned by the `metrics_identity` test).
+//! (engine, runner and memo-cache counters plus span timings and histogram
+//! percentiles) covering the main pass, next to the other outputs. The
+//! snapshot is always written; the per-probe values are nonzero only when
+//! the binary was built with `--features telemetry`, and the flag never
+//! changes the experiment outputs either way (pinned by the
+//! `metrics_identity` test). `--metrics-baseline FILE` additionally diffs
+//! the snapshot against a committed one and fails (exit 2) on any
+//! deterministic counter or histogram-percentile drift beyond tolerance.
+//!
+//! `--trace-out FILE` records every telemetry span of the main pass and
+//! writes a Chrome Trace Event JSON timeline — load it in
+//! <https://ui.perfetto.dev> to see experiments, replays and pool jobs on
+//! their thread lanes. Empty without `--features telemetry`.
 //!
 //! Exit codes: `0` success, `1` I/O error, no matching experiment, or a
-//! `--timing` identity mismatch, `2` wall-clock regression vs
-//! `--baseline`.
+//! `--timing` identity mismatch, `2` wall-clock regression vs `--baseline`
+//! or metrics regression vs `--metrics-baseline`.
 
 use ps_bench::runner::{self, TimedFigure};
-use ps_bench::{experiments, memo};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Span events seen by the demo [`simcore::telemetry::SpanObserver`] that
-/// `--metrics` installs (zero without `--features telemetry`).
-static SPAN_EVENTS: AtomicU64 = AtomicU64::new(0);
-
-/// The profiling hook `--metrics` subscribes: counts every span
-/// completion the telemetry layer reports.
-struct CountSpans;
-
-impl simcore::telemetry::SpanObserver for CountSpans {
-    fn on_span(&self, _name: &'static str, _nanos: u64) {
-        SPAN_EVENTS.fetch_add(1, Ordering::Relaxed);
-    }
-}
+use ps_bench::tracefmt::TraceRecorder;
+use ps_bench::{experiments, memo, metricsjson};
 
 /// An experiment id paired with the function regenerating it.
 type Experiment = (&'static str, fn(bool) -> ps_bench::FigureResult);
@@ -78,7 +73,18 @@ fn usage() -> ! {
   --metrics FILE
                write a telemetry snapshot (JSON) of the main pass; values
                are nonzero only with a --features telemetry build
-  --out DIR    output directory (default: results/)"
+  --metrics-baseline FILE
+               diff the telemetry snapshot against a committed one; fail
+               (exit 2) on deterministic counter/percentile drift beyond
+               10% (no-op without a --features telemetry build)
+  --trace-out FILE
+               write the main pass's telemetry spans as a Chrome Trace
+               Event JSON timeline (Perfetto-loadable; empty without a
+               --features telemetry build)
+  --out DIR    output directory (default: results/)
+
+exit codes: 0 success; 1 I/O error, no matching experiment, or --timing
+            mismatch; 2 regression vs --baseline or --metrics-baseline"
     );
     std::process::exit(1);
 }
@@ -104,6 +110,8 @@ fn main() {
     let out_dir = flag_value("--out").unwrap_or_else(|| "results".to_owned());
     let baseline = flag_value("--baseline");
     let metrics = flag_value("--metrics");
+    let metrics_baseline = flag_value("--metrics-baseline");
+    let trace_out = flag_value("--trace-out");
     if baseline.is_some() && !timing {
         eprintln!("--baseline needs --timing (it compares measured wall-clock)");
         usage();
@@ -119,10 +127,11 @@ fn main() {
         None => runner::default_jobs(),
     };
     // Positional args are experiment ids; skip flag values.
-    let flag_values: Vec<String> = ["--out", "--jobs", "--baseline", "--metrics"]
-        .iter()
-        .filter_map(|f| flag_value(f))
-        .collect();
+    let flag_values: Vec<String> =
+        ["--out", "--jobs", "--baseline", "--metrics", "--metrics-baseline", "--trace-out"]
+            .iter()
+            .filter_map(|f| flag_value(f))
+            .collect();
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -186,11 +195,12 @@ fn main() {
         None
     };
 
-    // The --metrics snapshot covers the main pass only: drop whatever the
-    // serial --timing pass accumulated and subscribe the span hook. Both
-    // calls are no-ops without `--features telemetry`.
-    if metrics.is_some() {
-        simcore::telemetry::set_span_observer(Some(Box::new(CountSpans)));
+    // The --metrics/--trace-out snapshots cover the main pass only: drop
+    // whatever the serial --timing pass accumulated and subscribe the span
+    // recorder. Both calls are no-ops without `--features telemetry`.
+    let recorder = TraceRecorder::new();
+    if metrics.is_some() || metrics_baseline.is_some() || trace_out.is_some() {
+        simcore::telemetry::set_span_observer(Some(Box::new(recorder.clone())));
     }
     simcore::telemetry::reset();
 
@@ -219,16 +229,66 @@ fn main() {
         }
     }
 
-    if let Some(metrics_path) = metrics {
-        simcore::telemetry::set_span_observer(None);
-        let report = render_metrics_json(&counters, SPAN_EVENTS.load(Ordering::Relaxed));
-        if let Err(e) = std::fs::write(&metrics_path, report) {
-            exit_io_error("write metrics snapshot", &metrics_path, e);
+    simcore::telemetry::set_span_observer(None);
+    let metrics_report = metricsjson::render(&counters, recorder.len() as u64, quick);
+    if let Some(metrics_path) = &metrics {
+        if let Err(e) = std::fs::write(metrics_path, &metrics_report) {
+            exit_io_error("write metrics snapshot", metrics_path, e);
         }
         println!(
             "metrics: telemetry {}; snapshot written to {metrics_path}",
             if simcore::telemetry::enabled() { "enabled" } else { "compiled out" }
         );
+    }
+    if let Some(trace_path) = &trace_out {
+        if let Err(e) = std::fs::write(trace_path, recorder.render_chrome_trace()) {
+            exit_io_error("write Chrome trace", trace_path, e);
+        }
+        println!(
+            "trace: {} span event(s) written to {trace_path} (load in https://ui.perfetto.dev)",
+            recorder.len()
+        );
+    }
+    if let Some(baseline_path) = &metrics_baseline {
+        if !simcore::telemetry::enabled() {
+            println!("metrics baseline: telemetry compiled out, nothing to compare");
+        } else {
+            let text = match std::fs::read_to_string(baseline_path) {
+                Ok(t) => t,
+                Err(e) => exit_io_error("read metrics baseline", baseline_path, e),
+            };
+            match metricsjson::diff(&metrics_report, &text, metricsjson::DEFAULT_TOLERANCE) {
+                Err(e) => {
+                    eprintln!("cannot compare metrics baseline {baseline_path:?}: {e}");
+                    std::process::exit(1);
+                }
+                Ok(report) if !report.regressions.is_empty() => {
+                    eprintln!(
+                        "metrics regressions vs baseline {baseline_path} \
+                         ({} of {} gated values):",
+                        report.regressions.len(),
+                        report.compared
+                    );
+                    for r in &report.regressions {
+                        eprintln!("  {r}");
+                    }
+                    std::process::exit(2);
+                }
+                Ok(report) if !report.comparable => {
+                    println!(
+                        "metrics baseline: {baseline_path} was written without telemetry, \
+                         nothing to compare"
+                    );
+                }
+                Ok(report) => {
+                    println!(
+                        "metrics baseline: {} gated values within {:.0}% of {baseline_path}",
+                        report.compared,
+                        metricsjson::DEFAULT_TOLERANCE * 100.0
+                    );
+                }
+            }
+        }
     }
 
     if let Some((serial_figs, serial_seconds, serial_counters)) = serial_baseline {
@@ -305,42 +365,6 @@ fn main() {
             );
         }
     }
-}
-
-/// Render the `--metrics` snapshot: the telemetry registry (name-sorted),
-/// the memo-cache ledger, and the span-observer event count. Hand-rolled
-/// JSON like `BENCH_figures.json` — the names are static identifiers, so
-/// no escaping is needed.
-fn render_metrics_json(memo: &memo::MemoCounters, span_events: u64) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"telemetry\": {},\n", simcore::telemetry::enabled()));
-    out.push_str(&format!("  \"span_events_observed\": {span_events},\n"));
-    out.push_str(&format!(
-        "  \"memo\": {{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \"inserts\": {}, \
-         \"evictions\": {}, \"derived\": {}, \"derive_ns\": {}}},\n",
-        memo.lookups,
-        memo.hits,
-        memo.misses,
-        memo.inserts,
-        memo.evictions,
-        memo.derived,
-        memo.derive_ns
-    ));
-    out.push_str("  \"metrics\": [");
-    for (i, m) in simcore::telemetry::snapshot().iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n    {{\"name\": \"{}\", \"kind\": \"{}\", \"value\": {}, \"count\": {}}}",
-            m.name,
-            m.kind.as_str(),
-            m.value,
-            m.count
-        ));
-    }
-    out.push_str("\n  ]\n}\n");
-    out
 }
 
 /// A timing run may be at most this factor slower than its `--baseline`.

@@ -11,8 +11,11 @@
 
 pub mod chart;
 pub mod experiments;
+pub mod jsonv;
 pub mod memo;
+pub mod metricsjson;
 pub mod runner;
+pub mod tracefmt;
 
 /// One line/bar series of a figure.
 #[derive(Debug, Clone)]

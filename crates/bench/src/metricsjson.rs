@@ -1,0 +1,271 @@
+//! Telemetry snapshot rendering and the `--metrics-baseline` gate.
+//!
+//! [`render`] serializes the telemetry registry — counters, gauges, span
+//! timings, and the log-linear histograms with their percentiles — plus
+//! the memo-cache ledger into the JSON document `figures --metrics`
+//! writes. [`diff`] is the reverse direction: it compares a freshly
+//! rendered snapshot against a committed baseline and reports every
+//! *deterministic* metric that drifted beyond tolerance, which is what
+//! lets CI catch "the replay engine suddenly does 2× the device writes"
+//! without any flaky wall-clock heuristics.
+//!
+//! Only simulation-defined values are compared: metric names under the
+//! `engine.`, `device.` and `wcbuf.` prefixes, excluding span timings.
+//! Machine-dependent values (span nanoseconds, `runner.*` scheduling
+//! counters, memo hit rates) are rendered for humans but never gated.
+
+use crate::jsonv::Json;
+use crate::memo::MemoCounters;
+
+/// Name prefixes whose counters and histogram shapes are fully determined
+/// by the experiment set (replay is deterministic), and therefore safe to
+/// gate on across machines and job counts.
+const DETERMINISTIC_PREFIXES: &[&str] = &["engine.", "device.", "wcbuf."];
+
+/// Default relative tolerance for the baseline gate. Deterministic
+/// counters should match exactly; the slack only absorbs intentional
+/// small drifts (e.g. a workload tweak) without churning the baseline.
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// Render the metrics snapshot: registry state (name-sorted), histogram
+/// percentiles, the memo-cache ledger, and the span-observer event count.
+/// Hand-rolled JSON — every name is a static identifier, so no escaping
+/// is needed.
+pub fn render(memo: &MemoCounters, span_events: u64, quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"telemetry\": {},\n", simcore::telemetry::enabled()));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"span_events_observed\": {span_events},\n"));
+    out.push_str(&format!(
+        "  \"memo\": {{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \"inserts\": {}, \
+         \"evictions\": {}, \"derived\": {}, \"derive_ns\": {}}},\n",
+        memo.lookups, memo.hits, memo.misses, memo.inserts, memo.evictions, memo.derived,
+        memo.derive_ns
+    ));
+    out.push_str("  \"metrics\": [");
+    for (i, m) in simcore::telemetry::snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"kind\": \"{}\", \"value\": {}, \"count\": {}}}",
+            m.name,
+            m.kind.as_str(),
+            m.value,
+            m.count
+        ));
+    }
+    out.push_str("\n  ],\n  \"histograms\": [");
+    for (i, h) in simcore::telemetry::hist_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            h.name,
+            h.count,
+            h.sum,
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99()
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The outcome of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Both snapshots came from telemetry-enabled builds; when `false`
+    /// there was nothing to compare and the gate passes vacuously.
+    pub comparable: bool,
+    /// Values compared (metric values plus histogram count/percentiles).
+    pub compared: usize,
+    /// Human-readable descriptions of every gated value that drifted
+    /// beyond tolerance (empty = pass).
+    pub regressions: Vec<String>,
+}
+
+/// Relative deviation of `cur` from `base`, with a floor of 1 on the
+/// denominator so zero baselines don't divide by zero (an absolute
+/// change of ≤ tolerance from zero is below measurement interest).
+fn rel_dev(cur: f64, base: f64) -> f64 {
+    (cur - base).abs() / base.abs().max(1.0)
+}
+
+fn is_gated(name: &str) -> bool {
+    DETERMINISTIC_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Index the entries of a snapshot's named array by their `"name"` field.
+fn by_name<'a>(doc: &'a Json, array: &str) -> Vec<(&'a str, &'a Json)> {
+    doc.get(array)
+        .and_then(Json::as_arr)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| e.get("name").and_then(Json::as_str).map(|n| (n, e)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compare a freshly rendered snapshot against a committed baseline.
+///
+/// Every deterministic metric value and histogram shape statistic
+/// (`count`, `p50`, `p90`, `p99`) present in the *baseline* must exist in
+/// the current snapshot and lie within `tolerance` relative deviation.
+/// Metrics that only exist in the current snapshot are ignored, so adding
+/// a probe never requires regenerating the baseline. Returns `Err` only
+/// when a document is not a metrics snapshot at all.
+pub fn diff(current: &str, baseline: &str, tolerance: f64) -> Result<DiffReport, String> {
+    let cur = Json::parse(current).map_err(|e| format!("current snapshot: {e}"))?;
+    let base = Json::parse(baseline).map_err(|e| format!("baseline snapshot: {e}"))?;
+    for (doc, which) in [(&cur, "current"), (&base, "baseline")] {
+        if doc.get("metrics").and_then(Json::as_arr).is_none() {
+            return Err(format!("{which} document has no \"metrics\" array"));
+        }
+    }
+    let telemetry_on =
+        |doc: &Json| doc.get("telemetry").and_then(Json::as_bool).unwrap_or(false);
+    if !telemetry_on(&cur) || !telemetry_on(&base) {
+        return Ok(DiffReport { comparable: false, compared: 0, regressions: Vec::new() });
+    }
+    let mut report = DiffReport { comparable: true, compared: 0, regressions: Vec::new() };
+    let cur_metrics = by_name(&cur, "metrics");
+    for (name, entry) in by_name(&base, "metrics") {
+        if !is_gated(name) || entry.get("kind").and_then(Json::as_str) == Some("span") {
+            continue;
+        }
+        let Some(base_value) = entry.get("value").and_then(Json::as_f64) else { continue };
+        report.compared += 1;
+        let Some(cur_value) = cur_metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, e)| e.get("value").and_then(Json::as_f64))
+        else {
+            report.regressions.push(format!("metric {name} missing from current snapshot"));
+            continue;
+        };
+        if rel_dev(cur_value, base_value) > tolerance {
+            report.regressions.push(format!(
+                "metric {name}: {cur_value} vs baseline {base_value} \
+                 (deviation {:.1}% > {:.1}%)",
+                rel_dev(cur_value, base_value) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    let cur_hists = by_name(&cur, "histograms");
+    for (name, entry) in by_name(&base, "histograms") {
+        if !is_gated(name) {
+            continue;
+        }
+        let cur_entry = cur_hists.iter().find(|(n, _)| *n == name).map(|(_, e)| *e);
+        for stat in ["count", "p50", "p90", "p99"] {
+            let Some(base_value) = entry.get(stat).and_then(Json::as_f64) else { continue };
+            report.compared += 1;
+            let Some(cur_value) = cur_entry.and_then(|e| e.get(stat).and_then(Json::as_f64))
+            else {
+                report
+                    .regressions
+                    .push(format!("histogram {name} missing from current snapshot"));
+                break;
+            };
+            if rel_dev(cur_value, base_value) > tolerance {
+                report.regressions.push(format!(
+                    "histogram {name} {stat}: {cur_value} vs baseline {base_value} \
+                     (deviation {:.1}% > {:.1}%)",
+                    rel_dev(cur_value, base_value) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(media: u64, p99: u64) -> String {
+        format!(
+            r#"{{
+  "telemetry": true,
+  "quick": true,
+  "span_events_observed": 7,
+  "metrics": [
+    {{"name": "engine.device_media_bytes_written", "kind": "counter", "value": {media}, "count": 3}},
+    {{"name": "engine.replay", "kind": "span", "value": 123456, "count": 3}},
+    {{"name": "runner.helpers_spawned", "kind": "counter", "value": 999, "count": 9}}
+  ],
+  "histograms": [
+    {{"name": "engine.stall_cycles", "count": 10, "sum": 500, "max": {p99}, "p50": 32, "p90": 64, "p99": {p99}}}
+  ]
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let r = diff(&snapshot(4096, 128), &snapshot(4096, 128), DEFAULT_TOLERANCE)
+            .expect("valid snapshots");
+        assert!(r.comparable);
+        assert!(r.regressions.is_empty(), "{:?}", r.regressions);
+        // 1 gated metric + 4 histogram stats; spans and runner.* skipped.
+        assert_eq!(r.compared, 5);
+    }
+
+    #[test]
+    fn counter_and_percentile_drift_are_regressions() {
+        let r = diff(&snapshot(8192, 1024), &snapshot(4096, 128), DEFAULT_TOLERANCE)
+            .expect("valid snapshots");
+        assert_eq!(r.regressions.len(), 2, "{:?}", r.regressions);
+        assert!(r.regressions[0].contains("engine.device_media_bytes_written"));
+        assert!(r.regressions[1].contains("p99"));
+    }
+
+    #[test]
+    fn nondeterministic_names_are_never_gated() {
+        // runner.* differs wildly between the snapshots but is not gated.
+        let base = snapshot(4096, 128).replace("\"value\": 999", "\"value\": 1");
+        let r = diff(&snapshot(4096, 128), &base, DEFAULT_TOLERANCE).expect("valid snapshots");
+        assert!(r.regressions.is_empty(), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn telemetry_off_snapshots_compare_vacuously() {
+        let off = snapshot(0, 0).replace("\"telemetry\": true", "\"telemetry\": false");
+        let r = diff(&off, &snapshot(4096, 128), DEFAULT_TOLERANCE).expect("valid snapshots");
+        assert!(!r.comparable);
+        assert_eq!(r.compared, 0);
+        assert!(r.regressions.is_empty());
+    }
+
+    #[test]
+    fn missing_metric_in_current_is_a_regression() {
+        let cur = snapshot(4096, 128)
+            .replace("engine.device_media_bytes_written", "engine.renamed_probe");
+        let r = diff(&cur, &snapshot(4096, 128), DEFAULT_TOLERANCE).expect("valid snapshots");
+        assert!(r.regressions.iter().any(|m| m.contains("missing")), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn render_produces_a_parseable_snapshot() {
+        let text = render(&MemoCounters::default(), 42, true);
+        let doc = crate::jsonv::Json::parse(&text).expect("render output parses");
+        assert_eq!(doc.get("span_events_observed").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(doc.get("quick").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("telemetry").and_then(Json::as_bool),
+            Some(simcore::telemetry::enabled())
+        );
+        assert!(doc.get("metrics").and_then(Json::as_arr).is_some());
+        assert!(doc.get("histograms").and_then(Json::as_arr).is_some());
+    }
+}

@@ -16,7 +16,7 @@ static SPANS_SEEN: AtomicU64 = AtomicU64::new(0);
 struct CountSpans;
 
 impl simcore::telemetry::SpanObserver for CountSpans {
-    fn on_span(&self, _name: &'static str, _nanos: u64) {
+    fn on_span(&self, _span: &simcore::telemetry::SpanRecord) {
         SPANS_SEEN.fetch_add(1, Ordering::Relaxed);
     }
 }

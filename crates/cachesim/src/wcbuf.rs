@@ -7,7 +7,7 @@
 //! WC buffers (the bad case — a partial write that forces the device into a
 //! read-modify-write).
 
-use simcore::telemetry::Metric;
+use simcore::telemetry::{Histogram, Metric};
 use simcore::{align_down, Addr};
 use std::collections::VecDeque;
 
@@ -15,6 +15,11 @@ use std::collections::VecDeque;
 /// the device into a read-modify-write, the bad case the module docs
 /// describe. No-op unless simcore's `telemetry` feature is on.
 static PARTIAL_EVICTIONS: Metric = Metric::counter("wcbuf.partial_evictions");
+
+/// Distribution of bytes carried by each flush the buffer emits — a full
+/// spike at the line size means perfect write combining, mass below it
+/// means capacity evictions or fences draining half-filled buffers.
+static FLUSH_BYTES: Histogram = Histogram::new("wcbuf.flush_bytes");
 
 /// A flush emitted by the WC buffer towards the memory device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,12 +107,14 @@ impl WriteCombiningBuffer {
             };
             if filled >= self.line_size {
                 self.open.remove(pos);
+                FLUSH_BYTES.record(self.line_size);
                 flushes.push(WcFlush::Full(line));
             }
             return;
         }
         if bytes >= self.line_size {
             // A full-line store writes through immediately.
+            FLUSH_BYTES.record(self.line_size);
             flushes.push(WcFlush::Full(line));
             return;
         }
@@ -115,6 +122,7 @@ impl WriteCombiningBuffer {
             // Out of buffers: evict the oldest, partially filled.
             let (l, filled) = self.open.pop_front().expect("cap > 0");
             PARTIAL_EVICTIONS.inc();
+            FLUSH_BYTES.record(filled);
             flushes.push(WcFlush::Partial(l, filled));
         }
         self.open.push_back((line, bytes));
@@ -132,8 +140,10 @@ impl WriteCombiningBuffer {
     pub fn flush_all_into(&mut self, out: &mut Vec<WcFlush>) {
         out.extend(self.open.drain(..).map(|(l, filled)| {
             if filled >= self.line_size {
+                FLUSH_BYTES.record(self.line_size);
                 WcFlush::Full(l)
             } else {
+                FLUSH_BYTES.record(filled);
                 WcFlush::Partial(l, filled)
             }
         }));

@@ -28,13 +28,15 @@
 
 use crate::config::{MachineConfig, MemModel};
 use crate::error::{BlockedAcquire, EngineError};
-use crate::stats::{CoreStats, RunStats};
+use crate::stats::{site_col, CoreStats, RunStats, SiteCounters, SITE_COLS};
 use crate::tables::{take_scratch, FlatTables, HashTables, LineTables};
 use cachesim::{Cache, StoreBuffer, WriteCombiningBuffer};
 use cachesim::wcbuf::WcFlush;
 use memdev::{Device, MemDevice};
+use simcore::telemetry::SiteTable;
 use simcore::{
-    blocks_touched, Addr, CoreId, Cycles, EventKind, InternedTraces, LineId, ThreadTrace, TraceSet,
+    blocks_touched, Addr, CoreId, Cycles, EventKind, FuncId, InternedTraces, LineId, ThreadTrace,
+    TraceSet,
 };
 
 /// Floor added to the derived step budget so tiny traces with legitimate
@@ -96,6 +98,24 @@ pub struct Engine<'a, T: LineTables = FlatTables> {
     /// the end of [`Engine::try_run`] (plain `u64`s: the step loop pays no
     /// atomics, and with telemetry compiled out the flush is a no-op).
     acts: crate::probes::ActionCounts,
+    /// Per-trace-site attribution rows (device traffic, pre-store actions,
+    /// stalls), drained into [`RunStats::sites`] at end of run. Always on,
+    /// like `func_cycles`: the attribution feeds results, not the metrics
+    /// registry.
+    sites: SiteTable<SITE_COLS>,
+    /// Side row for [`FuncId::UNKNOWN`] traffic — kept out of `sites` so
+    /// the sentinel id (`u16::MAX`) never forces a 64 Ki-row table.
+    unknown_site: [u64; SITE_COLS],
+    /// The scheduler step currently being replayed (for line-lifetime
+    /// accounting against the first-dirty step tags).
+    cur_step: u64,
+    /// Telemetry-only device write-burst tracking: next line address that
+    /// would continue the current contiguous burst, and its size so far.
+    burst_next: Addr,
+    burst_bytes: u64,
+    /// Telemetry-only: line of the previous device write, for the
+    /// eviction-distance histogram.
+    prev_write_line: Option<Addr>,
 }
 
 /// Replay `traces` on the machine described by `cfg`.
@@ -263,6 +283,10 @@ impl<'a> Engine<'a, FlatTables> {
         }
         engine.wc_buf = std::mem::take(&mut scratch.wc_buf);
         engine.residual = std::mem::take(&mut scratch.residual);
+        engine.sites = std::mem::take(&mut scratch.sites);
+        // Recycled tables are drained on every successful run; the reset
+        // here covers scratch from a run that errored out mid-replay.
+        engine.sites.reset();
         engine
     }
 }
@@ -311,6 +335,12 @@ impl<'a, T: LineTables> Engine<'a, T> {
             wc_buf: Vec::new(),
             residual: Vec::new(),
             acts: crate::probes::ActionCounts::default(),
+            sites: SiteTable::new(),
+            unknown_site: [0; SITE_COLS],
+            cur_step: 0,
+            burst_next: 0,
+            burst_bytes: 0,
+            prev_write_line: None,
         }
     }
 
@@ -375,6 +405,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
                 break;
             };
             steps += 1;
+            self.cur_step = steps;
             if steps > budget {
                 return Err(EngineError::StepBudgetExceeded {
                     steps,
@@ -398,9 +429,12 @@ impl<'a, T: LineTables> Engine<'a, T> {
                 self.tables.func_add(ev.func, spent);
             }
         }
-        // Programs complete when their stores are globally visible.
+        // Programs complete when their stores are globally visible. These
+        // final drains happen after the last trace event, so their traffic
+        // is attributed through the lines' first-dirty tags (the stall
+        // itself is not charged to any core's fence counter).
         for cid in 0..self.cores.len() {
-            self.fence(cid);
+            self.fence(cid, FuncId::UNKNOWN);
         }
         // Account (but do not time) the dirty data still cached at the end
         // of the run: it will be written to the device eventually, and
@@ -417,10 +451,37 @@ impl<'a, T: LineTables> Engine<'a, T> {
         residual.sort_unstable();
         residual.dedup();
         for &line in &residual {
-            self.device.receive_write(line, line_size);
+            // Resolve the interned id so the flat tables can look up the
+            // line's first-dirty tag (end-of-run frequency: one hash probe
+            // per residual line, never on the step path).
+            let id = if T::USE_IDS {
+                self.interned.interner().id_of(line).unwrap_or(LineId::INVALID)
+            } else {
+                LineId::INVALID
+            };
+            let (site, step) =
+                self.tables.dirt_take(id, line).unwrap_or((FuncId::UNKNOWN, self.cur_step));
+            self.site_add(site, site_col::RESIDUAL_LINES, 1);
+            crate::probes::LINE_LIFETIME.record(self.cur_step.saturating_sub(step));
+            self.device_write_attributed(line, line_size, site);
         }
         self.residual = residual;
+        // The device's final flush closes still-open buffered blocks; no
+        // single site caused those media writes, so they land in the
+        // UNKNOWN row (bounded by the device's buffer capacity).
+        let flushed_before = *self.device.stats();
         self.device.flush();
+        let dstats_now = *self.device.stats();
+        self.unknown_site[site_col::MEDIA_BYTES] +=
+            dstats_now.media_bytes_written - flushed_before.media_bytes_written;
+        self.unknown_site[site_col::RMW_BYTES] +=
+            dstats_now.media_bytes_rmw_read - flushed_before.media_bytes_rmw_read;
+        // Close the trailing write burst, if the telemetry build tracked
+        // one.
+        if self.burst_bytes > 0 {
+            crate::probes::WRITE_BURST.record(self.burst_bytes);
+            self.burst_bytes = 0;
+        }
 
         let cpu_cycles = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
         let dstats = *self.device.stats();
@@ -448,6 +509,19 @@ impl<'a, T: LineTables> Engine<'a, T> {
             c.stats.cycles = c.now;
             cores_stats.push(c.stats);
         }
+        // Drain the attribution rows: `drain_sorted` orders by site id, and
+        // UNKNOWN (`u16::MAX`) sorts after every real id, so the appended
+        // catch-all row keeps `sites` sorted for `RunStats::site`'s binary
+        // search.
+        let mut sites: Vec<(FuncId, SiteCounters)> = self
+            .sites
+            .drain_sorted()
+            .into_iter()
+            .map(|(s, row)| (FuncId(s as u16), SiteCounters::from_row(&row)))
+            .collect();
+        if self.unknown_site != [0; SITE_COLS] {
+            sites.push((FuncId::UNKNOWN, SiteCounters::from_row(&self.unknown_site)));
+        }
         let stats = RunStats {
             cycles: cpu_cycles.max(media_busy),
             cpu_cycles,
@@ -457,6 +531,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             llc: *self.llc.stats(),
             device: dstats,
             func_cycles: self.tables.take_func_cycles().into_iter().collect(),
+            sites,
         };
         // Hand the reusable allocations back for the next run on this
         // thread (flat tables only; the reference tables drop them).
@@ -469,7 +544,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
         }
         self.residual.clear();
         self.wc_buf.clear();
-        self.tables.recycle(indices, self.wc_buf, self.residual);
+        self.tables.recycle(indices, self.wc_buf, self.residual, self.sites);
         crate::probes::flush_run(&stats, &self.acts, steps);
         Ok(stats)
     }
@@ -496,7 +571,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             EventKind::Read => {
                 let mut lines = 0u64;
                 for (i, line) in blocks_touched(ev.addr, ev.size as u64, line_size).enumerate() {
-                    self.read_line(cid, line, Self::pick(ids, i));
+                    self.read_line(cid, line, Self::pick(ids, i), ev.func);
                     lines += 1;
                 }
                 self.cores[cid].stats.read_lines += lines;
@@ -504,35 +579,39 @@ impl<'a, T: LineTables> Engine<'a, T> {
             EventKind::Write => {
                 let mut lines = 0u64;
                 for (i, line) in blocks_touched(ev.addr, ev.size as u64, line_size).enumerate() {
-                    self.write_line(cid, line, Self::pick(ids, i))?;
+                    self.write_line(cid, line, Self::pick(ids, i), ev.func)?;
                     lines += 1;
                 }
                 self.cores[cid].stats.write_lines += lines;
             }
             EventKind::NtWrite => {
-                self.nt_write(cid, ev.addr, ev.size as u64, ids);
+                self.nt_write(cid, ev.addr, ev.size as u64, ids, ev.func);
             }
             EventKind::PrestoreClean => {
                 for (i, line) in blocks_touched(ev.addr, ev.size as u64, line_size).enumerate() {
-                    self.prestore_clean(cid, line, Self::pick(ids, i));
+                    self.prestore_clean(cid, line, Self::pick(ids, i), ev.func);
                 }
                 self.cores[cid].stats.prestores += 1;
             }
             EventKind::PrestoreDemote => {
                 for (i, line) in blocks_touched(ev.addr, ev.size as u64, line_size).enumerate() {
-                    self.prestore_demote(cid, line, Self::pick(ids, i));
+                    self.prestore_demote(cid, line, Self::pick(ids, i), ev.func);
                 }
                 self.cores[cid].stats.prestores += 1;
             }
             EventKind::Fence => {
-                let stall = self.fence(cid);
+                let stall = self.fence(cid, ev.func);
                 self.cores[cid].stats.fence_stall_cycles += stall;
                 self.cores[cid].stats.fences += 1;
+                self.site_add(ev.func, site_col::FENCE_STALL, stall);
+                if stall > 0 {
+                    crate::probes::STALL_CYCLES.record(stall);
+                }
             }
             EventKind::Atomic => {
                 let line = simcore::align_down(ev.addr, line_size);
                 let id = Self::pick(ids, 0);
-                self.atomic(cid, line, id);
+                self.atomic(cid, line, id, ev.func);
                 // An atomic releases its line for acquire/release replay
                 // synchronization.
                 let now = self.cores[cid].now;
@@ -557,11 +636,80 @@ impl<'a, T: LineTables> Engine<'a, T> {
         Ok(())
     }
 
+    /// Add `n` to column `col` of `site`'s attribution row.
+    #[inline]
+    fn site_add(&mut self, site: FuncId, col: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if site == FuncId::UNKNOWN {
+            self.unknown_site[col] += n;
+        } else {
+            self.sites.add(site.0 as u32, col, n);
+        }
+    }
+
+    /// Send `bytes` at `line` to the device, attributing the dirty bytes —
+    /// and whatever media traffic the device performs on their behalf
+    /// (block write amplification, read-modify-write fills) — to `site`.
+    ///
+    /// Buffered devices may close a block lazily: its media write is then
+    /// charged to the site whose write forced the close, not to every site
+    /// that filled it. Shares are approximate per site; totals always sum
+    /// to the device counters (minus the end-of-run flush remainder, which
+    /// lands in the UNKNOWN row).
+    fn device_write_attributed(&mut self, line: Addr, bytes: u64, site: FuncId) {
+        let before = *self.device.stats();
+        self.device.receive_write(line, bytes);
+        let after = *self.device.stats();
+        self.site_add(site, site_col::DEVICE_BYTES, bytes);
+        self.site_add(
+            site,
+            site_col::MEDIA_BYTES,
+            after.media_bytes_written - before.media_bytes_written,
+        );
+        self.site_add(
+            site,
+            site_col::RMW_BYTES,
+            after.media_bytes_rmw_read - before.media_bytes_rmw_read,
+        );
+        if simcore::telemetry::enabled() {
+            self.track_device_write(line, bytes);
+        }
+    }
+
+    /// Telemetry-only distribution upkeep for one device write: the
+    /// eviction-distance and write-burst histograms.
+    fn track_device_write(&mut self, line: Addr, bytes: u64) {
+        let line_size = self.cfg.line_size.max(1);
+        if let Some(prev) = self.prev_write_line {
+            crate::probes::EVICTION_DISTANCE.record(line.abs_diff(prev) / line_size);
+        }
+        self.prev_write_line = Some(line);
+        if self.burst_bytes > 0 && line == self.burst_next {
+            self.burst_bytes += bytes;
+        } else {
+            if self.burst_bytes > 0 {
+                crate::probes::WRITE_BURST.record(self.burst_bytes);
+            }
+            self.burst_bytes = bytes;
+        }
+        self.burst_next = line + self.cfg.line_size;
+    }
+
     /// Insert a line into the LLC, writing any dirty victim to the device.
+    /// The victim's traffic is attributed to the site that first dirtied
+    /// it (its dirt tag); a tagless dirty victim charges the UNKNOWN row.
     fn llc_insert(&mut self, line: Addr, id: LineId, dirty: bool) {
         if let Some(v) = self.llc.insert_id(line, id, dirty) {
             if v.dirty {
-                self.device.receive_write(v.line, self.cfg.line_size);
+                let (site, step) = self
+                    .tables
+                    .dirt_take(v.id, v.line)
+                    .unwrap_or((FuncId::UNKNOWN, self.cur_step));
+                self.site_add(site, site_col::DIRTY_EVICTIONS, 1);
+                crate::probes::LINE_LIFETIME.record(self.cur_step.saturating_sub(step));
+                self.device_write_attributed(v.line, self.cfg.line_size, site);
             }
         }
     }
@@ -606,7 +754,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
     /// that continues a tracked stream costs `latency / STREAM_MLP` instead
     /// of the full latency, reflecting the prefetch fills the hardware
     /// keeps in flight ahead of a streaming reader.
-    fn read_line(&mut self, cid: CoreId, line: Addr, id: LineId) {
+    fn read_line(&mut self, cid: CoreId, line: Addr, id: LineId, site: FuncId) {
         let costs = self.cfg.costs;
         // Store-to-load forwarding: an un-drained entry in the own store
         // buffer means the data is right here.
@@ -628,6 +776,8 @@ impl<'a, T: LineTables> Engine<'a, T> {
             if done > now {
                 self.cores[cid].stats.writeback_stall_cycles += done - now;
                 self.cores[cid].now = done;
+                self.site_add(site, site_col::WRITEBACK_STALL, done - now);
+                crate::probes::STALL_CYCLES.record(done - now);
             }
             self.tables.nt_clear(id, line);
             self.cores[cid].now += self.device.read_latency() + self.device.fault_stall();
@@ -746,7 +896,13 @@ impl<'a, T: LineTables> Engine<'a, T> {
     }
 
     /// Execute one line store.
-    fn write_line(&mut self, cid: CoreId, line: Addr, id: LineId) -> Result<(), EngineError> {
+    fn write_line(
+        &mut self,
+        cid: CoreId,
+        line: Addr,
+        id: LineId,
+        site: FuncId,
+    ) -> Result<(), EngineError> {
         let costs = self.cfg.costs;
         self.cores[cid].now += costs.store_issue;
         // Rewriting a line whose clean-initiated writeback is in flight
@@ -756,6 +912,8 @@ impl<'a, T: LineTables> Engine<'a, T> {
             if done > now {
                 self.cores[cid].stats.writeback_stall_cycles += done - now;
                 self.cores[cid].now = done;
+                self.site_add(site, site_col::WRITEBACK_STALL, done - now);
+                crate::probes::STALL_CYCLES.record(done - now);
             }
             self.tables.wb_clear(id, line);
         }
@@ -772,8 +930,11 @@ impl<'a, T: LineTables> Engine<'a, T> {
                 let done = sb.drain_head_id(now, |l, i| self.acquire_for_write(cid, l, i));
                 self.cores[cid].sb = sb;
                 if done > self.cores[cid].now {
-                    self.cores[cid].stats.sb_pressure_stall_cycles += done - self.cores[cid].now;
+                    let stall = done - self.cores[cid].now;
+                    self.cores[cid].stats.sb_pressure_stall_cycles += stall;
                     self.cores[cid].now = done;
+                    self.site_add(site, site_col::SB_STALL, stall);
+                    crate::probes::STALL_CYCLES.record(stall);
                 }
             }
         }
@@ -788,6 +949,10 @@ impl<'a, T: LineTables> Engine<'a, T> {
                 capacity: e.capacity,
             }
         })?;
+        // The store is in flight: tag the line with its first-dirty site
+        // so the eventual eviction/clean/residual can attribute the device
+        // traffic back here (first-dirty wins; rewrites keep the tag).
+        self.tables.dirt_mark(id, line, site, self.cur_step);
         if self.cfg.mem_model == MemModel::Tso {
             // TSO: drains begin immediately (in order) in the background.
             self.start_drains(cid);
@@ -798,7 +963,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
 
     /// Non-temporal store: bypass the caches through the WC buffers.
     /// `ids` is the event's pre-resolved id run (one per touched line).
-    fn nt_write(&mut self, cid: CoreId, addr: Addr, size: u64, ids: &[LineId]) {
+    fn nt_write(&mut self, cid: CoreId, addr: Addr, size: u64, ids: &[LineId], site: FuncId) {
         let line_size = self.cfg.line_size;
         let mut lines = 0u64;
         for (i, line) in blocks_touched(addr, size, line_size).enumerate() {
@@ -808,6 +973,9 @@ impl<'a, T: LineTables> Engine<'a, T> {
                 self.tables.owner_clear(id, line);
             }
             self.llc.invalidate_id(line, id);
+            // The invalidated copy's dirty data is superseded, never
+            // written back: its first-dirty tag dies with it.
+            self.tables.dirt_take(id, line);
             self.cores[cid].now += self.cfg.costs.store_issue;
             // The line was NT-written now; its flush completes one device
             // write latency later.
@@ -817,27 +985,35 @@ impl<'a, T: LineTables> Engine<'a, T> {
         }
         self.cores[cid].stats.write_lines += lines;
         self.acts.nt_lines += lines;
+        self.site_add(site, site_col::NT_LINES, lines);
         // Reuse one flush buffer for the whole run instead of allocating a
         // Vec per NT store (`mem::take` of a Vec moves, never allocates).
         let mut buf = std::mem::take(&mut self.wc_buf);
         buf.clear();
         self.cores[cid].wc.nt_write_into(addr, size, &mut buf);
-        self.apply_wc_flushes(&buf);
+        self.apply_wc_flushes(&buf, site);
         self.wc_buf = buf;
     }
 
-    fn apply_wc_flushes(&mut self, flushes: &[WcFlush]) {
+    /// Apply WC-buffer flushes, attributing the device traffic to `site`
+    /// (the NT store that triggered the flush, or the fence that forced
+    /// it — an approximation: a WC buffer does not remember which NT store
+    /// filled each slot).
+    fn apply_wc_flushes(&mut self, flushes: &[WcFlush], site: FuncId) {
         for f in flushes {
             match *f {
-                WcFlush::Full(line) => self.device.receive_write(line, self.cfg.line_size),
-                WcFlush::Partial(line, bytes) => self.device.receive_write(line, bytes),
+                WcFlush::Full(line) => {
+                    self.device_write_attributed(line, self.cfg.line_size, site)
+                }
+                WcFlush::Partial(line, bytes) => self.device_write_attributed(line, bytes, site),
             }
         }
     }
 
     /// A `clean` pre-store: write the dirty line back, keep it cached.
-    fn prestore_clean(&mut self, cid: CoreId, line: Addr, id: LineId) {
+    fn prestore_clean(&mut self, cid: CoreId, line: Addr, id: LineId, site: FuncId) {
         self.acts.cleans += 1;
+        self.site_add(site, site_col::CLEANS, 1);
         self.cores[cid].now += self.cfg.costs.prestore_issue;
         // Order with respect to a pending private store: force its drain
         // (asynchronously) first, like a demote.
@@ -854,16 +1030,25 @@ impl<'a, T: LineTables> Engine<'a, T> {
             if dirty_l1 {
                 self.tables.owner_clear(id, line);
             }
-            self.device.receive_write(line, self.cfg.line_size);
+            // The clean ends the line's dirty lifetime: charge the device
+            // write to the site that first dirtied it (falling back to the
+            // clean's own site for lines dirtied outside the tagged paths).
+            let (dirt_site, step) =
+                self.tables.dirt_take(id, line).unwrap_or((site, self.cur_step));
+            crate::probes::LINE_LIFETIME.record(self.cur_step.saturating_sub(step));
+            self.device_write_attributed(line, self.cfg.line_size, dirt_site);
             let now = self.cores[cid].now;
             let ready = now + self.device.write_latency();
             self.tables.wb_set(id, line, ready);
         }
     }
 
-    /// A `demote` pre-store: push the line down to the shared level.
-    fn prestore_demote(&mut self, cid: CoreId, line: Addr, id: LineId) {
+    /// A `demote` pre-store: push the line down to the shared level. The
+    /// line stays dirty (now in the LLC), so its first-dirty tag survives
+    /// for the eventual eviction to claim.
+    fn prestore_demote(&mut self, cid: CoreId, line: Addr, id: LineId, site: FuncId) {
         self.acts.demotes += 1;
+        self.site_add(site, site_col::DEMOTES, 1);
         self.cores[cid].now += self.cfg.costs.prestore_issue;
         // Start the background drain of the private store, if any.
         {
@@ -884,8 +1069,9 @@ impl<'a, T: LineTables> Engine<'a, T> {
     }
 
     /// Full fence: wait for every pending store to become visible, flush
-    /// the WC buffers. Returns the stall in cycles.
-    fn fence(&mut self, cid: CoreId) -> Cycles {
+    /// the WC buffers (their device traffic is attributed to `site`).
+    /// Returns the stall in cycles.
+    fn fence(&mut self, cid: CoreId, site: FuncId) -> Cycles {
         let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
         let now = self.cores[cid].now;
         let done = sb.drain_all_id(now, |l, i| self.acquire_for_write(cid, l, i));
@@ -895,7 +1081,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
         let mut buf = std::mem::take(&mut self.wc_buf);
         buf.clear();
         self.cores[cid].wc.flush_all_into(&mut buf);
-        self.apply_wc_flushes(&buf);
+        self.apply_wc_flushes(&buf, site);
         self.wc_buf = buf;
         stall
     }
@@ -905,14 +1091,16 @@ impl<'a, T: LineTables> Engine<'a, T> {
     /// The drain of the store buffer and the RFO of the atomic's own line
     /// are independent cache operations and overlap; the atomic retires
     /// when the slower of the two completes.
-    fn atomic(&mut self, cid: CoreId, line: Addr, id: LineId) {
+    fn atomic(&mut self, cid: CoreId, line: Addr, id: LineId, site: FuncId) {
         let start = self.cores[cid].now;
-        let stall = self.fence(cid);
+        let stall = self.fence(cid, site);
         if let Some(done) = self.tables.wb_get(id, line) {
             let now = self.cores[cid].now;
             if done > now {
                 self.cores[cid].stats.writeback_stall_cycles += done - now;
                 self.cores[cid].now = done;
+                self.site_add(site, site_col::WRITEBACK_STALL, done - now);
+                crate::probes::STALL_CYCLES.record(done - now);
             }
             self.tables.wb_clear(id, line);
         }
@@ -923,6 +1111,10 @@ impl<'a, T: LineTables> Engine<'a, T> {
         let total = self.cores[cid].now - start;
         self.cores[cid].stats.atomic_stall_cycles += total;
         self.cores[cid].stats.atomics += 1;
+        self.site_add(site, site_col::ATOMIC_STALL, total);
+        if total > 0 {
+            crate::probes::STALL_CYCLES.record(total);
+        }
     }
 }
 

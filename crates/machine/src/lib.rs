@@ -43,4 +43,4 @@ pub use engine::{
     try_simulate_threads, try_simulate_threads_reference, Engine, Machine,
 };
 pub use error::{BlockedAcquire, EngineError};
-pub use stats::{CoreStats, RunStats};
+pub use stats::{CoreStats, RunStats, SiteCounters};

@@ -9,7 +9,7 @@
 //! probes touch an atomic outside end-of-run.
 
 use crate::stats::RunStats;
-use simcore::telemetry::{self, Metric};
+use simcore::telemetry::{self, Histogram, Metric};
 
 /// Whole-replay span (validate-free portion: `Engine::try_run`).
 pub(crate) static REPLAY: Metric = Metric::span("engine.replay");
@@ -59,6 +59,21 @@ pub(crate) static DEVICE_BYTES_READ: Metric = Metric::counter("engine.device_byt
 pub(crate) static TABLE_EPOCHS: Metric = Metric::counter("engine.table_epochs");
 /// Epoch-counter wraps (the rare full re-zero path).
 pub(crate) static TABLE_EPOCH_WRAPS: Metric = Metric::counter("engine.table_epoch_wraps");
+
+/// Distribution of line lifetimes: scheduler steps between a line's first
+/// dirtying store and the moment its dirty data leaves the hierarchy
+/// (dirty LLC eviction, clean writeback, or end-of-run residual flush).
+pub(crate) static LINE_LIFETIME: Histogram = Histogram::new("engine.line_lifetime_steps");
+/// Distribution of eviction distances: |Δ| in lines between consecutive
+/// device writes — small values mean the writeback stream is sequential
+/// enough for block-granular devices to combine.
+pub(crate) static EVICTION_DISTANCE: Histogram = Histogram::new("engine.eviction_distance_lines");
+/// Distribution of individual stall events (fence, atomic, store-buffer
+/// pressure, writeback-wait), in cycles.
+pub(crate) static STALL_CYCLES: Histogram = Histogram::new("engine.stall_cycles");
+/// Distribution of device write-burst sizes: bytes of line-contiguous
+/// device writes before the stream breaks.
+pub(crate) static WRITE_BURST: Histogram = Histogram::new("engine.write_burst_bytes");
 
 /// Per-replay action counts kept as plain fields on the engine so the step
 /// loop pays no atomics; flushed by [`flush_run`].

@@ -5,6 +5,105 @@ use memdev::DeviceStats;
 use simcore::{Cycles, FuncId};
 use std::collections::HashMap;
 
+/// Column count of the engine's per-site attribution rows (one column per
+/// [`SiteCounters`] field).
+pub(crate) const SITE_COLS: usize = 12;
+
+/// Column indexes into a site attribution row. The engine accumulates
+/// into `SiteTable<SITE_COLS>` rows by these indexes;
+/// [`SiteCounters::from_row`] is the one place that names them.
+pub(crate) mod site_col {
+    /// Bytes of dirty data this site's stores pushed to the device.
+    pub const DEVICE_BYTES: usize = 0;
+    /// Device media bytes actually written on behalf of this site
+    /// (amplified: whole blocks on block-granular devices).
+    pub const MEDIA_BYTES: usize = 1;
+    /// Media bytes read back for read-modify-write block fills.
+    pub const RMW_BYTES: usize = 2;
+    /// Dirty LLC evictions whose line was first dirtied at this site.
+    pub const DIRTY_EVICTIONS: usize = 3;
+    /// Lines still dirty at end of run, flushed as residual writebacks.
+    pub const RESIDUAL_LINES: usize = 4;
+    /// Pre-store clean actions issued at this site.
+    pub const CLEANS: usize = 5;
+    /// Pre-store demote actions issued at this site.
+    pub const DEMOTES: usize = 6;
+    /// Non-temporal store lines issued at this site.
+    pub const NT_LINES: usize = 7;
+    /// Fence stall cycles paid at this site.
+    pub const FENCE_STALL: usize = 8;
+    /// Atomic stall cycles paid at this site.
+    pub const ATOMIC_STALL: usize = 9;
+    /// Store-buffer pressure stall cycles paid at this site.
+    pub const SB_STALL: usize = 10;
+    /// Writeback-wait stall cycles paid at this site.
+    pub const WRITEBACK_STALL: usize = 11;
+}
+
+/// Per-trace-site attribution: where write amplification and stalls come
+/// from. One row per [`FuncId`] that caused device traffic, a pre-store
+/// action, or a stall during the run — the simulator's equivalent of
+/// DirtBuster's Table-3 "which code site dirties the lines that hurt"
+/// breakdown. Lives in [`RunStats::sites`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SiteCounters {
+    /// Bytes of dirty data this site's stores pushed to the device
+    /// (evictions, cleans, NT flushes, residual writebacks).
+    pub device_bytes: u64,
+    /// Device media bytes actually written on behalf of this site —
+    /// includes block-granularity write amplification.
+    pub media_bytes: u64,
+    /// Media bytes read back for read-modify-write block fills caused by
+    /// this site's writes.
+    pub rmw_bytes: u64,
+    /// Dirty LLC evictions of lines first dirtied at this site.
+    pub dirty_evictions: u64,
+    /// Lines this site left dirty at end of run (residual flush).
+    pub residual_lines: u64,
+    /// Pre-store clean actions issued at this site.
+    pub cleans: u64,
+    /// Pre-store demote actions issued at this site.
+    pub demotes: u64,
+    /// Non-temporal store lines issued at this site.
+    pub nt_lines: u64,
+    /// Fence stall cycles paid at this site.
+    pub fence_stall_cycles: Cycles,
+    /// Atomic stall cycles paid at this site.
+    pub atomic_stall_cycles: Cycles,
+    /// Store-buffer pressure stall cycles paid at this site.
+    pub sb_stall_cycles: Cycles,
+    /// Writeback-wait stall cycles paid at this site.
+    pub writeback_stall_cycles: Cycles,
+}
+
+impl SiteCounters {
+    /// Decode one attribution-table row (see [`site_col`]).
+    pub(crate) fn from_row(row: &[u64; SITE_COLS]) -> Self {
+        Self {
+            device_bytes: row[site_col::DEVICE_BYTES],
+            media_bytes: row[site_col::MEDIA_BYTES],
+            rmw_bytes: row[site_col::RMW_BYTES],
+            dirty_evictions: row[site_col::DIRTY_EVICTIONS],
+            residual_lines: row[site_col::RESIDUAL_LINES],
+            cleans: row[site_col::CLEANS],
+            demotes: row[site_col::DEMOTES],
+            nt_lines: row[site_col::NT_LINES],
+            fence_stall_cycles: row[site_col::FENCE_STALL],
+            atomic_stall_cycles: row[site_col::ATOMIC_STALL],
+            sb_stall_cycles: row[site_col::SB_STALL],
+            writeback_stall_cycles: row[site_col::WRITEBACK_STALL],
+        }
+    }
+
+    /// All stall cycles attributed to the site.
+    pub fn total_stall_cycles(&self) -> Cycles {
+        self.fence_stall_cycles
+            + self.atomic_stall_cycles
+            + self.sb_stall_cycles
+            + self.writeback_stall_cycles
+    }
+}
+
 /// Counters of a single simulated core.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct CoreStats {
@@ -54,6 +153,11 @@ pub struct RunStats {
     /// it, so claims like "pre-storing reduces the time spent in the
     /// atomic instructions of the lock" (§7.3.1) can be checked directly.
     pub func_cycles: HashMap<FuncId, Cycles>,
+    /// Per-trace-site write-amplification and stall attribution, sorted by
+    /// [`FuncId`] (so two runs of the same trace compare equal). A
+    /// [`FuncId::UNKNOWN`] row collects traffic the engine could not tie
+    /// to a site (untraced callers, end-of-run device flush remainders).
+    pub sites: Vec<(FuncId, SiteCounters)>,
 }
 
 impl RunStats {
@@ -101,6 +205,37 @@ impl RunStats {
     pub fn cycles_in(&self, func: FuncId) -> Cycles {
         self.func_cycles.get(&func).copied().unwrap_or(0)
     }
+
+    /// The attribution row for `func`, if it caused any attributed traffic
+    /// or stalls this run.
+    pub fn site(&self, func: FuncId) -> Option<&SiteCounters> {
+        self.sites
+            .binary_search_by_key(&func, |(f, _)| *f)
+            .ok()
+            .map(|i| &self.sites[i].1)
+    }
+
+    /// Device media bytes attributed to *known* trace sites (excludes the
+    /// [`FuncId::UNKNOWN`] catch-all row). Compare against
+    /// `device.media_bytes_written` for attribution coverage.
+    pub fn attributed_media_bytes(&self) -> u64 {
+        self.sites
+            .iter()
+            .filter(|(f, _)| *f != FuncId::UNKNOWN)
+            .map(|(_, s)| s.media_bytes)
+            .sum()
+    }
+
+    /// Stall cycles attributed to *known* trace sites (excludes the
+    /// [`FuncId::UNKNOWN`] row). Compare against the per-core stall sums
+    /// for attribution coverage.
+    pub fn attributed_stall_cycles(&self) -> Cycles {
+        self.sites
+            .iter()
+            .filter(|(f, _)| *f != FuncId::UNKNOWN)
+            .map(|(_, s)| s.total_stall_cycles())
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +252,7 @@ mod tests {
             llc: CacheStats::default(),
             device: DeviceStats::default(),
             func_cycles: HashMap::new(),
+            sites: Vec::new(),
         }
     }
 
@@ -143,5 +279,29 @@ mod tests {
         assert!(!r.is_media_bound());
         r.media_busy_cycles = 500;
         assert!(r.is_media_bound());
+    }
+
+    #[test]
+    fn site_rows_decode_and_attribute() {
+        let mut row = [0u64; SITE_COLS];
+        row[site_col::MEDIA_BYTES] = 256;
+        row[site_col::DEVICE_BYTES] = 64;
+        row[site_col::FENCE_STALL] = 10;
+        row[site_col::SB_STALL] = 5;
+        let site = SiteCounters::from_row(&row);
+        assert_eq!(site.media_bytes, 256);
+        assert_eq!(site.device_bytes, 64);
+        assert_eq!(site.total_stall_cycles(), 15);
+
+        let mut r = stats(100);
+        r.sites = vec![
+            (FuncId(2), site),
+            (FuncId(7), SiteCounters { media_bytes: 100, ..Default::default() }),
+            (FuncId::UNKNOWN, SiteCounters { media_bytes: 9, ..Default::default() }),
+        ];
+        assert_eq!(r.site(FuncId(2)), Some(&site));
+        assert_eq!(r.site(FuncId(3)), None);
+        assert_eq!(r.attributed_media_bytes(), 356, "unknown row excluded");
+        assert_eq!(r.attributed_stall_cycles(), 15);
     }
 }

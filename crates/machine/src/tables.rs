@@ -27,8 +27,10 @@
 //! whether caches get an [`IdIndex`] installed and ids are resolved at
 //! all.
 
+use crate::stats::SITE_COLS;
 use cachesim::wcbuf::WcFlush;
 use cachesim::IdIndex;
+use simcore::telemetry::SiteTable;
 use simcore::{Addr, CoreId, Cycles, FuncId, FxHashMap, LineId};
 use std::cell::RefCell;
 
@@ -63,6 +65,16 @@ pub trait LineTables {
     fn release_get(&self, id: LineId, line: Addr) -> Option<(u32, Cycles)>;
     fn release_bump(&mut self, id: LineId, line: Addr, now: Cycles);
 
+    /// Tag `line` with the site and step that first dirtied it, if it has
+    /// no tag yet (first-dirty wins: a line stays attributed to the store
+    /// that started its dirty lifetime until the tag is taken).
+    fn dirt_mark(&mut self, id: LineId, line: Addr, site: FuncId, step: u64);
+    /// Take (and clear) `line`'s first-dirty tag, if any. Called when the
+    /// dirty data leaves the hierarchy — eviction to the device, a
+    /// pre-store clean writeback, an NT store superseding it, or the
+    /// end-of-run residual flush.
+    fn dirt_take(&mut self, id: LineId, line: Addr) -> Option<(FuncId, u64)>;
+
     /// Attribute `spent` cycles to function `f` (`spent > 0`).
     fn func_add(&mut self, f: FuncId, spent: Cycles);
     /// Drain the per-function attribution accumulated this run.
@@ -70,7 +82,13 @@ pub trait LineTables {
 
     /// Hand reusable allocations back for the next run on this thread
     /// (no-op for the reference tables).
-    fn recycle(self, indices: Vec<IdIndex>, wc_buf: Vec<WcFlush>, residual: Vec<Addr>);
+    fn recycle(
+        self,
+        indices: Vec<IdIndex>,
+        wc_buf: Vec<WcFlush>,
+        residual: Vec<Addr>,
+        sites: SiteTable<SITE_COLS>,
+    );
 }
 
 /// The always-touched half of a line's state: an epoch stamp plus a packed
@@ -110,8 +128,26 @@ const WB: u32 = 1 << 1;
 const NT: u32 = 1 << 2;
 /// [`HotEntry::flags`] bit: the line has been released this run.
 const REL: u32 = 1 << 3;
+/// [`HotEntry::flags`] bit: the line carries a first-dirty site tag.
+const DIRT: u32 = 1 << 4;
 /// The owning core lives in `flags >> OWNER_SHIFT` (24 bits of core id).
 const OWNER_SHIFT: u32 = 8;
+
+/// First-dirty attribution tag: which trace site dirtied the line and at
+/// which replay step. Lives in its own lazily-sized table (like the cold
+/// timestamps) gated by the [`DIRT`] flag, and is always fully written
+/// before the flag is set, so it needs no epoch of its own.
+#[derive(Debug, Clone, Copy)]
+struct DirtEntry {
+    site: FuncId,
+    step: u64,
+}
+
+impl Default for DirtEntry {
+    fn default() -> Self {
+        Self { site: FuncId::UNKNOWN, step: 0 }
+    }
+}
 
 /// Dense, epoch-stamped per-line state tables (the production path).
 #[derive(Debug, Default)]
@@ -121,6 +157,9 @@ pub struct FlatTables {
     hot: Vec<HotEntry>,
     /// Per line id: timestamps gated by `hot` flags (cold: rare concerns).
     cold: Vec<ColdEntry>,
+    /// Per line id: first-dirty site tags gated by the [`DIRT`] flag
+    /// (lazily sized like `cold`).
+    dirt: Vec<DirtEntry>,
     /// Per function index: cycles attributed this run.
     func: Vec<Cycles>,
     /// Functions with a non-zero entry in `func` (for O(touched) drain).
@@ -192,6 +231,17 @@ impl FlatTables {
             self.cold.resize(self.hot.len().max(idx + 1), ColdEntry::default());
         }
         &mut self.cold[idx]
+    }
+
+    /// The dirt entry for `id`, growing the table on first use (same
+    /// full-write-before-flag discipline as [`FlatTables::cold_mut`]).
+    #[inline]
+    fn dirt_mut(&mut self, id: LineId) -> &mut DirtEntry {
+        let idx = id.index();
+        if idx >= self.dirt.len() {
+            self.dirt.resize(self.hot.len().max(idx + 1), DirtEntry::default());
+        }
+        &mut self.dirt[idx]
     }
 }
 
@@ -279,6 +329,28 @@ impl LineTables for FlatTables {
     }
 
     #[inline]
+    fn dirt_mark(&mut self, id: LineId, _line: Addr, site: FuncId, step: u64) {
+        let f = self.flags_mut(id);
+        if *f & DIRT != 0 {
+            return; // first-dirty wins
+        }
+        *f |= DIRT;
+        *self.dirt_mut(id) = DirtEntry { site, step };
+    }
+
+    #[inline]
+    fn dirt_take(&mut self, id: LineId, _line: Addr) -> Option<(FuncId, u64)> {
+        let e = &mut self.hot[id.index()];
+        if e.epoch == self.epoch && e.flags & DIRT != 0 {
+            e.flags &= !DIRT;
+            let d = self.dirt[id.index()];
+            Some((d.site, d.step))
+        } else {
+            None
+        }
+    }
+
+    #[inline]
     fn func_add(&mut self, f: FuncId, spent: Cycles) {
         if f == FuncId::UNKNOWN {
             self.unknown += spent;
@@ -307,8 +379,14 @@ impl LineTables for FlatTables {
         out
     }
 
-    fn recycle(self, indices: Vec<IdIndex>, wc_buf: Vec<WcFlush>, residual: Vec<Addr>) {
-        put_scratch(EngineScratch { flat: self, indices, wc_buf, residual });
+    fn recycle(
+        self,
+        indices: Vec<IdIndex>,
+        wc_buf: Vec<WcFlush>,
+        residual: Vec<Addr>,
+        sites: SiteTable<SITE_COLS>,
+    ) {
+        put_scratch(EngineScratch { flat: self, indices, wc_buf, residual, sites });
     }
 }
 
@@ -321,6 +399,7 @@ pub struct HashTables {
     nt_inflight: FxHashMap<Addr, Cycles>,
     releases: FxHashMap<Addr, (u32, Cycles)>,
     func_cycles: FxHashMap<FuncId, Cycles>,
+    dirt: FxHashMap<Addr, (FuncId, u64)>,
 }
 
 impl LineTables for HashTables {
@@ -384,6 +463,16 @@ impl LineTables for HashTables {
     }
 
     #[inline]
+    fn dirt_mark(&mut self, _id: LineId, line: Addr, site: FuncId, step: u64) {
+        self.dirt.entry(line).or_insert((site, step)); // first-dirty wins
+    }
+
+    #[inline]
+    fn dirt_take(&mut self, _id: LineId, line: Addr) -> Option<(FuncId, u64)> {
+        self.dirt.remove(&line)
+    }
+
+    #[inline]
     fn func_add(&mut self, f: FuncId, spent: Cycles) {
         *self.func_cycles.entry(f).or_insert(0) += spent;
     }
@@ -392,7 +481,14 @@ impl LineTables for HashTables {
         self.func_cycles.drain().collect()
     }
 
-    fn recycle(self, _indices: Vec<IdIndex>, _wc_buf: Vec<WcFlush>, _residual: Vec<Addr>) {}
+    fn recycle(
+        self,
+        _indices: Vec<IdIndex>,
+        _wc_buf: Vec<WcFlush>,
+        _residual: Vec<Addr>,
+        _sites: SiteTable<SITE_COLS>,
+    ) {
+    }
 }
 
 /// Reusable per-thread replay allocations: the flat tables, one
@@ -403,6 +499,8 @@ pub(crate) struct EngineScratch {
     pub(crate) indices: Vec<IdIndex>,
     pub(crate) wc_buf: Vec<WcFlush>,
     pub(crate) residual: Vec<Addr>,
+    /// Per-site attribution rows, epoch-reset like the flat tables.
+    pub(crate) sites: SiteTable<SITE_COLS>,
 }
 
 thread_local! {
@@ -485,6 +583,38 @@ mod tests {
     }
 
     #[test]
+    fn dirt_tags_match_between_flat_and_hash() {
+        let mut interner = LineInterner::new(8);
+        let lines: Vec<Addr> = (0..4).map(|i| i * 64).collect();
+        for &l in &lines {
+            interner.intern(l);
+        }
+        let mut flat = FlatTables::default();
+        flat.reset(interner.len());
+        let mut hash = HashTables::default();
+        for (i, &line) in lines.iter().enumerate() {
+            let id = interner.id_of(line).expect("interned above");
+            let site = FuncId(i as u16);
+            assert_eq!(flat.dirt_take(id, line), hash.dirt_take(id, line));
+            flat.dirt_mark(id, line, site, 10);
+            hash.dirt_mark(id, line, site, 10);
+            // Second mark must not overwrite: first-dirty wins.
+            flat.dirt_mark(id, line, FuncId(99), 20);
+            hash.dirt_mark(id, line, FuncId(99), 20);
+            assert_eq!(flat.dirt_take(id, line), Some((site, 10)));
+            assert_eq!(hash.dirt_take(id, line), Some((site, 10)));
+            // Taken: the tag is gone until the next mark.
+            assert_eq!(flat.dirt_take(id, line), None);
+            assert_eq!(hash.dirt_take(id, line), None);
+        }
+        // An epoch bump forgets flat tags, like a fresh HashTables.
+        let id = interner.id_of(lines[0]).expect("interned above");
+        flat.dirt_mark(id, lines[0], FuncId(1), 1);
+        flat.reset(interner.len());
+        assert_eq!(flat.dirt_take(id, lines[0]), None);
+    }
+
+    #[test]
     fn func_cycles_drain_and_reset() {
         let mut flat = FlatTables::default();
         flat.reset(1);
@@ -508,7 +638,7 @@ mod tests {
         s.wc_buf.reserve(123);
         let cap = s.wc_buf.capacity();
         s.flat.reset(8);
-        s.flat.recycle(s.indices, s.wc_buf, s.residual);
+        s.flat.recycle(s.indices, s.wc_buf, s.residual, s.sites);
         let s2 = take_scratch();
         assert!(s2.wc_buf.capacity() >= cap, "allocation survives the round trip");
         // Leave TLS clean for other tests on this thread.

@@ -14,8 +14,16 @@
 //! paper reads out of `ipmctl`.
 
 use crate::{DeviceStats, MemDevice, TransientFaults};
+use simcore::telemetry::Histogram;
 use simcore::{align_down, Addr, Cycles};
 use std::collections::VecDeque;
+
+/// Distribution of bytes covered in each internal block when it closes —
+/// mass at the block size means writebacks arrived sequentially enough to
+/// merge (write amplification 1.0), mass at one line means every
+/// writeback paid a full block write plus a read-modify-write fill.
+/// No-op unless simcore's `telemetry` feature is on.
+static BLOCK_COVERED: Histogram = Histogram::new("device.block_covered_bytes");
 
 /// An Optane persistent-memory module set.
 #[derive(Debug, Clone)]
@@ -89,6 +97,7 @@ impl OptanePmem {
     }
 
     fn close_block(&mut self, covered: u64) {
+        BLOCK_COVERED.record(covered);
         self.stats.media_bytes_written += self.block;
         if covered < self.block {
             // Partially covered block: the device must read the rest first.

@@ -11,8 +11,12 @@
 //! calls, so an outer loop over experiments and inner loops over sweep
 //! points share one budget instead of multiplying. When no permits are
 //! available the calling thread simply runs its loop serially — same
-//! results, no oversubscription.
+//! results, no oversubscription. Nested maps additionally probe their
+//! first item inline and finish serially when the remaining work is too
+//! small to pay for thread handoff, so tiny inner sweeps never get
+//! *slower* under `--jobs`.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Telemetry probes for the pool: all no-ops unless the `telemetry`
@@ -29,6 +33,9 @@ mod probes {
     /// Multi-job maps that ran serially because the permit budget was
     /// exhausted — the pool's contention signal.
     pub(super) static SERIAL_FALLBACKS: Metric = Metric::counter("runner.serial_fallbacks");
+    /// Nested maps that finished serially because the first-item probe
+    /// estimated the remaining work below the fan-out threshold.
+    pub(super) static INLINE_MAPS: Metric = Metric::counter("runner.inline_maps");
     /// The budget configured by the last `set_parallelism` call.
     pub(super) static CONFIGURED_JOBS: Metric = Metric::gauge("runner.configured_jobs");
     /// Time from map start to each job being picked up (queue wait).
@@ -40,6 +47,34 @@ mod probes {
 /// Extra worker threads currently allowed process-wide (budget minus
 /// threads running). The calling thread never needs a permit.
 static EXTRA_PERMITS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Map-nesting depth on this thread: non-zero while a job body of an
+    /// enclosing [`map_indexed`] is running.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Minimum estimated *remaining* work, in nanoseconds, before a nested
+/// map fans out to worker threads. Below this the spawn/handoff overhead
+/// dominates and the tiny sweeps behind `--jobs` get slower, not faster.
+const INLINE_THRESHOLD_NS: u64 = 2_000_000;
+
+/// Increments the thread-local map depth for the guard's lifetime
+/// (drop-based so a panicking job body still restores it).
+struct DepthGuard;
+
+impl DepthGuard {
+    fn enter() -> Self {
+        DEPTH.with(|d| d.set(d.get() + 1));
+        DepthGuard
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
 
 /// The budget configured by [`set_parallelism`] (for reporting).
 static CONFIGURED: AtomicUsize = AtomicUsize::new(1);
@@ -111,20 +146,39 @@ where
     probes::MAPS.inc();
     probes::JOBS.add(n as u64);
     let run_job = |i: usize| {
+        let _depth = DepthGuard::enter();
         let _timed = crate::telemetry::span(&probes::JOB_RUN);
         f(i)
     };
     if n <= 1 {
         return (0..n).map(run_job).collect();
     }
-    let helpers = acquire_permits(n - 1);
+    // Nested maps (called from inside an enclosing map's job body) probe
+    // their first item inline: when the estimated remaining work is below
+    // the handoff overhead, finishing serially is faster than fanning out
+    // and the permits stay available for the enclosing sweep.
+    let mut first: Option<T> = None;
+    if DEPTH.with(|d| d.get()) > 0 {
+        let probe = std::time::Instant::now();
+        first = Some(run_job(0));
+        let per_item_ns = u64::try_from(probe.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if per_item_ns.saturating_mul(n as u64 - 1) < INLINE_THRESHOLD_NS {
+            probes::INLINE_MAPS.inc();
+            return first.into_iter().chain((1..n).map(run_job)).collect();
+        }
+    }
+    let start = usize::from(first.is_some());
+    if n - start <= 1 {
+        return first.into_iter().chain((start..n).map(run_job)).collect();
+    }
+    let helpers = acquire_permits(n - start - 1);
     if helpers == 0 {
         probes::SERIAL_FALLBACKS.inc();
-        return (0..n).map(run_job).collect();
+        return first.into_iter().chain((start..n).map(run_job)).collect();
     }
     probes::HELPERS.add(helpers as u64);
     let queue_start = crate::telemetry::Stopwatch::start();
-    let next = AtomicUsize::new(0);
+    let next = AtomicUsize::new(start);
     let worker = |out: &mut Vec<(usize, T)>| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= n {
@@ -134,6 +188,9 @@ where
         out.push((i, run_job(i)));
     };
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if let Some(v) = first.take() {
+        slots[0] = Some(v);
+    }
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..helpers)
             .map(|_| {
@@ -202,6 +259,22 @@ mod tests {
         }
         // All permits returned.
         assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 2);
+        set_parallelism(1);
+    }
+
+    #[test]
+    fn nested_tiny_maps_stay_correct_and_release_permits() {
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
+        set_parallelism(4);
+        // Inner maps are near-instant, so the first-item probe should
+        // route them through the inline path — either way the results and
+        // the permit balance must be identical.
+        let v = map_indexed(3, |i| map_indexed(16, move |j| i * 100 + j));
+        for (i, inner) in v.into_iter().enumerate() {
+            assert_eq!(inner, (0..16).map(|j| i * 100 + j).collect::<Vec<_>>());
+        }
+        assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 3);
+        assert_eq!(DEPTH.with(|d| d.get()), 0);
         set_parallelism(1);
     }
 

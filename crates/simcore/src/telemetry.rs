@@ -4,22 +4,25 @@
 //! [`RunStats`]-style aggregates; everything between — eviction ordering,
 //! pre-store action mix, store-buffer drain pressure, sweep-runner queue
 //! times, memo-cache churn — was invisible until an output diverged. This
-//! module is the measurement surface: process-global counters, gauges and
-//! monotonic spans that every crate in the workspace can probe without new
-//! dependencies.
+//! module is the measurement surface: process-global counters, gauges,
+//! monotonic spans and log-linear [`Histogram`]s that every crate in the
+//! workspace can probe without new dependencies, plus the always-available
+//! [`SiteTable`] the engine uses for per-site attribution.
 //!
 //! # Feature gating
 //!
 //! Everything here is compiled in two variants, switched by `simcore`'s
 //! `telemetry` cargo feature:
 //!
-//! * **enabled** — [`Metric`] is an atomic cell that registers itself in a
-//!   process-global registry on first touch; [`span`] times with
-//!   [`std::time::Instant`] and notifies the installed [`SpanObserver`].
-//! * **disabled (default)** — [`Metric`], [`SpanGuard`] and [`Stopwatch`]
-//!   are zero-sized types whose methods are empty `#[inline]` bodies, so
-//!   every probe in the workspace compiles to nothing and replay output
-//!   stays byte-identical. `results/` reproduction runs use this variant.
+//! * **enabled** — [`Metric`] and [`Histogram`] are atomic cells that
+//!   register themselves in a process-global registry on first touch;
+//!   [`span`] times with [`std::time::Instant`] and notifies the installed
+//!   [`SpanObserver`] with a full [`SpanRecord`].
+//! * **disabled (default)** — [`Metric`], [`Histogram`], [`SpanGuard`] and
+//!   [`Stopwatch`] are zero-sized types whose methods are empty
+//!   `#[inline]` bodies, so every probe in the workspace compiles to
+//!   nothing and replay output stays byte-identical. `results/`
+//!   reproduction runs use this variant.
 //!
 //! Probe sites therefore never need `#[cfg]`: they declare a
 //! `static M: Metric = Metric::counter("engine.replays");` and call
@@ -27,15 +30,23 @@
 //! crates forward a `telemetry` feature to `simcore/telemetry` purely for
 //! `cargo build -p <crate> --features telemetry` convenience.
 //!
+//! The bucket math ([`bucket_index`], [`HistogramSample`]) and the
+//! [`SiteTable`] are *not* feature-gated: the former is pure arithmetic
+//! that the property tests exercise in both configurations, and the latter
+//! is a passive data structure whose cost is paid only by callers that use
+//! it (the engine's per-site attribution is part of [`RunStats`], not of
+//! the telemetry registry, so it works in default builds too).
+//!
 //! # Registry design
 //!
 //! Metrics are `static`s owned by their probe site. On the first mutation
 //! a metric pushes `&'static self` onto a `Mutex<Vec<_>>` registry (an
 //! `AtomicBool` keeps the fast path to one relaxed load); after that,
 //! updates are plain relaxed `fetch_add`s with no locking. [`snapshot`]
-//! walks the registry and returns samples sorted by name — registration
-//! order depends on which probe fired first and is deliberately not part
-//! of the output.
+//! and [`hist_snapshot`] walk their registries and return samples sorted
+//! by name — registration order depends on which probe fired first and is
+//! deliberately not part of the output, which is what keeps `--metrics`
+//! JSON byte-stable across runs and thread schedules.
 //!
 //! # Examples
 //!
@@ -95,33 +106,315 @@ pub struct MetricSample {
     pub count: u64,
 }
 
+/// Number of buckets in every [`Histogram`]: bucket 0 holds the value 0,
+/// bucket `i` (1 ≤ i ≤ 62) holds `[2^(i-1), 2^i)`, and the last bucket
+/// holds everything from `2^62` up.
+pub const HIST_BUCKETS: usize = 64;
+
+/// The bucket a value lands in — the log-linear power-of-two layout shared
+/// by every [`Histogram`]. Monotone in `v` (pinned by property tests).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Smallest value that lands in bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= HIST_BUCKETS`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    assert!(i < HIST_BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Largest value that lands in bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= HIST_BUCKETS`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    assert!(i < HIST_BUCKETS, "bucket {i} out of range");
+    match i {
+        0 => 0,
+        i if i == HIST_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// One histogram's state as read by [`hist_snapshot`] — and the pure
+/// (non-atomic, feature-independent) form of the bucket math, so the
+/// percentile and merge properties are testable in both build
+/// configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// The histogram's registered name.
+    pub name: &'static str,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed; 0 when empty).
+    pub max: u64,
+    /// Per-bucket counts in the [`bucket_index`] layout.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistogramSample {
+    /// An empty sample.
+    pub fn empty(name: &'static str) -> Self {
+        Self { name, count: 0, sum: 0, max: 0, buckets: [0; HIST_BUCKETS] }
+    }
+
+    /// Record one value (plain arithmetic; the atomic twin is
+    /// [`Histogram::record`]).
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Fold `other` into `self`. `merge(a, b)` equals recording the
+    /// concatenation of both value streams (pinned by property tests).
+    pub fn merge(&mut self, other: &HistogramSample) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// The upper bound of the bucket holding the `q`-th percentile value
+    /// (clamped to the exact recorded maximum), or 0 when empty. The true
+    /// quantile is bracketed within one bucket:
+    /// `bucket_lower_bound(i) <= true_quantile <= percentile(q)` for the
+    /// returned bucket `i`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSample::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile (see [`HistogramSample::percentile`]).
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile (see [`HistogramSample::percentile`]).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One completed [`span`] as reported to the [`SpanObserver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span metric's name.
+    pub name: &'static str,
+    /// Start time in nanoseconds since the process's trace epoch (the
+    /// first span ever created).
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Dense per-thread lane id (0, 1, 2… in thread-creation-touch order)
+    /// — the `tid` of a Chrome trace event.
+    pub lane: u64,
+}
+
 /// Profiling hook: installed via [`set_span_observer`], called once per
-/// completed [`span`] with the span's name and duration in nanoseconds.
+/// completed [`span`] with the full [`SpanRecord`] (name, start offset,
+/// duration, thread lane) — everything a Chrome-trace exporter needs.
 ///
 /// This is how benches subscribe to span events without the telemetry
 /// layer knowing anything about them. Observers run on the thread that
 /// closed the span and must be cheap; with the `telemetry` feature off no
-/// span ever fires, so the observer is never called.
+/// span ever fires, so the observer is never called. Spans close in RAII
+/// order, so per lane the observed records are well-nested (children
+/// before parents).
 pub trait SpanObserver: Send + Sync {
-    /// One span named `name` just closed after `nanos` nanoseconds.
-    fn on_span(&self, name: &'static str, nanos: u64);
+    /// One span just closed.
+    fn on_span(&self, span: &SpanRecord);
+}
+
+/// A dense keyed-attribution table: per-site counter rows, epoch-reset
+/// like the engine's `FlatTables`.
+///
+/// `COLS` fixed-meaning `u64` columns per site id (the caller defines the
+/// column schema). Rows are allocated lazily up to the largest site id
+/// touched and reset in O(1) by an epoch bump, so one table can be
+/// recycled across the thousands of replays a parameter sweep performs.
+/// Not feature-gated: attribution feeds `RunStats`-style results (which
+/// exist in default builds), not the metrics registry.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::telemetry::SiteTable;
+///
+/// let mut t: SiteTable<2> = SiteTable::new();
+/// t.add(3, 0, 10);
+/// t.add(1, 1, 2);
+/// t.add(3, 0, 5);
+/// assert_eq!(t.drain_sorted(), vec![(1, [0, 2]), (3, [15, 0])]);
+/// assert!(t.drain_sorted().is_empty(), "drain ends the epoch");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SiteTable<const COLS: usize> {
+    epoch: u32,
+    /// Per site id: the epoch the row was last zeroed for (a stale stamp
+    /// means the row is logically absent).
+    stamps: Vec<u32>,
+    rows: Vec<[u64; COLS]>,
+    /// Site ids with a live row this epoch, in first-touch order.
+    touched: Vec<u32>,
+}
+
+impl<const COLS: usize> Default for SiteTable<COLS> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const COLS: usize> SiteTable<COLS> {
+    /// An empty table.
+    pub fn new() -> Self {
+        // Epoch starts at 1 so default-zero stamps read as absent.
+        Self { epoch: 1, stamps: Vec::new(), rows: Vec::new(), touched: Vec::new() }
+    }
+
+    /// Forget every row in O(1) (epoch bump), keeping the allocations.
+    pub fn reset(&mut self) {
+        self.touched.clear();
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrap: pay one O(sites) re-zero so stale stamps
+                // cannot collide with the restarted epoch counter.
+                self.stamps.iter_mut().for_each(|s| *s = 0);
+                1
+            }
+        };
+    }
+
+    /// Add `n` to column `col` of `site`'s row, creating the row (zeroed)
+    /// on first touch this epoch.
+    ///
+    /// Rows are dense up to the largest `site` seen — keep ids compact
+    /// (e.g. interned `FuncId`s), not sparse sentinels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= COLS`.
+    #[inline]
+    pub fn add(&mut self, site: u32, col: usize, n: u64) {
+        let idx = site as usize;
+        if idx >= self.rows.len() {
+            self.rows.resize(idx + 1, [0; COLS]);
+            self.stamps.resize(idx + 1, 0);
+        }
+        if self.stamps[idx] != self.epoch {
+            self.stamps[idx] = self.epoch;
+            self.rows[idx] = [0; COLS];
+            self.touched.push(site);
+        }
+        self.rows[idx][col] += n;
+    }
+
+    /// The row for `site`, if touched this epoch.
+    pub fn get(&self, site: u32) -> Option<&[u64; COLS]> {
+        let idx = site as usize;
+        (idx < self.rows.len() && self.stamps[idx] == self.epoch).then(|| &self.rows[idx])
+    }
+
+    /// Number of sites touched this epoch.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether no site has been touched this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Take every live row, sorted by site id, and [`reset`] the table
+    /// (the drain ends the epoch).
+    ///
+    /// [`reset`]: SiteTable::reset
+    pub fn drain_sorted(&mut self) -> Vec<(u32, [u64; COLS])> {
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.sort_unstable();
+        let out = touched.iter().map(|&s| (s, self.rows[s as usize])).collect();
+        touched.clear();
+        self.touched = touched; // keep the allocation across runs
+        self.reset();
+        out
+    }
 }
 
 #[cfg(feature = "telemetry")]
 mod imp {
-    use super::{MetricKind, MetricSample, SpanObserver};
+    use super::{
+        bucket_index, HistogramSample, MetricKind, MetricSample, SpanObserver, SpanRecord,
+        HIST_BUCKETS,
+    };
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-    use std::sync::Mutex;
+    use std::sync::{Mutex, OnceLock};
     use std::time::Instant;
 
     /// All metrics that have been touched at least once, in first-touch
     /// order. Append-only: metrics are `static`s and never unregister.
     static REGISTRY: Mutex<Vec<&'static Metric>> = Mutex::new(Vec::new());
 
+    /// All histograms touched at least once, in first-touch order.
+    static HIST_REGISTRY: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
     /// The installed span observer, with an atomic fast-path flag so
     /// spans skip the lock entirely while no observer is installed.
     static OBSERVER: Mutex<Option<Box<dyn SpanObserver>>> = Mutex::new(None);
     static OBSERVER_SET: AtomicBool = AtomicBool::new(false);
+
+    /// The process's trace epoch: set by the first span ever created, so
+    /// every [`SpanRecord::start_ns`] shares one zero point.
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    /// Dense thread-lane allocator for [`SpanRecord::lane`].
+    static NEXT_LANE: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static LANE: u64 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+    }
 
     /// A process-global atomic metric (counter, gauge or span accumulator).
     ///
@@ -242,6 +535,86 @@ mod imp {
         }
     }
 
+    /// A process-global atomic log-linear histogram: 64 power-of-two
+    /// buckets (see [`super::bucket_index`]) plus exact count/sum/max.
+    ///
+    /// Like [`Metric`], declare as a `static` at the probe site; it
+    /// registers itself on first touch and costs four relaxed atomic ops
+    /// per [`Histogram::record`]. No allocation, ever.
+    #[derive(Debug)]
+    pub struct Histogram {
+        name: &'static str,
+        count: AtomicU64,
+        sum: AtomicU64,
+        max: AtomicU64,
+        buckets: [AtomicU64; HIST_BUCKETS],
+        registered: AtomicBool,
+    }
+
+    impl Histogram {
+        /// A named histogram (const: usable as a `static` initializer).
+        pub const fn new(name: &'static str) -> Self {
+            // A const item may be repeated to initialize an array of
+            // non-Copy atomics.
+            #[allow(clippy::declare_interior_mutable_const)]
+            const ZERO: AtomicU64 = AtomicU64::new(0);
+            Self {
+                name,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+                buckets: [ZERO; HIST_BUCKETS],
+                registered: AtomicBool::new(false),
+            }
+        }
+
+        /// The histogram's name.
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+
+        #[inline]
+        fn register(&'static self) {
+            if !self.registered.load(Ordering::Acquire) {
+                self.register_slow();
+            }
+        }
+
+        #[cold]
+        fn register_slow(&'static self) {
+            let mut reg = HIST_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+            if !self.registered.load(Ordering::Acquire) {
+                reg.push(self);
+                self.registered.store(true, Ordering::Release);
+            }
+        }
+
+        /// Record one value.
+        #[inline]
+        pub fn record(&'static self, v: u64) {
+            self.register();
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// The current state as a plain [`HistogramSample`].
+        pub fn sample(&self) -> HistogramSample {
+            let mut buckets = [0u64; HIST_BUCKETS];
+            for (b, a) in buckets.iter_mut().zip(self.buckets.iter()) {
+                *b = a.load(Ordering::Relaxed);
+            }
+            HistogramSample {
+                name: self.name,
+                count: self.count.load(Ordering::Relaxed),
+                sum: self.sum.load(Ordering::Relaxed),
+                max: self.max.load(Ordering::Relaxed),
+                buckets,
+            }
+        }
+    }
+
     /// RAII timer for one span entry; created by [`super::span`]. Records
     /// the elapsed nanoseconds into its metric — and notifies the
     /// installed [`SpanObserver`], if any — when dropped.
@@ -257,9 +630,18 @@ mod imp {
             let ns = self.start.elapsed().as_nanos() as u64;
             self.metric.record_ns(ns);
             if OBSERVER_SET.load(Ordering::Acquire) {
+                // `span` initialized the epoch before capturing `start`,
+                // so the subtraction never saturates in practice.
+                let epoch = *EPOCH.get_or_init(Instant::now);
+                let record = SpanRecord {
+                    name: self.metric.name,
+                    start_ns: self.start.saturating_duration_since(epoch).as_nanos() as u64,
+                    dur_ns: ns,
+                    lane: LANE.with(|l| *l),
+                };
                 let guard = OBSERVER.lock().unwrap_or_else(|e| e.into_inner());
                 if let Some(obs) = guard.as_deref() {
-                    obs.on_span(self.metric.name, ns);
+                    obs.on_span(&record);
                 }
             }
         }
@@ -269,6 +651,9 @@ mod imp {
     /// [`Metric::span`]).
     #[inline]
     pub fn span(metric: &'static Metric) -> SpanGuard {
+        // Pin the process trace epoch at or before every span start so
+        // `SpanRecord::start_ns` offsets share one zero point.
+        let _ = EPOCH.get_or_init(Instant::now);
         SpanGuard { metric, start: Instant::now() }
     }
 
@@ -318,13 +703,32 @@ mod imp {
         out
     }
 
-    /// Zero every registered metric (they stay registered). Used between
-    /// measurement passes so a snapshot covers exactly one run.
+    /// Sample every registered histogram, sorted by name.
+    pub fn hist_snapshot() -> Vec<HistogramSample> {
+        let reg = HIST_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<HistogramSample> = reg.iter().map(|h| h.sample()).collect();
+        out.sort_by_key(|s| s.name);
+        out
+    }
+
+    /// Zero every registered metric and histogram (they stay registered).
+    /// Used between measurement passes so a snapshot covers exactly one
+    /// run.
     pub fn reset() {
         let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
         for m in reg.iter() {
             m.value.store(0, Ordering::Relaxed);
             m.count.store(0, Ordering::Relaxed);
+        }
+        drop(reg);
+        let hist = HIST_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        for h in hist.iter() {
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            h.max.store(0, Ordering::Relaxed);
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
         }
     }
 
@@ -338,7 +742,7 @@ mod imp {
 
 #[cfg(not(feature = "telemetry"))]
 mod imp {
-    use super::{MetricSample, SpanObserver};
+    use super::{HistogramSample, MetricSample, SpanObserver};
 
     /// Zero-sized no-op stand-in for the enabled [`Metric`]: every probe
     /// site compiles to nothing. See the module docs for the enabled API.
@@ -397,6 +801,32 @@ mod imp {
         }
     }
 
+    /// Zero-sized no-op stand-in for the enabled [`Histogram`]; recording
+    /// compiles to nothing.
+    #[derive(Debug)]
+    pub struct Histogram;
+
+    impl Histogram {
+        /// No-op histogram.
+        pub const fn new(_name: &'static str) -> Self {
+            Histogram
+        }
+
+        /// Always the empty string when telemetry is compiled out.
+        pub fn name(&self) -> &'static str {
+            ""
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record(&self, _v: u64) {}
+
+        /// Always empty when telemetry is compiled out.
+        pub fn sample(&self) -> HistogramSample {
+            HistogramSample::empty("")
+        }
+    }
+
     /// Zero-sized stand-in for the enabled span guard; dropping it does
     /// nothing.
     #[must_use = "a span measures the scope it is alive for"]
@@ -438,6 +868,11 @@ mod imp {
         Vec::new()
     }
 
+    /// Always empty when telemetry is compiled out.
+    pub fn hist_snapshot() -> Vec<HistogramSample> {
+        Vec::new()
+    }
+
     /// No-op.
     pub fn reset() {}
 
@@ -445,7 +880,10 @@ mod imp {
     pub fn set_span_observer(_obs: Option<Box<dyn SpanObserver>>) {}
 }
 
-pub use imp::{enabled, reset, set_span_observer, snapshot, span, Metric, SpanGuard, Stopwatch};
+pub use imp::{
+    enabled, hist_snapshot, reset, set_span_observer, snapshot, span, Histogram, Metric,
+    SpanGuard, Stopwatch,
+};
 
 #[cfg(test)]
 mod tests {
@@ -455,6 +893,7 @@ mod tests {
     static COUNTER: Metric = Metric::counter("test.counter");
     static GAUGE: Metric = Metric::gauge("test.gauge");
     static SPAN: Metric = Metric::span("test.span");
+    static HIST: Histogram = Histogram::new("test.hist");
 
     #[test]
     fn counters_accumulate_or_compile_out() {
@@ -494,8 +933,8 @@ mod tests {
         static SEEN: AtomicU64 = AtomicU64::new(0);
         struct Count;
         impl SpanObserver for Count {
-            fn on_span(&self, name: &'static str, _nanos: u64) {
-                if name == "test.span" {
+            fn on_span(&self, span: &SpanRecord) {
+                if span.name == "test.span" {
                     SEEN.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -546,5 +985,85 @@ mod tests {
         assert_eq!(MetricKind::Counter.as_str(), "counter");
         assert_eq!(MetricKind::Gauge.as_str(), "gauge");
         assert_eq!(MetricKind::Span.as_str(), "span");
+    }
+
+    #[test]
+    fn bucket_layout_is_power_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "upper bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn static_histograms_record_or_compile_out() {
+        HIST.record(1);
+        HIST.record(100);
+        HIST.record(100_000);
+        if enabled() {
+            let snap = hist_snapshot();
+            let names: Vec<_> = snap.iter().map(|s| s.name).collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted, "hist snapshot must be name-sorted");
+            let h = snap
+                .iter()
+                .find(|s| s.name == "test.hist")
+                .expect("touched histogram must be registered");
+            assert!(h.count >= 3);
+            assert!(h.max >= 100_000);
+            reset();
+            let h = hist_snapshot()
+                .into_iter()
+                .find(|s| s.name == "test.hist")
+                .expect("reset keeps registration");
+            assert_eq!((h.count, h.sum, h.max), (0, 0, 0));
+            assert!(h.buckets.iter().all(|&b| b == 0));
+        } else {
+            assert!(hist_snapshot().is_empty());
+            assert_eq!(HIST.sample().count, 0);
+        }
+    }
+
+    #[test]
+    fn histogram_sample_percentiles_bracket() {
+        let mut s = HistogramSample::empty("t");
+        assert_eq!(s.percentile(50.0), 0);
+        for v in [1u64, 2, 3, 100, 1000] {
+            s.record(v);
+        }
+        // p50 of {1,2,3,100,1000}: true median 3 lives in bucket 2 ([2,3]).
+        assert_eq!(s.p50(), 3);
+        // p99 clamps to the exact max.
+        assert_eq!(s.p99(), 1000);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 1106);
+        assert!((s.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn site_table_epoch_reset_and_drain() {
+        let mut t: SiteTable<3> = SiteTable::new();
+        assert!(t.is_empty());
+        t.add(5, 0, 7);
+        t.add(2, 2, 1);
+        t.add(5, 0, 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(5), Some(&[10, 0, 0]));
+        assert_eq!(t.get(4), None);
+        let drained = t.drain_sorted();
+        assert_eq!(drained, vec![(2, [0, 0, 1]), (5, [10, 0, 0])]);
+        assert!(t.is_empty(), "drain ends the epoch");
+        assert_eq!(t.get(5), None);
+        t.add(5, 1, 9);
+        assert_eq!(t.get(5), Some(&[0, 9, 0]), "row re-zeroed for the new epoch");
+        t.reset();
+        assert!(t.is_empty());
     }
 }
