@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! dirtbuster <workload> [--sample-interval N] [--verbose] [--save-trace F]
-//!            [--trace-out F]
+//!            [--trace-out F] [--crash-at-fence N | --crash-at-step N]
+//!            [--crash-report F]
 //! dirtbuster --from-trace FILE [--sample-interval N] [--verbose]
 //!
 //! workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9
@@ -19,8 +20,18 @@
 //! telemetry`). Per-phase wall-clock timing goes to stderr so stdout stays
 //! pipeable.
 //!
-//! Exit codes: `0` success, `1` trace I/O or validation error, `2` usage
-//! error (unknown workload, missing argument, unparsable flag value).
+//! `--crash-at-fence N` / `--crash-at-step N` arm a simulated power
+//! failure (at the N-th fence, or the N-th scheduler step) on the Machine
+//! A replay: the tool prints the [`machine::CrashReport`] — durable vs
+//! lost lines, in-flight state, per-site loss attribution — then runs
+//! recovery ([`machine::Machine::recover_and_resume`]) and checks the
+//! recovered run reaches the same durable digest as an uninterrupted one.
+//! `--crash-report FILE` additionally writes the report as JSON (the CI
+//! crash-smoke artifact).
+//!
+//! Exit codes: `0` success, `1` trace I/O or validation error, a crash
+//! replay/recovery error, or a recovery digest mismatch, `2` usage error
+//! (unknown workload, missing argument, unparsable flag value).
 
 use dirtbuster::{analyze, DirtBusterConfig};
 use machine::MachineConfig;
@@ -86,7 +97,9 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
 fn usage() -> String {
     format!(
         "usage: dirtbuster <workload> [--sample-interval N] [--verbose] \
-         [--save-trace FILE] [--trace-out FILE]\n       dirtbuster --from-trace FILE \
+         [--save-trace FILE] [--trace-out FILE]\n\
+         \u{20}                 [--crash-at-fence N | --crash-at-step N] [--crash-report FILE]\n\
+         \u{20}      dirtbuster --from-trace FILE \
          [--sample-interval N] [--verbose] [--trace-out FILE]\n\
          \n\
          workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9 \
@@ -95,10 +108,16 @@ fn usage() -> String {
          --trace-out FILE  write telemetry spans as Chrome Trace Event JSON\n\
          \u{20}                  (load in https://ui.perfetto.dev; empty without\n\
          \u{20}                  a --features telemetry build)\n\
+         --crash-at-fence N  simulate a power failure at the N-th fence of the\n\
+         \u{20}                  Machine A replay, print the crash report, then\n\
+         \u{20}                  recover and verify digest equivalence\n\
+         --crash-at-step N   same, at the N-th scheduler step\n\
+         --crash-report FILE write the crash report as JSON (CI artifact)\n\
          \n\
          phase timing is printed to stderr; stdout carries only the report\n\
          \n\
-         exit codes: 0 success; 1 trace I/O or validation error; 2 usage error\n\
+         exit codes: 0 success; 1 trace I/O or validation error, crash replay\n\
+         \u{20}           error, or recovery digest mismatch; 2 usage error\n\
          \u{20}           (the exit code never depends on the report's content)",
         workloads::phoronix::names().join(" ")
     )
@@ -128,12 +147,39 @@ fn main() {
     let save_trace = flag_value(&args, "--save-trace").cloned();
     let from_trace = flag_value(&args, "--from-trace").cloned();
     let trace_out = flag_value(&args, "--trace-out").cloned();
+    let parse_crash_point = |flag: &str| -> Option<u64> {
+        flag_value(&args, flag).map(|v| match v.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        })
+    };
+    let crash_at_fence = parse_crash_point("--crash-at-fence");
+    let crash_at_step = parse_crash_point("--crash-at-step");
+    if crash_at_fence.is_some() && crash_at_step.is_some() {
+        eprintln!("--crash-at-fence and --crash-at-step are mutually exclusive");
+        std::process::exit(2);
+    }
+    let crash_report_path = flag_value(&args, "--crash-report").cloned();
+    if crash_report_path.is_some() && crash_at_fence.is_none() && crash_at_step.is_none() {
+        eprintln!("--crash-report needs --crash-at-fence or --crash-at-step");
+        std::process::exit(2);
+    }
 
-    let flag_values: Vec<&String> =
-        ["--sample-interval", "--save-trace", "--from-trace", "--trace-out"]
-            .iter()
-            .filter_map(|f| flag_value(&args, f))
-            .collect();
+    let flag_values: Vec<&String> = [
+        "--sample-interval",
+        "--save-trace",
+        "--from-trace",
+        "--trace-out",
+        "--crash-at-fence",
+        "--crash-at-step",
+        "--crash-report",
+    ]
+    .iter()
+    .filter_map(|f| flag_value(&args, f))
+    .collect();
     let positional = args
         .iter()
         .find(|a| !a.starts_with("--") && !flag_values.contains(a));
@@ -234,6 +280,78 @@ fn main() {
     }
     let replay_elapsed = replay_start.elapsed();
 
+    // Simulated power failure + recovery, when armed. The crash replay,
+    // the recovery replay and a golden uninterrupted replay are all on
+    // Machine A; the golden digest is what recovery must reproduce.
+    let mut crash_elapsed = None;
+    if crash_at_fence.is_some() || crash_at_step.is_some() {
+        use machine::{CrashOutcome, CrashPlan, Machine};
+        let crash_start = std::time::Instant::now();
+        let plan = match (crash_at_step, crash_at_fence) {
+            (Some(n), None) => CrashPlan::AtStep(n),
+            (None, Some(k)) => CrashPlan::EveryKFences(u32::try_from(k).unwrap_or(u32::MAX)),
+            _ => unreachable!("flags validated mutually exclusive above"),
+        };
+        let m = Machine::new(machine_cfg.clone());
+        match m.try_run_until_crash(&out.traces, plan) {
+            Err(e) => {
+                eprintln!("crash replay failed: {e}");
+                std::process::exit(1);
+            }
+            Ok(CrashOutcome::Completed { stats, .. }) => {
+                println!(
+                    "\nstep 5 (crash injection): plan never fired — the replay retired \
+                     {} fence(s) and completed",
+                    stats.total_fences()
+                );
+            }
+            Ok(CrashOutcome::Crashed(report)) => {
+                println!("\nstep 5 (crash injection on {}):\n", machine_cfg.name);
+                print!("{}", machine::crash::render_crash_table(&report, &out.registry));
+                if let Some(path) = &crash_report_path {
+                    let json = machine::crash::render_crash_json(&report, &out.registry);
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("cannot write crash report to {path:?}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("crash report written to {path}");
+                }
+                let golden = match m.try_run_until_crash(&out.traces, CrashPlan::AtStep(u64::MAX))
+                {
+                    Ok(CrashOutcome::Completed { durable_digest: Some(d), .. }) => d,
+                    Ok(_) => unreachable!("an unfired plan always completes with a digest"),
+                    Err(e) => {
+                        eprintln!("golden replay failed: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                match m.recover_and_resume(&out.traces, &report.image, None) {
+                    Err(e) => {
+                        eprintln!("recovery failed: {e}");
+                        std::process::exit(1);
+                    }
+                    Ok(CrashOutcome::Completed { durable_digest: Some(d), .. }) if d == golden => {
+                        println!(
+                            "recovery: resumed replay reached the uninterrupted durable \
+                             digest {golden:#018x} — crash consistent"
+                        );
+                    }
+                    Ok(CrashOutcome::Completed { durable_digest, .. }) => {
+                        eprintln!(
+                            "recovery DIVERGED: resumed digest {durable_digest:?}, \
+                             uninterrupted {golden:#018x}"
+                        );
+                        std::process::exit(1);
+                    }
+                    Ok(CrashOutcome::Crashed(_)) => {
+                        unreachable!("recovery was not armed with a crash plan")
+                    }
+                }
+            }
+        }
+        crash_elapsed = Some(crash_start.elapsed());
+    }
+
     if let Some(path) = trace_out {
         simcore::telemetry::set_span_observer(None);
         if let Err(e) = std::fs::write(&path, recorder.render_chrome_trace()) {
@@ -251,4 +369,7 @@ fn main() {
     eprintln!("  analyze  {elapsed:>10.2?}");
     eprintln!("  report   {report_elapsed:>10.2?}");
     eprintln!("  replay   {replay_elapsed:>10.2?}  (site attribution on Machine A)");
+    if let Some(e) = crash_elapsed {
+        eprintln!("  crash    {e:>10.2?}  (injection + recovery + golden replay)");
+    }
 }

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! figures [--quick] [--json] [--chart] [--jobs N] [--timing]
-//!         [--baseline FILE] [--metrics FILE] [--metrics-baseline FILE]
-//!         [--trace-out FILE] [--out DIR] [id ...]
+//!         [--job-deadline SECS] [--baseline FILE] [--metrics FILE]
+//!         [--metrics-baseline FILE] [--trace-out FILE] [--out DIR] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Results are printed as text tables
@@ -39,9 +39,20 @@
 //! <https://ui.perfetto.dev> to see experiments, replays and pool jobs on
 //! their thread lanes. Empty without `--features telemetry`.
 //!
+//! Experiments run fail-soft: each one executes under
+//! [`ps_bench::runner::run_experiments_supervised`], so a panicking
+//! experiment (retried once) or one overrunning the optional
+//! `--job-deadline SECS` soft deadline is reported in a failure summary
+//! while every healthy experiment still prints and writes its files —
+//! partial results instead of a torn-down run.
+//!
 //! Exit codes: `0` success, `1` I/O error, no matching experiment, or a
 //! `--timing` identity mismatch, `2` wall-clock regression vs `--baseline`
-//! or metrics regression vs `--metrics-baseline`.
+//! or metrics regression vs `--metrics-baseline`, `3` one or more
+//! experiments failed (panicked every attempt or missed the deadline) and
+//! only partial results were written. The regression checks run before the
+//! final exit-3 decision, so a run that both regresses and loses an
+//! experiment reports the regression.
 
 use ps_bench::runner::{self, TimedFigure};
 use ps_bench::tracefmt::TraceRecorder;
@@ -65,6 +76,9 @@ fn usage() -> ! {
   --chart      print ASCII charts
   --jobs N     worker threads for experiments + sweep points
                (default: available parallelism; 1 = serial)
+  --job-deadline SECS
+               soft per-experiment deadline: an experiment that finishes
+               later is discarded and reported as failed (default: none)
   --timing     run serial then parallel, check outputs are byte-identical,
                write BENCH_figures.json to the output directory
   --baseline FILE
@@ -84,7 +98,8 @@ fn usage() -> ! {
   --out DIR    output directory (default: results/)
 
 exit codes: 0 success; 1 I/O error, no matching experiment, or --timing
-            mismatch; 2 regression vs --baseline or --metrics-baseline"
+            mismatch; 2 regression vs --baseline or --metrics-baseline;
+            3 experiment(s) failed, partial results written"
     );
     std::process::exit(1);
 }
@@ -126,12 +141,32 @@ fn main() {
         },
         None => runner::default_jobs(),
     };
+    let supervision = simcore::par::Supervision {
+        deadline: match flag_value("--job-deadline") {
+            Some(v) => match v.parse::<u64>() {
+                Ok(n) if n >= 1 => Some(std::time::Duration::from_secs(n)),
+                _ => {
+                    eprintln!("--job-deadline needs a positive integer of seconds, got {v:?}");
+                    usage();
+                }
+            },
+            None => None,
+        },
+        retries: 1,
+    };
     // Positional args are experiment ids; skip flag values.
-    let flag_values: Vec<String> =
-        ["--out", "--jobs", "--baseline", "--metrics", "--metrics-baseline", "--trace-out"]
-            .iter()
-            .filter_map(|f| flag_value(f))
-            .collect();
+    let flag_values: Vec<String> = [
+        "--out",
+        "--jobs",
+        "--job-deadline",
+        "--baseline",
+        "--metrics",
+        "--metrics-baseline",
+        "--trace-out",
+    ]
+    .iter()
+    .filter_map(|f| flag_value(f))
+    .collect();
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -170,6 +205,7 @@ fn main() {
         ("abl_ycsb_mix", experiments::ycsb_mix_sweep),
         ("abl_dram", experiments::dram_sanity),
         ("ext_cxl_kv", experiments::cxl_kv),
+        ("crashbuster", experiments::crashbuster),
     ];
 
     let selected: Vec<Experiment> = if ids.is_empty() {
@@ -189,7 +225,7 @@ fn main() {
         memo::clear();
         runner::set_jobs(1);
         let start = std::time::Instant::now();
-        let figs = runner::run_experiments(&selected, quick);
+        let figs = runner::run_experiments_supervised(&selected, quick, supervision);
         Some((figs, start.elapsed().as_secs_f64(), memo::counters()))
     } else {
         None
@@ -207,11 +243,19 @@ fn main() {
     memo::clear();
     runner::set_jobs(jobs);
     let start = std::time::Instant::now();
-    let results = runner::run_experiments(&selected, quick);
+    let results = runner::run_experiments_supervised(&selected, quick, supervision);
     let parallel_seconds = start.elapsed().as_secs_f64();
     let counters = memo::counters();
 
-    for TimedFigure { id, fig, seconds } in &results {
+    let mut failures: Vec<&runner::ExperimentFailure> = Vec::new();
+    for res in &results {
+        let TimedFigure { id, fig, seconds } = match res {
+            Ok(t) => t,
+            Err(f) => {
+                failures.push(f);
+                continue;
+            }
+        };
         println!("{}", fig.render_text());
         if chart {
             println!("{}", ps_bench::chart::render_chart(fig));
@@ -226,6 +270,16 @@ fn main() {
             if let Err(e) = std::fs::write(&path, fig.render_json()) {
                 exit_io_error("write JSON", &path, e);
             }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "{} of {} experiment(s) failed; partial results written to {out_dir}/:",
+            failures.len(),
+            results.len()
+        );
+        for f in &failures {
+            eprintln!("  {f}");
         }
     }
 
@@ -292,8 +346,19 @@ fn main() {
     }
 
     if let Some((serial_figs, serial_seconds, serial_counters)) = serial_baseline {
+        // Identity and per-experiment timings only compare pairs that
+        // succeeded in both passes; a failed experiment is already
+        // reported in the failure summary (and forces exit 3 below).
+        let compared: Vec<(&TimedFigure, &TimedFigure)> = serial_figs
+            .iter()
+            .zip(&results)
+            .filter_map(|(s, p)| match (s, p) {
+                (Ok(s), Ok(p)) => Some((s, p)),
+                _ => None,
+            })
+            .collect();
         let mut mismatched: Vec<&str> = Vec::new();
-        for (s, p) in serial_figs.iter().zip(&results) {
+        for (s, p) in &compared {
             if s.fig.render_csv() != p.fig.render_csv()
                 || s.fig.render_json() != p.fig.render_json()
             {
@@ -320,7 +385,7 @@ fn main() {
             counters.hits, counters.misses, counters.derived
         ));
         report.push_str("  \"experiments\": [");
-        for (i, (s, p)) in serial_figs.iter().zip(&results).enumerate() {
+        for (i, (s, p)) in compared.iter().enumerate() {
             if i > 0 {
                 report.push(',');
             }
@@ -364,6 +429,12 @@ fn main() {
                  (baseline {base_seconds:.2}s + 20%)"
             );
         }
+    }
+
+    // Last: degraded (but not torn down) runs exit 3. Every hard failure
+    // above already exited 1 or 2 before reaching this point.
+    if !failures.is_empty() {
+        std::process::exit(3);
     }
 }
 

@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure.
 
 pub mod ablation;
+pub mod crash_figs;
 pub mod microbench_figs;
 pub mod kv_figs;
 pub mod nas_figs;
@@ -10,6 +11,7 @@ pub mod tensor_figs;
 pub mod x9_figs;
 
 pub use ablation::{cxl_kv, dram_sanity, fpga_latency_sweep, granularity_sweep, replacement_policy_sweep, ycsb_mix_sweep};
+pub use crash_figs::crashbuster;
 pub use kv_figs::{fig10, fig11, fig12, fig13, fig14};
 pub use microbench_figs::{fig3a, fig3b, fig5, listing3_pitfall, skip_variant};
 pub use nas_figs::fig9;
@@ -49,5 +51,6 @@ pub fn all(quick: bool) -> Vec<FigureResult> {
         ycsb_mix_sweep(quick),
         dram_sanity(quick),
         cxl_kv(quick),
+        crashbuster(quick),
     ]
 }

@@ -47,6 +47,7 @@ where
 }
 
 /// One regenerated experiment plus its wall-clock cost.
+#[derive(Debug)]
 pub struct TimedFigure {
     /// The experiment id (`fig3a`, `table2`, ...).
     pub id: &'static str,
@@ -70,9 +71,73 @@ pub fn run_experiments(experiments: &[Experiment], quick: bool) -> Vec<TimedFigu
     })
 }
 
+/// One experiment the supervised runner could not regenerate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentFailure {
+    /// The experiment id (`fig3a`, `table2`, ...).
+    pub id: &'static str,
+    /// Why its result is missing.
+    pub failure: simcore::par::JobFailure,
+}
+
+impl std::fmt::Display for ExperimentFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.id, self.failure)
+    }
+}
+
+/// Fail-soft variant of [`run_experiments`]: each experiment runs under
+/// [`simcore::par::supervised_map`], so a panicking or over-deadline
+/// experiment yields a typed [`ExperimentFailure`] instead of tearing down
+/// the whole regeneration. Results keep input order; the healthy
+/// experiments are unaffected (same figures, byte for byte).
+pub fn run_experiments_supervised(
+    experiments: &[Experiment],
+    quick: bool,
+    sup: simcore::par::Supervision,
+) -> Vec<Result<TimedFigure, ExperimentFailure>> {
+    let results = simcore::par::supervised_map(experiments.len(), sup, |i, _attempt| {
+        let (id, f) = experiments[i];
+        probes::EXPERIMENTS.inc();
+        let _timed = simcore::telemetry::span(&probes::EXPERIMENT);
+        let start = std::time::Instant::now();
+        let fig = f(quick);
+        TimedFigure { id, fig, seconds: start.elapsed().as_secs_f64() }
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.map_err(|failure| ExperimentFailure { id: experiments[i].0, failure }))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn supervised_runner_surfaces_failures_without_poisoning_the_rest() {
+        use simcore::par::{JobFailure, Supervision};
+        fn ok(_q: bool) -> FigureResult {
+            FigureResult::new("ok", "OK", "x", "y")
+        }
+        fn dies(_q: bool) -> FigureResult {
+            panic!("experiment is broken")
+        }
+        let exps: &[Experiment] = &[("ok", ok), ("dies", dies), ("ok2", ok)];
+        let out =
+            run_experiments_supervised(exps, true, Supervision { deadline: None, retries: 0 });
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].as_ref().map(|t| t.id), Ok("ok"));
+        match &out[1] {
+            Err(ExperimentFailure { id: "dies", failure: JobFailure::Panicked { message, .. } }) => {
+                assert!(message.contains("experiment is broken"), "{message}");
+            }
+            other => panic!("broken experiment yielded {other:?}"),
+        }
+        assert_eq!(out[2].as_ref().map(|t| t.id), Ok("ok2"));
+        assert!(out[1].as_ref().unwrap_err().to_string().contains("dies:"));
+    }
 
     #[test]
     fn run_experiments_preserves_order_and_ids() {

@@ -395,6 +395,18 @@ impl StoreBuffer {
     pub fn last_drain_done(&self) -> Cycles {
         self.last_done
     }
+
+    /// Append the line address of every pending entry to `out` (appended,
+    /// not cleared), including entries whose drains have started but not
+    /// yet been collected.
+    ///
+    /// A power failure loses the whole buffer: drained-but-uncollected
+    /// entries have at best reached a volatile cache, so crash analysis
+    /// treats every entry here as lost (callers dedup against dirty cache
+    /// lines, which such entries also appear in).
+    pub fn pending_lines_into(&self, out: &mut Vec<Addr>) {
+        out.extend(self.entries.iter().map(|e| e.line));
+    }
 }
 
 #[cfg(test)]

@@ -153,6 +153,15 @@ impl WriteCombiningBuffer {
     pub fn open_buffers(&self) -> usize {
         self.open.len()
     }
+
+    /// Append every open buffer's `(line, bytes_filled)` to `out`
+    /// (appended, not cleared), oldest first, without flushing anything.
+    ///
+    /// A power failure loses open WC buffers outright — their contents
+    /// never reached the device — so crash analysis reads them here.
+    pub fn open_lines_into(&self, out: &mut Vec<(Addr, u64)>) {
+        out.extend(self.open.iter().copied());
+    }
 }
 
 #[cfg(test)]

@@ -164,6 +164,21 @@ impl MachineConfig {
     pub fn cycles_to_seconds(&self, cycles: Cycles) -> f64 {
         cycles as f64 / (self.freq_ghz * 1e9)
     }
+
+    /// The effective step budget for a replay of `total_events` events:
+    /// the explicit [`MachineConfig::step_budget`], or the derived default
+    /// (4x the event count plus one million — a valid replay executes at
+    /// most ~2 steps per event, so the derived budget never fires on sane
+    /// traces). Shared by the engine watchdog and the supervised sweep
+    /// runner's wall-clock deadline derivation
+    /// ([`simcore::par::Supervision::from_step_budget`]).
+    pub fn effective_step_budget(&self, total_events: usize) -> u64 {
+        self.step_budget.unwrap_or_else(|| {
+            (total_events as u64)
+                .saturating_mul(4)
+                .saturating_add(crate::engine::STEP_BUDGET_FLOOR)
+        })
+    }
 }
 
 #[cfg(test)]

@@ -27,21 +27,23 @@
 //! capacity stall — or *demote* pre-store.
 
 use crate::config::{MachineConfig, MemModel};
+use crate::crash::{CrashImage, CrashOutcome, CrashReport, LostSite, CRASH_COLS};
 use crate::error::{BlockedAcquire, EngineError};
 use crate::stats::{site_col, CoreStats, RunStats, SiteCounters, SITE_COLS};
 use crate::tables::{take_scratch, FlatTables, HashTables, LineTables};
 use cachesim::{Cache, StoreBuffer, WriteCombiningBuffer};
 use cachesim::wcbuf::WcFlush;
 use memdev::{Device, MemDevice};
+use simcore::faultinject::CrashPlan;
 use simcore::telemetry::SiteTable;
 use simcore::{
-    blocks_touched, Addr, CoreId, Cycles, EventKind, FuncId, InternedTraces, LineId, ThreadTrace,
-    TraceSet,
+    align_down, blocks_touched, Addr, CoreId, Cycles, EventKind, FuncId, FxHashMap, FxHashSet,
+    InternedTraces, LineId, ThreadTrace, TraceSet,
 };
 
 /// Floor added to the derived step budget so tiny traces with legitimate
 /// acquire retries never trip the watchdog.
-const STEP_BUDGET_FLOOR: u64 = 1_000_000;
+pub(crate) const STEP_BUDGET_FLOOR: u64 = 1_000_000;
 
 /// Streams tracked by the per-core hardware prefetcher.
 const STREAM_TRACKERS: usize = 16;
@@ -65,6 +67,36 @@ struct CoreState {
     /// Acquire this core is blocked on: (line, id, release sequence
     /// number).
     blocked: Option<(Addr, LineId, u32)>,
+}
+
+/// State of a crash-armed replay: the plan, the progress counters it
+/// matches against, and the shadow state the freeze partition needs but the
+/// default replay path never tracks. `Engine::crash` is `None` on ordinary
+/// runs, so the step loop pays exactly one `is_some()` branch for the
+/// feature.
+struct CrashCtx {
+    plan: CrashPlan,
+    /// Fences retired since this segment started (crash-point counts
+    /// restart at zero on every resume).
+    fences_seen: u64,
+    /// Every line address the device has received this segment (including
+    /// durable lines seeded from a crash image on resume).
+    received: FxHashSet<Addr>,
+    /// Shadow cumulative release counts per line, carried across
+    /// crash-recovery segments via the [`CrashImage`] (the engine tables'
+    /// own release counts reset with each fresh engine).
+    releases: FxHashMap<Addr, u32>,
+}
+
+impl CrashCtx {
+    fn new(plan: CrashPlan) -> Self {
+        Self {
+            plan,
+            fences_seen: 0,
+            received: FxHashSet::default(),
+            releases: FxHashMap::default(),
+        }
+    }
 }
 
 /// The replay engine. Create one per run via [`simulate`].
@@ -116,6 +148,10 @@ pub struct Engine<'a, T: LineTables = FlatTables> {
     /// Telemetry-only: line of the previous device write, for the
     /// eviction-distance histogram.
     prev_write_line: Option<Addr>,
+    /// Power-failure injection state: `None` on ordinary runs (the default
+    /// and hot path), `Some` only for [`Machine::try_run_until_crash`] /
+    /// [`Machine::recover_and_resume`] replays.
+    crash: Option<CrashCtx>,
 }
 
 /// Replay `traces` on the machine described by `cfg`.
@@ -260,6 +296,107 @@ impl Machine {
     pub fn try_run(&self, traces: &TraceSet) -> Result<RunStats, EngineError> {
         try_simulate_threads(&self.cfg, &traces.threads)
     }
+
+    /// Replay `traces` under a simulated power-failure plan.
+    ///
+    /// The crash fires immediately *after* the triggering step retires; the
+    /// machine then freezes and its state is partitioned into durable and
+    /// volatile-lost (see [`crate::crash`]), returned as
+    /// [`CrashOutcome::Crashed`]. A plan that never fires completes
+    /// normally as [`CrashOutcome::Completed`], whose digest covers the
+    /// final durable line set — the golden value a crash-plus-recovery run
+    /// must reproduce.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use machine::{crash::CrashOutcome, CrashPlan, Machine, MachineConfig};
+    /// use simcore::{TraceSet, Tracer};
+    ///
+    /// let mut t = Tracer::new();
+    /// for i in 0..100u64 {
+    ///     t.write(i * 64, 64);
+    /// }
+    /// t.fence();
+    /// let m = Machine::new(MachineConfig::machine_a());
+    /// let traces = TraceSet::new(vec![t.finish()]);
+    /// let outcome = m.try_run_until_crash(&traces, CrashPlan::AtStep(50)).unwrap();
+    /// let report = match outcome {
+    ///     CrashOutcome::Crashed(r) => r,
+    ///     CrashOutcome::Completed { .. } => panic!("plan must fire"),
+    /// };
+    /// let resumed = m.recover_and_resume(&traces, &report.image, None).unwrap();
+    /// assert!(matches!(resumed, CrashOutcome::Completed { .. }));
+    /// ```
+    pub fn try_run_until_crash(
+        &self,
+        traces: &TraceSet,
+        plan: CrashPlan,
+    ) -> Result<CrashOutcome, EngineError> {
+        let threads = &traces.threads;
+        if threads.is_empty() {
+            return Err(EngineError::EmptyTraceSet);
+        }
+        let interned = simcore::trace::validate_and_intern(threads, self.cfg.line_size)?;
+        let mut engine = Engine::new_flat(&self.cfg, &interned, threads.len());
+        engine.crash = Some(CrashCtx::new(plan));
+        engine.run_to_outcome(threads)
+    }
+
+    /// Rebuild a crashed machine from `image` and replay the rest of
+    /// `traces` (which must be the same trace set the crash interrupted).
+    ///
+    /// Recovery is a redo log: the durable lines seed the device image,
+    /// every volatile-lost line is rewritten to the device before replay
+    /// resumes (this redo traffic is charged to the UNKNOWN attribution
+    /// site), pre-crash release counts are restored so resumed acquires
+    /// are satisfiable, and each core continues from its saved program
+    /// counter. Caches start cold and core clocks restart at zero: the
+    /// returned statistics describe the post-crash segment only.
+    ///
+    /// Pass a `plan` to let the resumed segment crash again (crash-point
+    /// counters restart at zero), or `None` to run to completion.
+    pub fn recover_and_resume(
+        &self,
+        traces: &TraceSet,
+        image: &CrashImage,
+        plan: Option<CrashPlan>,
+    ) -> Result<CrashOutcome, EngineError> {
+        let threads = &traces.threads;
+        if threads.is_empty() {
+            return Err(EngineError::EmptyTraceSet);
+        }
+        if image.pcs.len() != threads.len() {
+            return Err(EngineError::CrashImageMismatch {
+                image_cores: image.pcs.len(),
+                trace_threads: threads.len(),
+            });
+        }
+        let interned = simcore::trace::validate_and_intern(threads, self.cfg.line_size)?;
+        let mut engine = Engine::new_flat(&self.cfg, &interned, threads.len());
+        // A plan that can never fire keeps received-line tracking (and the
+        // completion digest) active on plain resumes.
+        let mut ctx = CrashCtx::new(plan.unwrap_or(CrashPlan::AtStep(u64::MAX)));
+        ctx.received.extend(image.durable.iter().copied());
+        for &(line, count) in &image.releases {
+            ctx.releases.insert(line, count);
+        }
+        engine.crash = Some(ctx);
+        for &(line, count) in &image.releases {
+            if let Some(id) = interned.interner().id_of(line) {
+                engine.tables.release_restore(id, line, count);
+            }
+        }
+        // Redo the lost writes: rewrite every volatile-lost line so the
+        // device image converges with an uninterrupted run's.
+        for &line in &image.lost {
+            engine.device_write_attributed(line, image.line_size, FuncId::UNKNOWN);
+        }
+        for (cid, &pc) in image.pcs.iter().enumerate() {
+            engine.cores[cid].pc = pc;
+        }
+        engine.run_to_outcome(threads)
+    }
 }
 
 impl<'a> Engine<'a, FlatTables> {
@@ -341,6 +478,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             burst_next: 0,
             burst_bytes: 0,
             prev_write_line: None,
+            crash: None,
         }
     }
 
@@ -359,18 +497,24 @@ impl<'a, T: LineTables> Engine<'a, T> {
             .collect()
     }
 
-    fn try_run(mut self, traces: &[ThreadTrace]) -> Result<RunStats, EngineError> {
+    fn try_run(self, traces: &[ThreadTrace]) -> Result<RunStats, EngineError> {
+        match self.run_to_outcome(traces)? {
+            CrashOutcome::Completed { stats, .. } => Ok(*stats),
+            // `crash` is `None` on every path reaching here, and the plan
+            // check is gated on it.
+            CrashOutcome::Crashed(_) => unreachable!("crash fired without an armed plan"),
+        }
+    }
+
+    fn run_to_outcome(mut self, traces: &[ThreadTrace]) -> Result<CrashOutcome, EngineError> {
         assert_eq!(traces.len(), self.cores.len());
         let _replay_span = simcore::telemetry::span(&crate::probes::REPLAY);
         // Progress watchdog: a valid replay executes at most ~2 steps per
         // event (each step either consumes an event or re-runs an acquire
         // exactly once after its wakeup), so the derived budget only fires
         // on genuinely stuck or adversarial schedules.
-        let total_events: u64 = traces.iter().map(|t| t.events.len() as u64).sum();
-        let budget = self
-            .cfg
-            .step_budget
-            .unwrap_or_else(|| total_events.saturating_mul(4).saturating_add(STEP_BUDGET_FLOOR));
+        let total_events: usize = traces.iter().map(|t| t.events.len()).sum();
+        let budget = self.cfg.effective_step_budget(total_events);
         let mut steps: u64 = 0;
         // Step the runnable core with the smallest clock that still has
         // events; blocked cores wake up when their awaited release lands.
@@ -427,6 +571,22 @@ impl<'a, T: LineTables> Engine<'a, T> {
             let spent = self.cores[cid].now - before;
             if spent > 0 {
                 self.tables.func_add(ev.func, spent);
+            }
+            // Power-failure injection: the triggering step has retired (pc
+            // already advanced), so every crash-recovery segment consumes
+            // at least one event and iterated crash-recovery terminates.
+            if let Some(ctx) = self.crash.as_mut() {
+                if ev.kind == EventKind::Fence {
+                    ctx.fences_seen += 1;
+                }
+                let fire = match ctx.plan {
+                    CrashPlan::AtStep(n) => steps >= n.max(1),
+                    CrashPlan::AtCycle(c) => self.cores[cid].now >= c,
+                    CrashPlan::EveryKFences(k) => ctx.fences_seen >= u64::from(k.max(1)),
+                };
+                if fire {
+                    return Ok(CrashOutcome::Crashed(Box::new(self.freeze_crash(steps))));
+                }
             }
         }
         // Programs complete when their stores are globally visible. These
@@ -546,7 +706,130 @@ impl<'a, T: LineTables> Engine<'a, T> {
         self.wc_buf.clear();
         self.tables.recycle(indices, self.wc_buf, self.residual, self.sites);
         crate::probes::flush_run(&stats, &self.acts, steps);
-        Ok(stats)
+        // Crash-armed runs that completed: the device flush above closed
+        // every buffered block, so the whole received set is durable.
+        let durable_digest = self.crash.take().map(|ctx| {
+            let mut lines: Vec<Addr> = ctx.received.into_iter().collect();
+            lines.sort_unstable();
+            crate::crash::durable_digest(&lines)
+        });
+        Ok(CrashOutcome::Completed { stats: Box::new(stats), durable_digest })
+    }
+
+    /// Freeze the machine at a simulated power failure and partition its
+    /// state into durable and volatile-lost (see [`crate::crash`] for the
+    /// partition rules). Consumes the engine: a crashed machine does not
+    /// resume — [`Machine::recover_and_resume`] builds a fresh one from
+    /// the returned image.
+    fn freeze_crash(mut self, at_step: u64) -> CrashReport {
+        let ctx = self.crash.take().expect("freeze_crash requires an armed crash context");
+        let line_size = self.cfg.line_size;
+        // Volatile-lost state, gathered level by level. Duplicates are fine
+        // until the sort/dedup below (a line can be dirty in a cache *and*
+        // pending in a store buffer).
+        let mut lost: Vec<Addr> = Vec::new();
+        let mut lost_sb_entries = 0u64;
+        for c in &self.cores {
+            c.l1.dirty_lines_into(&mut lost);
+            let before = lost.len();
+            c.sb.pending_lines_into(&mut lost);
+            lost_sb_entries += (lost.len() - before) as u64;
+        }
+        self.llc.dirty_lines_into(&mut lost);
+        let mut wc_open: Vec<(Addr, u64)> = Vec::new();
+        for c in &self.cores {
+            c.wc.open_lines_into(&mut wc_open);
+        }
+        let lost_wc_bytes: u64 = wc_open.iter().map(|&(_, bytes)| bytes).sum();
+        lost.extend(wc_open.iter().map(|&(line, _)| line));
+        // Device partition: on persistent media a received line is durable
+        // once its internal block has closed; lines in still-open buffered
+        // blocks are lost. Volatile devices lose everything.
+        let mut open_blocks: Vec<(Addr, u64)> = Vec::new();
+        self.device.buffered_blocks_into(&mut open_blocks);
+        let lost_device_buffered_bytes: u64 = open_blocks.iter().map(|&(_, b)| b).sum();
+        let open: FxHashSet<Addr> = open_blocks.iter().map(|&(block, _)| block).collect();
+        let granularity = self.device.internal_granularity();
+        let persistent = self.device.durable_media();
+        let mut durable: Vec<Addr> = Vec::new();
+        for &line in &ctx.received {
+            if persistent && !open.contains(&align_down(line, granularity)) {
+                durable.push(line);
+            } else {
+                lost.push(line);
+            }
+        }
+        durable.sort_unstable();
+        lost.sort_unstable();
+        lost.dedup();
+        // Attribute each lost line to the site that first dirtied it; lines
+        // that already gave up their tag (e.g. data handed to the device
+        // before the crash) land in the UNKNOWN row.
+        let mut sites: SiteTable<CRASH_COLS> = SiteTable::new();
+        let mut unknown = [0u64; CRASH_COLS];
+        for &line in &lost {
+            let id = if T::USE_IDS {
+                self.interned.interner().id_of(line).unwrap_or(LineId::INVALID)
+            } else {
+                LineId::INVALID
+            };
+            let site =
+                self.tables.dirt_take(id, line).map_or(FuncId::UNKNOWN, |(site, _)| site);
+            if site == FuncId::UNKNOWN {
+                unknown[crate::crash::LOST_LINES] += 1;
+                unknown[crate::crash::LOST_BYTES] += line_size;
+            } else {
+                sites.add(u32::from(site.0), crate::crash::LOST_LINES, 1);
+                sites.add(u32::from(site.0), crate::crash::LOST_BYTES, line_size);
+            }
+        }
+        let mut site_rows: Vec<(FuncId, LostSite)> = sites
+            .drain_sorted()
+            .into_iter()
+            .map(|(s, row)| {
+                (
+                    FuncId(s as u16),
+                    LostSite {
+                        lines: row[crate::crash::LOST_LINES],
+                        bytes: row[crate::crash::LOST_BYTES],
+                    },
+                )
+            })
+            .collect();
+        if unknown != [0u64; CRASH_COLS] {
+            site_rows.push((
+                FuncId::UNKNOWN,
+                LostSite {
+                    lines: unknown[crate::crash::LOST_LINES],
+                    bytes: unknown[crate::crash::LOST_BYTES],
+                },
+            ));
+        }
+        let mut releases: Vec<(Addr, u32)> = ctx.releases.into_iter().collect();
+        releases.sort_unstable();
+        let lost_bytes = lost.len() as u64 * line_size;
+        crate::probes::CRASHES.inc();
+        crate::probes::CRASH_LOST_BYTES.record(lost_bytes);
+        CrashReport {
+            at_step,
+            at_cycle: self.cores.iter().map(|c| c.now).max().unwrap_or(0),
+            fences_seen: ctx.fences_seen,
+            durable_lines: durable.len() as u64,
+            durable_bytes: durable.len() as u64 * line_size,
+            lost_lines: lost.len() as u64,
+            lost_bytes,
+            lost_sb_entries,
+            lost_wc_bytes,
+            lost_device_buffered_bytes,
+            sites: site_rows,
+            image: CrashImage {
+                durable,
+                lost,
+                releases,
+                pcs: self.cores.iter().map(|c| c.pc).collect(),
+                line_size,
+            },
+        }
     }
 
     /// The id at position `i` of an event's pre-resolved id run
@@ -616,6 +899,12 @@ impl<'a, T: LineTables> Engine<'a, T> {
                 // synchronization.
                 let now = self.cores[cid].now;
                 self.tables.release_bump(id, line, now);
+                // Shadow the cumulative count for the crash image: the
+                // engine tables reset per segment, but a resumed acquire
+                // must still see releases from before the crash.
+                if let Some(ctx) = self.crash.as_mut() {
+                    *ctx.releases.entry(line).or_insert(0) += 1;
+                }
             }
             EventKind::Acquire => {
                 let line = simcore::align_down(ev.addr, line_size);
@@ -659,6 +948,12 @@ impl<'a, T: LineTables> Engine<'a, T> {
     /// to the device counters (minus the end-of-run flush remainder, which
     /// lands in the UNKNOWN row).
     fn device_write_attributed(&mut self, line: Addr, bytes: u64, site: FuncId) {
+        // Crash-armed runs track every line the device has received: this
+        // is the single funnel all device writes route through (LLC
+        // victims, residual flushes, WC flushes, pre-store cleans).
+        if let Some(ctx) = self.crash.as_mut() {
+            ctx.received.insert(line);
+        }
         let before = *self.device.stats();
         self.device.receive_write(line, bytes);
         let after = *self.device.stats();
@@ -1488,7 +1783,9 @@ mod tests {
         });
         let clean = simulate_single(&MachineConfig::machine_a(), &trace);
         let mut cfg = MachineConfig::machine_a();
-        cfg.device.inject_faults(Some(TransientFaults::new(10, 5_000)));
+        cfg.device
+            .inject_faults(Some(TransientFaults::new(10, 5_000)))
+            .expect("optane supports fault injection");
         let faulty = simulate_single(&cfg, &trace);
         assert!(
             faulty.cpu_cycles > clean.cpu_cycles,
@@ -1498,6 +1795,236 @@ mod tests {
         );
         let again = simulate_single(&cfg, &trace);
         assert_eq!(faulty, again, "fault injection must stay deterministic");
+    }
+
+    fn crash_of(outcome: Result<CrashOutcome, EngineError>) -> Box<CrashReport> {
+        match outcome.expect("replay must not error") {
+            CrashOutcome::Crashed(r) => r,
+            CrashOutcome::Completed { .. } => panic!("crash plan must fire"),
+        }
+    }
+
+    fn digest_of(outcome: Result<CrashOutcome, EngineError>) -> u64 {
+        match outcome.expect("replay must not error") {
+            CrashOutcome::Completed { durable_digest, .. } => {
+                durable_digest.expect("crash-armed completion tracks the digest")
+            }
+            CrashOutcome::Crashed(r) => panic!("plan fired unexpectedly at step {}", r.at_step),
+        }
+    }
+
+    #[test]
+    fn crash_at_step_freezes_after_the_step_retires() {
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| {
+            for i in 0..100u64 {
+                t.write(i * 64, 64);
+            }
+        })]);
+        let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(10)));
+        assert_eq!(report.at_step, 10);
+        assert!(report.image.pcs[0] > 0, "the triggering step retired");
+        // Everything written so far is either durable or lost, never both.
+        for &line in &report.image.durable {
+            assert!(!report.image.lost.contains(&line), "line {line:#x} in both partitions");
+        }
+        assert!(report.lost_lines > 0, "in-flight stores must be lost");
+        assert_eq!(report.lost_bytes, report.lost_lines * 64);
+    }
+
+    #[test]
+    fn crash_at_step_zero_behaves_like_step_one() {
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| t.write(0, 64))]);
+        let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(0)));
+        assert_eq!(report.at_step, 1);
+    }
+
+    #[test]
+    fn crash_at_every_kth_fence_counts_fences() {
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| {
+            for i in 0..10u64 {
+                t.write(i * 64, 64);
+                t.fence();
+            }
+        })]);
+        let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::EveryKFences(3)));
+        assert_eq!(report.fences_seen, 3);
+        let report0 = crash_of(m.try_run_until_crash(&traces, CrashPlan::EveryKFences(0)));
+        assert_eq!(report0.fences_seen, 1, "k = 0 behaves like k = 1");
+    }
+
+    #[test]
+    fn crash_at_cycle_fires_when_a_clock_passes_it() {
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| {
+            for _ in 0..100 {
+                t.compute(50);
+            }
+        })]);
+        let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtCycle(1000)));
+        assert!(report.at_cycle >= 1000, "{}", report.at_cycle);
+        assert!(report.at_cycle < 1100, "fired on the first step past the cycle");
+    }
+
+    #[test]
+    fn unfired_plan_completes_with_a_digest() {
+        let cfg = MachineConfig::machine_a();
+        let m = Machine::new(cfg.clone());
+        let traces = TraceSet::new(vec![trace_of(|t| {
+            for i in 0..200u64 {
+                t.write(i * 64, 64);
+            }
+        })]);
+        let d1 = digest_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(u64::MAX)));
+        let d2 = digest_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(u64::MAX)));
+        assert_eq!(d1, d2, "digest is deterministic");
+        // The armed-but-unfired run must not perturb the stats themselves.
+        let plain = m.try_run(&traces).expect("valid");
+        match m.try_run_until_crash(&traces, CrashPlan::AtStep(u64::MAX)).expect("valid") {
+            CrashOutcome::Completed { stats, .. } => assert_eq!(*stats, plain),
+            CrashOutcome::Crashed(_) => panic!("plan cannot fire"),
+        }
+    }
+
+    #[test]
+    fn crash_then_recovery_reaches_the_uninterrupted_durable_state() {
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| {
+            for i in 0..500u64 {
+                // Strided writes so the device keeps blocks open (write
+                // amplification pressure makes the partition interesting).
+                t.write((i * 4096) % (1 << 20), 64);
+            }
+            t.fence();
+        })]);
+        let golden = digest_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(u64::MAX)));
+        for crash_step in [1u64, 100, 400] {
+            let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(crash_step)));
+            let resumed = digest_of(m.recover_and_resume(&traces, &report.image, None));
+            assert_eq!(resumed, golden, "crash at step {crash_step} diverged after recovery");
+        }
+    }
+
+    #[test]
+    fn recovery_restores_release_counts_for_blocked_acquires() {
+        // Producer releases line 0x40 twice; consumer acquires seq 2. Crash
+        // after the atomics: without release restoration the resumed
+        // consumer would deadlock.
+        let mut p = Tracer::new();
+        p.atomic(0x40, 8);
+        p.atomic(0x40, 8);
+        for i in 0..50u64 {
+            p.write(i * 64, 64);
+        }
+        let mut c = Tracer::new();
+        c.compute(100_000); // stay behind the producer's atomics
+        c.acquire(0x40, 2);
+        c.write(1 << 20, 64);
+        let traces = TraceSet::new(vec![p.finish(), c.finish()]);
+        let m = Machine::new(MachineConfig::machine_a());
+        let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(20)));
+        assert_eq!(report.image.releases, vec![(0x40, 2)]);
+        let golden = digest_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(u64::MAX)));
+        let resumed = digest_of(m.recover_and_resume(&traces, &report.image, None));
+        assert_eq!(resumed, golden);
+    }
+
+    #[test]
+    fn recovery_rejects_a_mismatched_image() {
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| {
+            for i in 0..100u64 {
+                t.write(i * 64, 64);
+            }
+        })]);
+        let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(10)));
+        let two_threads = TraceSet::new(vec![
+            trace_of(|t| t.write(0, 64)),
+            trace_of(|t| t.write(64, 64)),
+        ]);
+        assert_eq!(
+            m.recover_and_resume(&two_threads, &report.image, None),
+            Err(EngineError::CrashImageMismatch { image_cores: 1, trace_threads: 2 })
+        );
+    }
+
+    #[test]
+    fn iterated_crash_recovery_terminates_and_converges() {
+        // Crash at the first fence of every segment; each segment retires
+        // at least one event, so the loop terminates.
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| {
+            for i in 0..50u64 {
+                t.write(i * 64, 64);
+                t.fence();
+            }
+        })]);
+        let golden = digest_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(u64::MAX)));
+        let mut outcome = m
+            .try_run_until_crash(&traces, CrashPlan::EveryKFences(1))
+            .expect("replay must not error");
+        let mut crashes = 0u32;
+        let digest = loop {
+            match outcome {
+                CrashOutcome::Completed { durable_digest, .. } => {
+                    break durable_digest.expect("crash-armed run")
+                }
+                CrashOutcome::Crashed(report) => {
+                    crashes += 1;
+                    assert!(crashes <= 51, "iterated recovery failed to terminate");
+                    outcome = m
+                        .recover_and_resume(
+                            &traces,
+                            &report.image,
+                            Some(CrashPlan::EveryKFences(1)),
+                        )
+                        .expect("recovery must not error");
+                }
+            }
+        };
+        assert!(crashes >= 40, "a crash per fence, got {crashes}");
+        assert_eq!(digest, golden, "crash-at-every-fence diverged after {crashes} crashes");
+    }
+
+    #[test]
+    fn volatile_devices_have_no_durable_lines() {
+        let m = Machine::new(MachineConfig::machine_a_dram());
+        let traces = TraceSet::new(vec![trace_of(|t| {
+            for i in 0..2000u64 {
+                t.write(i * 64, 64);
+            }
+        })]);
+        let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(1500)));
+        assert_eq!(report.durable_lines, 0, "DRAM commits nothing across power loss");
+        assert!(report.lost_lines > 0);
+        // Recovery still converges: the redo set carries everything.
+        let golden = digest_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(u64::MAX)));
+        assert_eq!(digest_of(m.recover_and_resume(&traces, &report.image, None)), golden);
+    }
+
+    #[test]
+    fn crash_report_attributes_lost_lines_to_sites() {
+        use simcore::FuncRegistry;
+        let mut reg = FuncRegistry::new();
+        let f = reg.register("dirty_writer", "crash.c", 9);
+        let mut t = Tracer::new();
+        t.enter_raw(f);
+        for i in 0..100u64 {
+            t.write(i * 64, 64);
+        }
+        t.leave();
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![t.finish()]);
+        let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(50)));
+        let attributed: u64 = report
+            .sites
+            .iter()
+            .filter(|(s, _)| *s == f)
+            .map(|(_, l)| l.lines)
+            .sum();
+        assert!(attributed > 0, "lost lines must name the dirtying site: {:?}", report.sites);
     }
 
     #[test]

@@ -61,6 +61,16 @@ pub enum EngineError {
         /// Per-core replay progress: `(core, next event, total events)`.
         progress: Vec<(CoreId, usize, usize)>,
     },
+    /// A crash image from [`crate::Machine::try_run_until_crash`] was
+    /// handed to [`crate::Machine::recover_and_resume`] with a trace set
+    /// of a different shape: recovery replays the *same* trace the crash
+    /// interrupted, so the per-core resume points must line up.
+    CrashImageMismatch {
+        /// Cores recorded in the crash image.
+        image_cores: usize,
+        /// Threads in the trace set being resumed.
+        trace_threads: usize,
+    },
     /// A store could not be placed because the core's store buffer was
     /// full even after a forced head drain — engine state corruption,
     /// reported instead of asserted.
@@ -108,6 +118,11 @@ impl fmt::Display for EngineError {
                 }
                 Ok(())
             }
+            EngineError::CrashImageMismatch { image_cores, trace_threads } => write!(
+                f,
+                "crash image mismatch: image records {image_cores} core(s) but the trace \
+                 set being resumed has {trace_threads} thread(s)"
+            ),
             EngineError::StoreBufferOverflow { core, line, capacity } => write!(
                 f,
                 "store buffer overflow on core {core}: no room for line {line:#x} \

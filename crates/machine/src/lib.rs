@@ -30,6 +30,7 @@
 //! ```
 
 pub mod config;
+pub mod crash;
 pub mod engine;
 pub mod error;
 mod probes;
@@ -38,9 +39,11 @@ pub mod stats;
 pub mod tables;
 
 pub use config::{CostModel, MachineConfig, MemModel};
+pub use crash::{CrashImage, CrashOutcome, CrashReport, LostSite};
 pub use engine::{
     simulate, simulate_reference, simulate_single, try_simulate, try_simulate_single,
     try_simulate_threads, try_simulate_threads_reference, Engine, Machine,
 };
 pub use error::{BlockedAcquire, EngineError};
+pub use simcore::faultinject::CrashPlan;
 pub use stats::{CoreStats, RunStats, SiteCounters};

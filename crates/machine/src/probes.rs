@@ -55,6 +55,11 @@ pub(crate) static DEVICE_MEDIA_WRITTEN: Metric =
 /// Bytes read from the device.
 pub(crate) static DEVICE_BYTES_READ: Metric = Metric::counter("engine.device_bytes_read");
 
+/// Simulated power failures that fired (crash-armed replays only).
+pub(crate) static CRASHES: Metric = Metric::counter("machine.crashes");
+/// Distribution of line-granular bytes lost per simulated power failure.
+pub(crate) static CRASH_LOST_BYTES: Histogram = Histogram::new("crash.lost_bytes");
+
 /// Flat-table epoch bumps (one per `FlatTables::reset`).
 pub(crate) static TABLE_EPOCHS: Metric = Metric::counter("engine.table_epochs");
 /// Epoch-counter wraps (the rare full re-zero path).

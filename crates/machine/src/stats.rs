@@ -196,6 +196,12 @@ impl RunStats {
         self.cores.iter().map(|c| c.atomic_stall_cycles).sum()
     }
 
+    /// Total fences executed across cores — the number of crash points a
+    /// fence-granular [`simcore::faultinject::CrashPlan`] sweep can target.
+    pub fn total_fences(&self) -> u64 {
+        self.cores.iter().map(|c| c.fences).sum()
+    }
+
     /// Whether the run was limited by device bandwidth rather than CPU.
     pub fn is_media_bound(&self) -> bool {
         self.media_busy_cycles > self.cpu_cycles

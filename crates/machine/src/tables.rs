@@ -64,6 +64,11 @@ pub trait LineTables {
     /// happened.
     fn release_get(&self, id: LineId, line: Addr) -> Option<(u32, Cycles)>;
     fn release_bump(&mut self, id: LineId, line: Addr, now: Cycles);
+    /// Restore a release count recovered from a crash image: the line has
+    /// been released `count` times in total across the pre-crash segments.
+    /// The release *time* is deliberately reset to 0 — resumed cores start
+    /// from fresh clocks, and an acquire only compares sequence numbers.
+    fn release_restore(&mut self, id: LineId, line: Addr, count: u32);
 
     /// Tag `line` with the site and step that first dirtied it, if it has
     /// no tag yet (first-dirty wins: a line stays attributed to the store
@@ -329,6 +334,14 @@ impl LineTables for FlatTables {
     }
 
     #[inline]
+    fn release_restore(&mut self, id: LineId, _line: Addr, count: u32) {
+        *self.flags_mut(id) |= REL;
+        let c = self.cold_mut(id);
+        c.rel_count = count;
+        c.rel_when = 0;
+    }
+
+    #[inline]
     fn dirt_mark(&mut self, id: LineId, _line: Addr, site: FuncId, step: u64) {
         let f = self.flags_mut(id);
         if *f & DIRT != 0 {
@@ -460,6 +473,11 @@ impl LineTables for HashTables {
         let e = self.releases.entry(line).or_insert((0, 0));
         e.0 += 1;
         e.1 = now;
+    }
+
+    #[inline]
+    fn release_restore(&mut self, _id: LineId, line: Addr, count: u32) {
+        self.releases.insert(line, (count, 0));
     }
 
     #[inline]
@@ -612,6 +630,26 @@ mod tests {
         flat.dirt_mark(id, lines[0], FuncId(1), 1);
         flat.reset(interner.len());
         assert_eq!(flat.dirt_take(id, lines[0]), None);
+    }
+
+    #[test]
+    fn release_restore_seeds_counts_in_both_implementations() {
+        let mut interner = LineInterner::new(8);
+        let line = 0x140;
+        interner.intern(line);
+        let id = interner.id_of(line).expect("interned above");
+        let mut flat = FlatTables::default();
+        flat.reset(interner.len());
+        let mut hash = HashTables::default();
+        flat.release_restore(id, line, 7);
+        hash.release_restore(id, line, 7);
+        assert_eq!(flat.release_get(id, line), Some((7, 0)));
+        assert_eq!(flat.release_get(id, line), hash.release_get(id, line));
+        // Post-restore bumps continue from the restored count.
+        flat.release_bump(id, line, 42);
+        hash.release_bump(id, line, 42);
+        assert_eq!(flat.release_get(id, line), Some((8, 42)));
+        assert_eq!(flat.release_get(id, line), hash.release_get(id, line));
     }
 
     #[test]

@@ -89,6 +89,15 @@ impl MemDevice for CxlSsd {
     fn reset_stats(&mut self) {
         self.inner.reset_stats();
     }
+
+    fn durable_media(&self) -> bool {
+        // Flash media is persistent: closed blocks survive power loss.
+        true
+    }
+
+    fn buffered_blocks_into(&self, out: &mut Vec<(Addr, u64)>) {
+        self.inner.buffered_blocks_into(out);
+    }
 }
 
 #[cfg(test)]

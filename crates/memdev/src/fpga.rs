@@ -15,7 +15,7 @@
 //! benefit from the increase in sequentiality") — its granularity equals
 //! the CPU line size.
 
-use crate::{DeviceStats, MemDevice, TransientFaults};
+use crate::{DeviceStats, FaultInjectionUnsupported, MemDevice, TransientFaults};
 use simcore::{Addr, Cycles};
 
 /// FPGA memory with configurable latency and bandwidth.
@@ -119,8 +119,12 @@ impl MemDevice for FpgaMem {
         self.stats = DeviceStats::default();
     }
 
-    fn inject_faults(&mut self, faults: Option<TransientFaults>) {
+    fn inject_faults(
+        &mut self,
+        faults: Option<TransientFaults>,
+    ) -> Result<(), FaultInjectionUnsupported> {
         self.faults = faults;
+        Ok(())
     }
 
     fn fault_stall(&self) -> Cycles {

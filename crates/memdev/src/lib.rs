@@ -103,6 +103,27 @@ impl TransientFaults {
     }
 }
 
+/// A device was asked to inject transient faults but does not model them.
+///
+/// Returned by [`MemDevice::inject_faults`] on devices whose timing the
+/// fault-injection harness cannot degrade ([`Dram`], [`CxlSsd`]). Before
+/// this type existed the default implementation silently swallowed the
+/// configuration, making "faults injected" sweeps on unsupported devices
+/// indistinguishable from clean runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjectionUnsupported {
+    /// Name of the device that rejected the schedule.
+    pub device: &'static str,
+}
+
+impl std::fmt::Display for FaultInjectionUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "device '{}' does not support transient-fault injection", self.device)
+    }
+}
+
+impl std::error::Error for FaultInjectionUnsupported {}
+
 /// Behaviour required of a cacheable memory device.
 pub trait MemDevice {
     /// Short device name for reports.
@@ -162,12 +183,21 @@ pub trait MemDevice {
 
     /// Enable (or, with `None`, disable) transient-fault injection.
     ///
-    /// The default implementation ignores the request: devices opt in by
-    /// storing the configuration and honoring it in
+    /// Devices opt in by storing the configuration and honoring it in
     /// [`MemDevice::fault_stall`]. [`OptanePmem`] and [`FpgaMem`] — the
     /// devices whose timing the paper's problem scenarios depend on —
-    /// support injection.
-    fn inject_faults(&mut self, _faults: Option<TransientFaults>) {}
+    /// support injection. The default implementation rejects any actual
+    /// schedule with [`FaultInjectionUnsupported`] (disabling with `None`
+    /// is always accepted: there is nothing to disable).
+    fn inject_faults(
+        &mut self,
+        faults: Option<TransientFaults>,
+    ) -> Result<(), FaultInjectionUnsupported> {
+        match faults {
+            None => Ok(()),
+            Some(_) => Err(FaultInjectionUnsupported { device: self.name() }),
+        }
+    }
 
     /// Extra cycles the *next* request will stall due to an injected
     /// transient fault (0 when injection is off or the next request is
@@ -175,6 +205,21 @@ pub trait MemDevice {
     fn fault_stall(&self) -> Cycles {
         0
     }
+
+    /// Whether data the device has committed to its media survives power
+    /// loss. Persistent media (Optane, CXL SSD) return `true`; DRAM and
+    /// the FPGA's DRAM-backed store return `false` — on a crash *nothing*
+    /// they hold is durable, however long ago it was written.
+    fn durable_media(&self) -> bool {
+        false
+    }
+
+    /// Append the device's internally buffered, **not yet media-committed**
+    /// blocks to `out` as `(block_address, bytes_filled)` pairs (appended,
+    /// not cleared). A power failure loses these even on persistent media:
+    /// only closed blocks have reached the media. Devices without internal
+    /// write buffering append nothing.
+    fn buffered_blocks_into(&self, _out: &mut Vec<(Addr, u64)>) {}
 }
 
 /// Telemetry probes on the [`Device`] dispatch layer (the engine's single
@@ -286,12 +331,23 @@ impl MemDevice for Device {
         dispatch!(self, d => d.reset_stats())
     }
 
-    fn inject_faults(&mut self, faults: Option<TransientFaults>) {
+    fn inject_faults(
+        &mut self,
+        faults: Option<TransientFaults>,
+    ) -> Result<(), FaultInjectionUnsupported> {
         dispatch!(self, d => d.inject_faults(faults))
     }
 
     fn fault_stall(&self) -> Cycles {
         dispatch!(self, d => d.fault_stall())
+    }
+
+    fn durable_media(&self) -> bool {
+        dispatch!(self, d => d.durable_media())
+    }
+
+    fn buffered_blocks_into(&self, out: &mut Vec<(Addr, u64)>) {
+        dispatch!(self, d => d.buffered_blocks_into(out))
     }
 }
 
@@ -344,7 +400,7 @@ mod tests {
     #[test]
     fn transient_faults_stall_every_periodth_request() {
         let mut d = Device::Optane(OptanePmem::default());
-        d.inject_faults(Some(TransientFaults::new(3, 500)));
+        d.inject_faults(Some(TransientFaults::new(3, 500))).expect("optane supports faults");
         let mut stalls = Vec::new();
         for i in 0..9u64 {
             stalls.push(d.fault_stall());
@@ -352,14 +408,14 @@ mod tests {
         }
         // Requests 3, 6 and 9 (1-based) stall.
         assert_eq!(stalls, vec![0, 0, 500, 0, 0, 500, 0, 0, 500]);
-        d.inject_faults(None);
+        d.inject_faults(None).expect("disabling is always accepted");
         assert_eq!(d.fault_stall(), 0);
     }
 
     #[test]
     fn fault_schedule_counts_reads_and_writes_together() {
         let mut d = Device::Fpga(FpgaMem::fast());
-        d.inject_faults(Some(TransientFaults::new(2, 100)));
+        d.inject_faults(Some(TransientFaults::new(2, 100))).expect("fpga supports faults");
         d.receive_read(0, 128); // request 1
         assert_eq!(d.fault_stall(), 100); // request 2 will stall
         d.receive_write(128, 128); // request 2
@@ -367,10 +423,42 @@ mod tests {
     }
 
     #[test]
-    fn devices_without_support_ignore_injection() {
+    fn devices_without_support_reject_injection() {
         let mut d = Device::Dram(Dram::default());
-        d.inject_faults(Some(TransientFaults::new(1, 1_000)));
+        let err = d
+            .inject_faults(Some(TransientFaults::new(1, 1_000)))
+            .expect_err("DRAM must reject a fault schedule, not swallow it");
+        assert_eq!(err, FaultInjectionUnsupported { device: "DRAM" });
+        assert!(err.to_string().contains("DRAM"), "{err}");
         assert_eq!(d.fault_stall(), 0);
+        // Disabling on an unsupported device is harmless.
+        d.inject_faults(None).expect("disabling is always accepted");
+    }
+
+    #[test]
+    fn durable_media_matches_device_class() {
+        assert!(Device::Optane(OptanePmem::default()).durable_media());
+        assert!(Device::CxlSsd(CxlSsd::new(256)).durable_media());
+        assert!(!Device::Dram(Dram::default()).durable_media());
+        assert!(!Device::Fpga(FpgaMem::fast()).durable_media());
+    }
+
+    #[test]
+    fn buffered_blocks_surface_open_optane_blocks() {
+        let mut d = Device::Optane(OptanePmem::default());
+        d.receive_write(0, 64); // opens block 0, 64 of 256 bytes filled
+        let mut open = Vec::new();
+        d.buffered_blocks_into(&mut open);
+        assert_eq!(open, vec![(0, 64)]);
+        d.flush();
+        open.clear();
+        d.buffered_blocks_into(&mut open);
+        assert!(open.is_empty(), "flush closes all blocks");
+        // DRAM commits immediately: never anything buffered.
+        let mut dram = Device::Dram(Dram::default());
+        dram.receive_write(0, 64);
+        dram.buffered_blocks_into(&mut open);
+        assert!(open.is_empty());
     }
 
     #[test]

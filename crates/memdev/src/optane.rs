@@ -13,7 +13,7 @@
 //! block — write amplification up to 4.0. This is exactly the number the
 //! paper reads out of `ipmctl`.
 
-use crate::{DeviceStats, MemDevice, TransientFaults};
+use crate::{DeviceStats, FaultInjectionUnsupported, MemDevice, TransientFaults};
 use simcore::telemetry::Histogram;
 use simcore::{align_down, Addr, Cycles};
 use std::collections::VecDeque;
@@ -180,12 +180,27 @@ impl MemDevice for OptanePmem {
         self.open.clear();
     }
 
-    fn inject_faults(&mut self, faults: Option<TransientFaults>) {
+    fn inject_faults(
+        &mut self,
+        faults: Option<TransientFaults>,
+    ) -> Result<(), FaultInjectionUnsupported> {
         self.faults = faults;
+        Ok(())
     }
 
     fn fault_stall(&self) -> Cycles {
         self.faults.map_or(0, |f| f.stall_for(&self.stats))
+    }
+
+    fn durable_media(&self) -> bool {
+        // 3D-XPoint media is persistent: closed blocks survive power loss.
+        true
+    }
+
+    fn buffered_blocks_into(&self, out: &mut Vec<(Addr, u64)>) {
+        // Open XPBuffer blocks have not reached the media yet; a power
+        // failure loses them even though the media itself is persistent.
+        out.extend(self.open.iter().copied());
     }
 }
 

@@ -42,6 +42,13 @@ mod probes {
     pub(super) static JOB_QUEUE_WAIT: Metric = Metric::span("runner.job_queue_wait");
     /// Time spent inside each job body.
     pub(super) static JOB_RUN: Metric = Metric::span("runner.job_run");
+    /// Supervised jobs that panicked (counted once per panic, including
+    /// panics that a retry later recovered from).
+    pub(super) static JOB_PANICS: Metric = Metric::counter("runner.job_panics");
+    /// Supervised jobs retried after a panic.
+    pub(super) static JOB_RETRIES: Metric = Metric::counter("runner.job_retries");
+    /// Supervised jobs that finished but blew their soft deadline.
+    pub(super) static JOB_DEADLINE_MISSES: Metric = Metric::counter("runner.job_deadline_misses");
 }
 
 /// Extra worker threads currently allowed process-wide (budget minus
@@ -125,6 +132,17 @@ fn release_permits(n: usize) {
     }
 }
 
+/// Returns the held permits on drop, so a panic unwinding out of
+/// [`map_indexed`] (a panicking job body re-raised by the scope join)
+/// cannot leak them and permanently shrink the process-wide budget.
+struct PermitGuard(usize);
+
+impl Drop for PermitGuard {
+    fn drop(&mut self) {
+        release_permits(self.0);
+    }
+}
+
 /// Evaluate `f(0..n)` and return the results in index order.
 ///
 /// Runs on the calling thread plus however many extra workers the global
@@ -177,6 +195,7 @@ where
         return first.into_iter().chain((start..n).map(run_job)).collect();
     }
     probes::HELPERS.add(helpers as u64);
+    let _permits = PermitGuard(helpers);
     let queue_start = crate::telemetry::Stopwatch::start();
     let next = AtomicUsize::new(start);
     let worker = |out: &mut Vec<(usize, T)>| loop {
@@ -207,16 +226,163 @@ where
             slots[i] = Some(v);
         }
         for h in handles {
-            for (i, v) in h.join().expect("pool worker panicked") {
-                slots[i] = Some(v);
+            // A panicking job body unwinds the worker; re-raise it here so
+            // the caller sees the original panic. The `PermitGuard` above
+            // (and the scope itself, which joins remaining workers) keep
+            // the permit budget and thread accounting intact either way.
+            match h.join() {
+                Ok(out) => {
+                    for (i, v) in out {
+                        slots[i] = Some(v);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
-    release_permits(helpers);
     slots
         .into_iter()
         .map(|s| s.expect("every index computed exactly once"))
         .collect()
+}
+
+/// How [`supervised_map`] handles misbehaving jobs: a soft per-job
+/// deadline and a bounded number of retries after a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervision {
+    /// Soft wall-clock deadline per job. Checked *after* the job body
+    /// returns (jobs are never interrupted mid-flight — replay is pure
+    /// CPU work with no cancellation points), so an over-budget job still
+    /// runs to completion but its result is discarded and reported as
+    /// [`JobFailure::DeadlineExceeded`]. `None` disables the check.
+    pub deadline: Option<std::time::Duration>,
+    /// Retries after a panic before giving up. The job body receives the
+    /// attempt number, so retried runs can reseed themselves.
+    pub retries: u32,
+}
+
+impl Default for Supervision {
+    /// No deadline, one retry after a panic.
+    fn default() -> Self {
+        Self { deadline: None, retries: 1 }
+    }
+}
+
+impl Supervision {
+    /// Derive a soft deadline from a replay step budget, assuming a
+    /// conservative ~10M scheduler steps per second, clamped to at least
+    /// 10 seconds so machine noise never fails a healthy short job.
+    pub fn from_step_budget(steps: u64) -> Self {
+        let secs = (steps / 10_000_000).max(10);
+        Self { deadline: Some(std::time::Duration::from_secs(secs)), retries: 1 }
+    }
+}
+
+/// Why a supervised job's result is missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// Every attempt panicked; `message` is the last panic's payload.
+    Panicked {
+        /// Rendered payload of the final panic.
+        message: String,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// The job finished but took longer than the soft deadline.
+    DeadlineExceeded {
+        /// Wall-clock the job actually took, in milliseconds.
+        elapsed_ms: u64,
+        /// The configured soft deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Panicked { message, attempts } => {
+                write!(f, "panicked on all {attempts} attempt(s): {message}")
+            }
+            JobFailure::DeadlineExceeded { elapsed_ms, deadline_ms } => {
+                write!(f, "exceeded soft deadline: ran {elapsed_ms} ms, budget {deadline_ms} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+/// Render a panic payload into a human-readable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`map_indexed`] with fail-soft jobs: each job runs under
+/// `catch_unwind`, panics are retried up to `sup.retries` times, and
+/// jobs that panic every attempt or overrun the soft deadline yield a
+/// typed [`JobFailure`] instead of tearing down the whole map.
+///
+/// The job body receives `(index, attempt)`; `attempt` starts at 0 and
+/// increments per retry so stochastic jobs can reseed. Results keep input
+/// order, like [`map_indexed`].
+///
+/// # Examples
+///
+/// ```
+/// use simcore::par::{supervised_map, JobFailure, Supervision};
+/// let r = supervised_map(3, Supervision::default(), |i, _attempt| {
+///     if i == 1 { panic!("job {i} is broken") }
+///     i * 10
+/// });
+/// assert_eq!(r[0], Ok(0));
+/// assert!(matches!(r[1], Err(JobFailure::Panicked { .. })));
+/// assert_eq!(r[2], Ok(20));
+/// ```
+pub fn supervised_map<T, F>(n: usize, sup: Supervision, f: F) -> Vec<Result<T, JobFailure>>
+where
+    T: Send,
+    F: Fn(usize, u32) -> T + Sync,
+{
+    map_indexed(n, |i| {
+        let mut attempt = 0u32;
+        loop {
+            let start = std::time::Instant::now();
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, attempt))) {
+                Ok(v) => {
+                    if let Some(deadline) = sup.deadline {
+                        let elapsed = start.elapsed();
+                        if elapsed > deadline {
+                            probes::JOB_DEADLINE_MISSES.inc();
+                            return Err(JobFailure::DeadlineExceeded {
+                                elapsed_ms: u64::try_from(elapsed.as_millis())
+                                    .unwrap_or(u64::MAX),
+                                deadline_ms: u64::try_from(deadline.as_millis())
+                                    .unwrap_or(u64::MAX),
+                            });
+                        }
+                    }
+                    return Ok(v);
+                }
+                Err(payload) => {
+                    probes::JOB_PANICS.inc();
+                    if attempt >= sup.retries {
+                        return Err(JobFailure::Panicked {
+                            message: panic_message(&*payload),
+                            attempts: attempt + 1,
+                        });
+                    }
+                    probes::JOB_RETRIES.inc();
+                    attempt += 1;
+                }
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -285,5 +451,118 @@ mod tests {
         assert_eq!(map_indexed(0, |i| i), Vec::<usize>::new());
         assert_eq!(map_indexed(1, |i| i), vec![0]);
         set_parallelism(1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_leak_permits() {
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
+        set_parallelism(4);
+        // An unsupervised map re-raises the job panic — but the permit
+        // guard must still return every permit, or the budget shrinks for
+        // the rest of the process.
+        let result = std::panic::catch_unwind(|| {
+            map_indexed(8, |i| {
+                if i == 5 {
+                    panic!("deliberate test panic in job {i}")
+                }
+                i
+            })
+        });
+        assert!(result.is_err(), "the job panic must propagate to the caller");
+        assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 3, "permits leaked");
+        // The pool is still fully usable afterwards.
+        assert_eq!(map_indexed(4, |i| i * 2), vec![0, 2, 4, 6]);
+        assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 3);
+        set_parallelism(1);
+    }
+
+    #[test]
+    fn supervised_panics_surface_as_failures_and_keep_the_budget() {
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
+        set_parallelism(4);
+        let sup = Supervision { deadline: None, retries: 2 };
+        let r = supervised_map(8, sup, |i, _attempt| {
+            if i % 3 == 0 {
+                panic!("job {i} dies")
+            }
+            i
+        });
+        for (i, res) in r.iter().enumerate() {
+            if i % 3 == 0 {
+                match res {
+                    Err(JobFailure::Panicked { message, attempts }) => {
+                        assert_eq!(*attempts, 3, "1 try + 2 retries");
+                        assert!(message.contains(&format!("job {i} dies")), "{message}");
+                    }
+                    other => panic!("job {i} yielded {other:?}"),
+                }
+            } else {
+                assert_eq!(*res, Ok(i));
+            }
+        }
+        assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 3, "permits leaked");
+        assert_eq!(DEPTH.with(|d| d.get()), 0);
+        set_parallelism(1);
+    }
+
+    #[test]
+    fn supervised_retry_recovers_flaky_jobs() {
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
+        set_parallelism(2);
+        // Every job panics on its first attempt and succeeds on retry;
+        // the attempt number is how jobs would reseed themselves.
+        let r = supervised_map(4, Supervision::default(), |i, attempt| {
+            if attempt == 0 {
+                panic!("flaky first attempt")
+            }
+            (i, attempt)
+        });
+        assert_eq!(r, (0..4).map(|i| Ok((i, 1))).collect::<Vec<_>>());
+        assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 1);
+        set_parallelism(1);
+    }
+
+    #[test]
+    fn supervised_deadline_miss_is_reported_not_fatal() {
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
+        set_parallelism(2);
+        let sup = Supervision {
+            deadline: Some(std::time::Duration::from_millis(5)),
+            retries: 0,
+        };
+        let r = supervised_map(3, sup, |i, _attempt| {
+            if i == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            i
+        });
+        assert_eq!(r[0], Ok(0));
+        match &r[1] {
+            Err(JobFailure::DeadlineExceeded { elapsed_ms, deadline_ms }) => {
+                assert_eq!(*deadline_ms, 5);
+                assert!(*elapsed_ms >= *deadline_ms, "{elapsed_ms} < {deadline_ms}");
+            }
+            other => panic!("over-budget job yielded {other:?}"),
+        }
+        assert_eq!(r[2], Ok(2));
+        assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 1, "permits leaked");
+        set_parallelism(1);
+    }
+
+    #[test]
+    fn supervision_from_step_budget_clamps_sanely() {
+        let small = Supervision::from_step_budget(1_000);
+        assert_eq!(small.deadline, Some(std::time::Duration::from_secs(10)));
+        let big = Supervision::from_step_budget(600_000_000);
+        assert_eq!(big.deadline, Some(std::time::Duration::from_secs(60)));
+        assert_eq!(big.retries, 1);
+    }
+
+    #[test]
+    fn job_failures_render() {
+        let p = JobFailure::Panicked { message: "boom".into(), attempts: 2 };
+        assert!(p.to_string().contains("boom"));
+        let d = JobFailure::DeadlineExceeded { elapsed_ms: 120, deadline_ms: 100 };
+        assert!(d.to_string().contains("120"));
     }
 }

@@ -1,0 +1,143 @@
+//! Golden-digest crash-consistency harness: simulated power failures at
+//! many points of the Table-3 workloads on Machine A, each followed by
+//! recovery, must always reach the same final durable line set as an
+//! uninterrupted run.
+//!
+//! The digest ([`pre_stores::machine::crash::durable_digest`]) covers the
+//! sorted set of lines the device has received once the run completes and
+//! flushes; recovery ([`Machine::recover_and_resume`]) rebuilds the
+//! engine from the [`pre_stores::machine::CrashImage`], redoes the lost
+//! lines, and replays the rest of the trace. Any divergence means crashed
+//! data escaped the durable/volatile partition.
+
+use pre_stores::machine::{simulate, CrashOutcome, CrashPlan, Machine, MachineConfig};
+use pre_stores::prestore::PrestoreMode;
+use pre_stores::simcore::TraceSet;
+use pre_stores::workloads::{microbench, nas, tensor, x9};
+use std::sync::OnceLock;
+
+/// The Table-3 workload traces the crashes sweep, built once per process
+/// (scaled-down parameters: the harness replays each one many times).
+fn subjects() -> &'static Vec<(&'static str, TraceSet)> {
+    static SUBJECTS: OnceLock<Vec<(&'static str, TraceSet)>> = OnceLock::new();
+    SUBJECTS.get_or_init(|| {
+        let mg = nas::mg::run(
+            &nas::mg::MgParams { n: 48, iters: 1, threads: 1 },
+            PrestoreMode::None,
+        );
+        let mut tp = tensor::TensorParams::new(16);
+        tp.large_elems = 1 << 16;
+        tp.small_ops = 2_000;
+        let tf = tensor::training_step(&tp, PrestoreMode::None);
+        let x9_out = x9::run(&x9::X9Params::quick(), PrestoreMode::None);
+        let l1 = microbench::listing1(
+            &microbench::Listing1Params { iters: 2_000, ..microbench::Listing1Params::new(2, 256) },
+            PrestoreMode::None,
+        );
+        // Listing 2 is the fence-retiring subject (write / reads / fence
+        // per iteration) — the other traces order through atomics, so the
+        // fence-granular sweep needs it to fire at all.
+        let l2 = microbench::listing2(
+            &microbench::Listing2Params { iters: 2_000, ..microbench::Listing2Params::new(8) },
+            false,
+        );
+        vec![
+            ("mg", mg.traces),
+            ("tensor", tf.traces),
+            ("x9", x9_out.traces),
+            ("listing1", l1.traces),
+            ("listing2", l2.traces),
+        ]
+    })
+}
+
+/// The uninterrupted run's durable digest (a crash-armed replay whose
+/// plan never fires, so received-line tracking stays on).
+fn golden_digest(m: &Machine, traces: &TraceSet) -> u64 {
+    match m.try_run_until_crash(traces, CrashPlan::AtStep(u64::MAX)).expect("valid traces") {
+        CrashOutcome::Completed { durable_digest, .. } => {
+            durable_digest.expect("crash-armed completion tracks the digest")
+        }
+        CrashOutcome::Crashed(r) => panic!("unfired plan crashed at step {}", r.at_step),
+    }
+}
+
+/// Crash once at several step fractions of each workload, recover, and
+/// require the resumed replay to reach the uninterrupted digest.
+#[test]
+fn crash_at_step_fractions_then_recovery_reaches_the_golden_digest() {
+    let m = Machine::new(MachineConfig::machine_a());
+    for (name, traces) in subjects() {
+        let golden = golden_digest(&m, traces);
+        let events = traces.total_events() as u64;
+        // Steps per event is at least one, so every fraction below the
+        // event count is a crash point the replay actually reaches.
+        for steps in [1, events / 4, events / 2, events.saturating_sub(events / 4)] {
+            let plan = CrashPlan::AtStep(steps.max(1));
+            let report = match m.try_run_until_crash(traces, plan).expect("valid traces") {
+                CrashOutcome::Crashed(r) => r,
+                CrashOutcome::Completed { .. } => {
+                    panic!("{name}: a step plan within the event count must fire")
+                }
+            };
+            let resumed = match m
+                .recover_and_resume(traces, &report.image, None)
+                .expect("recovery replays a valid remainder")
+            {
+                CrashOutcome::Completed { durable_digest, .. } => {
+                    durable_digest.expect("resumed runs track the digest")
+                }
+                CrashOutcome::Crashed(r) => {
+                    panic!("{name}: unarmed recovery crashed at step {}", r.at_step)
+                }
+            };
+            assert_eq!(
+                resumed, golden,
+                "{name}: crash at step {} + recovery diverged from the uninterrupted run",
+                steps.max(1)
+            );
+        }
+    }
+}
+
+/// Fence-granular sweep: crash repeatedly (every k-th fence, k sized for
+/// ~8 crashes), recover after each, and require convergence to the
+/// golden digest. Workloads whose traces retire no fences degrade to an
+/// uninterrupted (still digest-checked) run.
+#[test]
+fn iterated_fence_crashes_with_recovery_converge_to_the_golden_digest() {
+    let cfg = MachineConfig::machine_a();
+    let m = Machine::new(cfg.clone());
+    let mut fence_crashes = 0u64;
+    for (name, traces) in subjects() {
+        let golden = golden_digest(&m, traces);
+        let total_fences = simulate(&cfg, traces).total_fences();
+        let k = u32::try_from((total_fences / 8).max(1)).unwrap_or(u32::MAX);
+        let plan = CrashPlan::EveryKFences(k);
+        let mut outcome = m.try_run_until_crash(traces, plan).expect("valid traces");
+        let mut crashes = 0u64;
+        let digest = loop {
+            match outcome {
+                CrashOutcome::Completed { durable_digest, .. } => {
+                    break durable_digest.expect("crash-armed runs track the digest")
+                }
+                CrashOutcome::Crashed(report) => {
+                    crashes += 1;
+                    assert!(
+                        crashes <= total_fences + 1,
+                        "{name}: iterated recovery failed to terminate"
+                    );
+                    outcome = m
+                        .recover_and_resume(traces, &report.image, Some(plan))
+                        .expect("recovery replays a valid remainder");
+                }
+            }
+        };
+        assert_eq!(
+            digest, golden,
+            "{name}: {crashes} fence crash(es) + recovery diverged from the uninterrupted run"
+        );
+        fence_crashes += crashes;
+    }
+    assert!(fence_crashes > 0, "no subject retired enough fences to crash even once");
+}

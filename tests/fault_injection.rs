@@ -95,6 +95,75 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Corrupt-then-truncate: serialized traces that are bit-flipped AND
+    /// cut short must never panic the decoder or trick it into
+    /// pre-allocating unbounded buffers from a damaged length header —
+    /// they decode to something replayable or fail with a typed
+    /// `io::Error`.
+    #[test]
+    fn corrupted_then_truncated_buffers_never_panic_or_overallocate(
+        flips in 1usize..64,
+        cut in 0usize..4096,
+        seed in any::<u64>(),
+    ) {
+        let (_, traces, registry) = &subjects()[1];
+        let mut bytes = Vec::new();
+        serialize::write_traces(&mut bytes, traces, registry).expect("in-memory write");
+        corrupt_bytes(&mut bytes, flips, seed);
+        let keep = bytes.len().saturating_sub(cut);
+        bytes.truncate(keep);
+        match serialize::read_traces(&mut &bytes[..]) {
+            Ok((decoded, _)) => {
+                // The decoder's caps bound what a damaged header can make
+                // it build; whatever decoded must also replay panic-free.
+                prop_assert!(decoded.total_events() < (1 << 28));
+                let _ = try_simulate(&MachineConfig::machine_a(), &decoded);
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
+/// The degenerate corruption edges: `flips > 0` on a 1-byte buffer (the
+/// truncation branch can shrink it to empty, after which every flip must
+/// hit the empty-buffer guard) and on an already-empty buffer.
+#[test]
+fn corrupting_tiny_buffers_is_safe() {
+    for seed in 0..256u64 {
+        let mut one = vec![0xA5u8];
+        corrupt_bytes(&mut one, 3, seed);
+        assert!(one.len() <= 1);
+        let _ = serialize::read_traces(&mut &one[..]);
+        let mut empty: Vec<u8> = Vec::new();
+        corrupt_bytes(&mut empty, 3, seed);
+        assert!(empty.is_empty());
+    }
+}
+
+/// Devices that cannot model transient faults refuse with the typed
+/// [`FaultInjectionUnsupported`] signal instead of silently dropping the
+/// schedule (the old default was a no-op `Ok`); disarming with `None` is
+/// always accepted.
+#[test]
+fn unsupported_fault_injection_is_a_typed_refusal_not_a_silent_noop() {
+    use pre_stores::memdev::{
+        CxlSsd, Device, Dram, FaultInjectionUnsupported, MemDevice, TransientFaults,
+    };
+    let mut dram = Device::Dram(Dram::default());
+    let err = dram
+        .inject_faults(Some(TransientFaults::new(4, 1_000)))
+        .expect_err("DRAM cannot model transient media faults");
+    assert_eq!(err, FaultInjectionUnsupported { device: "DRAM" });
+    assert!(err.to_string().contains("DRAM"), "{err}");
+    let mut ssd = CxlSsd::new(256);
+    assert!(
+        ssd.inject_faults(Some(TransientFaults::new(1, 100))).is_err(),
+        "CXL SSD does not override the unsupported default"
+    );
+    assert_eq!(dram.inject_faults(None), Ok(()), "disarming is always accepted");
+}
+
 /// Exhaustive sweep: every mutation kind on every subject and machine,
 /// several seeds each — the directed complement of the random harness.
 #[test]
