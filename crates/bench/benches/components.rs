@@ -239,6 +239,56 @@ fn nt_write_path(c: &mut Criterion) {
     g.finish();
 }
 
+fn simd_kernels(c: &mut Criterion) {
+    use simcore::simd;
+
+    let mut g = c.benchmark_group("simd_kernels");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+
+    // Each kernel is measured on both its runtime-selected (AVX2 where
+    // available) and forced-scalar twin, at the operand shapes the replay
+    // hot loop actually feeds it: store-buffer-sized bool slabs for the
+    // mask/scan family, a stream-table-sized u64 haystack for the finders,
+    // and a 16-way tag row for the residency probe.
+    for forced in [false, true] {
+        simd::set_force_scalar(forced);
+        let label = if forced { "scalar" } else { simd::active_kernels() };
+
+        let flags: Vec<bool> = (0..56).map(|i| i % 3 == 0).collect();
+        g.bench_function(BenchmarkId::new("mask_true_32", label), |b| {
+            b.iter(|| simd::mask_true(&flags[..32]));
+        });
+        let other: Vec<bool> = (0..56).map(|i| i % 2 == 0).collect();
+        g.bench_function(BenchmarkId::new("for_each_both_true_56", label), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                simd::for_each_both_true(&flags, &other, |i| acc += i);
+                acc
+            });
+        });
+
+        let hay: Vec<u64> = (0..48u64).map(|i| i * 0x9E37).collect();
+        g.bench_function(BenchmarkId::new("find_u64_48_miss", label), |b| {
+            b.iter(|| simd::find_u64(&hay, u64::MAX));
+        });
+        g.bench_function(BenchmarkId::new("eq_mask_u64_16way", label), |b| {
+            b.iter(|| simd::eq_mask_u64(&hay[..16], hay[11]));
+        });
+
+        g.bench_function(BenchmarkId::new("kth_set_bit", label), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for k in 0..12u32 {
+                    acc += simd::kth_set_bit(0x0055_AA33_0F0F_5757, k);
+                }
+                acc
+            });
+        });
+    }
+    simd::set_force_scalar(false);
+    g.finish();
+}
+
 fn dirtbuster_passes(c: &mut Criterion) {
     let mut g = c.benchmark_group("dirtbuster_passes");
     g.sample_size(10).measurement_time(Duration::from_secs(6));
@@ -275,6 +325,7 @@ criterion_group!(
     engine_replay,
     intern_vs_hash,
     nt_write_path,
+    simd_kernels,
     dirtbuster_passes
 );
 criterion_main!(benches);

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! figures [--quick] [--json] [--chart] [--jobs N] [--timing]
-//!         [--job-deadline SECS] [--baseline FILE] [--metrics FILE]
-//!         [--metrics-baseline FILE] [--trace-out FILE] [--out DIR] [id ...]
+//!         [--force-scalar] [--job-deadline SECS] [--baseline FILE]
+//!         [--metrics FILE] [--metrics-baseline FILE] [--trace-out FILE]
+//!         [--out DIR] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Results are printed as text tables
@@ -17,6 +18,12 @@
 //! serially, then at the requested job count — verifies the outputs match
 //! byte-for-byte, and writes the wall-clock comparison to
 //! `BENCH_figures.json` in the output directory.
+//!
+//! `--force-scalar` pins the replay engine's vectorized scan kernels to
+//! their scalar twins (equivalent to setting `PS_FORCE_SCALAR=1`); results
+//! are byte-identical either way — the flag exists so CI can exercise both
+//! paths and so perf numbers can be attributed. The active kernel set is
+//! recorded in `BENCH_figures.json` as `"kernels"`.
 //!
 //! `--baseline FILE` (requires `--timing`) compares the measured
 //! wall-clock against the `parallel_seconds` recorded in a previously
@@ -81,6 +88,9 @@ fn usage() -> ! {
                later is discarded and reported as failed (default: none)
   --timing     run serial then parallel, check outputs are byte-identical,
                write BENCH_figures.json to the output directory
+  --force-scalar
+               pin the vectorized scan kernels to their scalar twins
+               (same as PS_FORCE_SCALAR=1; outputs are byte-identical)
   --baseline FILE
                with --timing: fail (exit 2) if this run's wall-clock is
                more than 20% slower than FILE's parallel_seconds
@@ -113,6 +123,9 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let chart = args.iter().any(|a| a == "--chart");
     let timing = args.iter().any(|a| a == "--timing");
+    if args.iter().any(|a| a == "--force-scalar") {
+        simcore::simd::set_force_scalar(true);
+    }
     let flag_value = |flag: &str| {
         args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
             Some(v) => v.clone(),
@@ -369,6 +382,7 @@ fn main() {
         let mut report = String::from("{\n");
         report.push_str(&format!("  \"jobs\": {jobs},\n"));
         report.push_str(&format!("  \"quick\": {quick},\n"));
+        report.push_str(&format!("  \"kernels\": \"{}\",\n", simcore::simd::active_kernels()));
         report.push_str(&format!("  \"serial_seconds\": {serial_seconds:.3},\n"));
         report.push_str(&format!("  \"parallel_seconds\": {parallel_seconds:.3},\n"));
         report.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
@@ -389,8 +403,11 @@ fn main() {
             if i > 0 {
                 report.push(',');
             }
+            // Microsecond resolution: the quick suite's small experiments
+            // finish in well under a millisecond, and three decimals would
+            // round every one of them to 0.000.
             report.push_str(&format!(
-                "\n    {{\"id\": \"{}\", \"serial_seconds\": {:.3}, \"parallel_seconds\": {:.3}}}",
+                "\n    {{\"id\": \"{}\", \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}}}",
                 s.id, s.seconds, p.seconds
             ));
         }
@@ -401,7 +418,8 @@ fn main() {
         }
         println!(
             "timing: serial {serial_seconds:.2}s, --jobs {jobs} {parallel_seconds:.2}s \
-             ({speedup:.2}x); report written to {path}"
+             ({speedup:.2}x, {} kernels); report written to {path}",
+            simcore::simd::active_kernels()
         );
         if !mismatched.is_empty() {
             eprintln!("--timing output mismatch in: {}", mismatched.join(", "));

@@ -26,7 +26,8 @@ pub fn granularity_sweep(quick: bool) -> FigureResult {
         "value",
     );
     let blocks = [64u64, 128, 256, 512, 1024];
-    let rows = runner::sweep(blocks.len(), |i| {
+    let modes = [PrestoreMode::None, PrestoreMode::Clean];
+    let stats = runner::sweep_grid(modes.len(), blocks.len(), |m, i| {
         let block = blocks[i];
         let mut cfg = MachineConfig::machine_a();
         // Same latency/bandwidth as the Optane model, varying granularity.
@@ -36,15 +37,13 @@ pub fn granularity_sweep(quick: bool) -> FigureResult {
             p.footprint = 8 * 1024 * 1024;
             p.iters = p.footprint / 1024 / 5;
         }
-        let base = simulate(&cfg, &memo::listing1(&p, PrestoreMode::None).traces);
-        let clean = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Clean).traces);
-        (block as f64, clean.speedup_vs(&base), base.write_amplification())
+        simulate(&cfg, &memo::listing1(&p, modes[m]).traces)
     });
     let mut speedup = Series::new("clean speedup (x)");
     let mut base_wa = Series::new("baseline write amplification (x)");
-    for (x, sp, wa) in rows {
-        speedup.points.push((x, sp));
-        base_wa.points.push((x, wa));
+    for (i, &block) in blocks.iter().enumerate() {
+        speedup.points.push((block as f64, stats[1][i].speedup_vs(&stats[0][i])));
+        base_wa.points.push((block as f64, stats[0][i].write_amplification()));
     }
     fig.series.push(speedup);
     fig.series.push(base_wa);
@@ -69,7 +68,8 @@ pub fn replacement_policy_sweep(quick: bool) -> FigureResult {
         ReplacementKind::Random,
         ReplacementKind::NruRandom,
     ];
-    let rows = runner::sweep(policies.len(), |i| {
+    let modes = [PrestoreMode::None, PrestoreMode::Clean];
+    let stats = runner::sweep_grid(modes.len(), policies.len(), |m, i| {
         let mut cfg = MachineConfig::machine_a();
         cfg.llc = CacheConfig::from_capacity(2 * 1024 * 1024, 16, 64, policies[i]);
         let mut p = Listing1Params::new(2, 1024);
@@ -77,15 +77,13 @@ pub fn replacement_policy_sweep(quick: bool) -> FigureResult {
             p.footprint = 8 * 1024 * 1024;
             p.iters = p.footprint / 1024 / 2;
         }
-        let base = simulate(&cfg, &memo::listing1(&p, PrestoreMode::None).traces);
-        let clean = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Clean).traces);
-        (i as f64, base.write_amplification(), clean.write_amplification())
+        simulate(&cfg, &memo::listing1(&p, modes[m]).traces)
     });
     let mut base_wa = Series::new("baseline WA");
     let mut clean_wa = Series::new("clean WA");
-    for (x, b, c) in rows {
-        base_wa.points.push((x, b));
-        clean_wa.points.push((x, c));
+    for (i, base) in stats[0].iter().enumerate() {
+        base_wa.points.push((i as f64, base.write_amplification()));
+        clean_wa.points.push((i as f64, stats[1][i].write_amplification()));
     }
     fig.series.push(base_wa);
     fig.series.push(clean_wa);
@@ -106,20 +104,29 @@ pub fn fpga_latency_sweep(quick: bool) -> FigureResult {
     let mut s = Series::new("peak improvement");
     let iters = if quick { 2_000 } else { 10_000 };
     let lats = [15u64, 30, 60, 120, 200, 320];
-    s.points = runner::sweep(lats.len(), |i| {
-        let lat = lats[i];
+    let read_counts = [5u64, 10, 20, 35, 50, 75, 110];
+    // Fully flattened: 6 latencies x 7 read counts x (base, demoted) =
+    // 84 individually scheduled replays; the old shape ran 14 serial
+    // replays inside each of 6 jobs. Columns are (read count, variant)
+    // pairs, variant fastest-varying.
+    let stats = runner::sweep_grid(lats.len(), read_counts.len() * 2, |l, c| {
         let mut cfg = MachineConfig::machine_b_fast();
-        cfg.device = Device::Fpga(FpgaMem::new(lat, 5.0, 128));
-        let mut best: f64 = 0.0;
-        for n in [5u64, 10, 20, 35, 50, 75, 110] {
-            let mut p = Listing2Params::new(n);
-            p.iters = iters;
-            let base = simulate(&cfg, &memo::listing2(&p, false).traces);
-            let demoted = simulate(&cfg, &memo::listing2(&p, true).traces);
-            best = best.max(demoted.improvement_pct_vs(&base));
-        }
-        (lat as f64, best)
+        cfg.device = Device::Fpga(FpgaMem::new(lats[l], 5.0, 128));
+        let mut p = Listing2Params::new(read_counts[c / 2]);
+        p.iters = iters;
+        simulate(&cfg, &memo::listing2(&p, c % 2 == 1).traces)
     });
+    s.points = lats
+        .iter()
+        .zip(&stats)
+        .map(|(&lat, row)| {
+            let mut best: f64 = 0.0;
+            for pair in row.chunks(2) {
+                best = best.max(pair[1].improvement_pct_vs(&pair[0]));
+            }
+            (lat as f64, best)
+        })
+        .collect();
     fig.series.push(s);
     fig.notes.push("the longer the device latency, the more a demote can hide".into());
     fig
@@ -136,16 +143,17 @@ pub fn ycsb_mix_sweep(quick: bool) -> FigureResult {
     );
     let cfg = MachineConfig::machine_a();
     let kinds = [YcsbKind::A, YcsbKind::B, YcsbKind::C, YcsbKind::D];
-    let speedups = runner::sweep(kinds.len(), |i| {
+    let modes = [PrestoreMode::None, PrestoreMode::Clean];
+    let stats = runner::sweep_grid(modes.len(), kinds.len(), |m, i| {
         let mut p = YcsbParams::new(kinds[i], 1024, 10);
         if quick {
             p.records = 6_000;
             p.ops = 8_000;
         }
-        let base = simulate(&cfg, &memo::clht(&p, PrestoreMode::None).traces);
-        let clean = simulate(&cfg, &memo::clht(&p, PrestoreMode::Clean).traces);
-        clean.speedup_vs(&base)
+        simulate(&cfg, &memo::clht(&p, modes[m]).traces)
     });
+    let speedups: Vec<f64> =
+        (0..kinds.len()).map(|i| stats[1][i].speedup_vs(&stats[0][i])).collect();
     let mut s = Series::new("clean speedup");
     for (i, (kind, sp)) in kinds.iter().zip(&speedups).enumerate() {
         s.points.push((i as f64, *sp));
@@ -170,22 +178,21 @@ pub fn cxl_kv(quick: bool) -> FigureResult {
     );
     let devices =
         [(0.0, MachineConfig::machine_a()), (1.0, MachineConfig::machine_a_cxl_ssd(512))];
-    let rows = runner::sweep(devices.len(), |i| {
-        let (x, ref cfg) = devices[i];
+    let modes = [PrestoreMode::None, PrestoreMode::Clean];
+    let stats = runner::sweep_grid(modes.len(), devices.len(), |m, i| {
+        let cfg = &devices[i].1;
         let mut p = YcsbParams::new(YcsbKind::A, 1024, 10);
         if quick {
             p.records = 8_000;
             p.ops = 8_000;
         }
-        let base = simulate(cfg, &memo::clht(&p, PrestoreMode::None).traces);
-        let clean = simulate(cfg, &memo::clht(&p, PrestoreMode::Clean).traces);
-        (x, clean.speedup_vs(&base), base.write_amplification())
+        simulate(cfg, &memo::clht(&p, modes[m]).traces)
     });
     let mut s = Series::new("clean speedup");
     let mut wa = Series::new("baseline write amplification");
-    for (x, sp, w) in rows {
-        s.points.push((x, sp));
-        wa.points.push((x, w));
+    for (i, &(x, _)) in devices.iter().enumerate() {
+        s.points.push((x, stats[1][i].speedup_vs(&stats[0][i])));
+        wa.points.push((x, stats[0][i].write_amplification()));
     }
     fig.series.push(s);
     fig.series.push(wa);
@@ -210,14 +217,14 @@ pub fn dram_sanity(quick: bool) -> FigureResult {
         p.footprint = 8 * 1024 * 1024;
         p.iters = p.footprint / 1024 / 2;
     }
-    let base = simulate(&cfg, &memo::listing1(&p, PrestoreMode::None).traces);
-    let variants = [(0.0, PrestoreMode::Clean), (1.0, PrestoreMode::Skip)];
+    // All three replays (baseline included) are independent jobs; the
+    // variants normalize against the baseline row afterwards.
+    let modes = [PrestoreMode::None, PrestoreMode::Clean, PrestoreMode::Skip];
+    let stats = runner::sweep(modes.len(), |i| simulate(&cfg, &memo::listing1(&p, modes[i]).traces));
     let mut s = Series::new("normalized runtime");
-    s.points = runner::sweep(variants.len(), |i| {
-        let (x, mode) = variants[i];
-        let run = simulate(&cfg, &memo::listing1(&p, mode).traces);
-        (x, run.cycles as f64 / base.cycles as f64)
-    });
+    s.points = (1..modes.len())
+        .map(|i| ((i - 1) as f64, stats[i].cycles as f64 / stats[0].cycles as f64))
+        .collect();
     fig.series.push(s);
     fig.notes.push("the paper's problems are properties of unconventional memories".into());
     fig

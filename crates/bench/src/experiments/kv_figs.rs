@@ -35,20 +35,16 @@ fn mode_size_sweep(
     point: impl Fn(&machine::RunStats, &WorkloadOutput, &MachineConfig) -> f64 + Sync,
 ) {
     let cfg = MachineConfig::machine_a();
-    let combos: Vec<(PrestoreMode, u32)> = SWEEP_MODES
-        .iter()
-        .flat_map(|&m| VALUE_SIZES.iter().map(move |&s| (m, s)))
-        .collect();
-    let points = runner::sweep(combos.len(), |i| {
-        let (mode, size) = combos[i];
+    let rows = runner::sweep_grid(SWEEP_MODES.len(), VALUE_SIZES.len(), |m, si| {
+        let size = VALUE_SIZES[si];
         let p = params(size, quick);
-        let out = run(&p, mode);
+        let out = run(&p, SWEEP_MODES[m]);
         let stats = simulate(&cfg, &out.traces);
         (size as f64, point(&stats, &out, &cfg))
     });
-    for (mode, chunk) in SWEEP_MODES.iter().zip(points.chunks(VALUE_SIZES.len())) {
+    for (mode, points) in SWEEP_MODES.iter().zip(rows) {
         let mut s = Series::new(mode.name());
-        s.points.extend_from_slice(chunk);
+        s.points = points;
         fig.series.push(s);
     }
 }
@@ -110,20 +106,17 @@ fn machine_b_fig(id: &'static str, title: &str, run: MemoRun, quick: bool) -> Fi
     let modes = [PrestoreMode::None, PrestoreMode::Clean];
     let machines =
         [(0.0, MachineConfig::machine_b_fast()), (1.0, MachineConfig::machine_b_slow())];
-    let combos: Vec<(PrestoreMode, usize)> =
-        modes.iter().flat_map(|&m| (0..machines.len()).map(move |c| (m, c))).collect();
-    let points = runner::sweep(combos.len(), |i| {
-        let (mode, c) = combos[i];
+    let rows = runner::sweep_grid(modes.len(), machines.len(), |m, c| {
         let (x, ref cfg) = machines[c];
         let mut p = params(1024, quick);
         p.threads = 2;
-        let out = run(&p, mode);
+        let out = run(&p, modes[m]);
         let stats = simulate(cfg, &out.traces);
         (x, stats.ops_per_sec(out.ops, cfg.freq_ghz) / 1e6)
     });
-    for (mode, chunk) in modes.iter().zip(points.chunks(machines.len())) {
+    for (mode, points) in modes.iter().zip(rows) {
         let mut s = Series::new(mode.name());
-        s.points.extend_from_slice(chunk);
+        s.points = points;
         fig.series.push(s);
     }
     fig

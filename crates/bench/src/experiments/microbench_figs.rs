@@ -34,13 +34,20 @@ pub fn fig3a(quick: bool) -> FigureResult {
         .iter()
         .flat_map(|&t| FIG3_SIZES.iter().map(move |&s| (t, s)))
         .collect();
-    let points = runner::sweep(combos.len(), |i| {
+    // One job per (mode, combo) replay: the baseline and clean replays of
+    // a combo are independently schedulable, and the Clean jobs derive
+    // their traces from whichever job records the memoized baseline first.
+    let modes = [PrestoreMode::None, PrestoreMode::Clean];
+    let stats = runner::sweep_grid(modes.len(), combos.len(), |m, i| {
         let (threads, size) = combos[i];
         let p = listing1_params(threads, size, quick);
-        let base = simulate(&cfg, &memo::listing1(&p, PrestoreMode::None).traces);
-        let clean = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Clean).traces);
-        (size as f64, clean.speedup_vs(&base))
+        simulate(&cfg, &memo::listing1(&p, modes[m]).traces)
     });
+    let points: Vec<(f64, f64)> = combos
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, size))| (size as f64, stats[1][i].speedup_vs(&stats[0][i])))
+        .collect();
     for (t, chunk) in FIG3_THREADS.iter().zip(points.chunks(FIG3_SIZES.len())) {
         let mut s = Series::new(format!("{t} thread(s)"));
         s.points.extend_from_slice(chunk);
@@ -67,19 +74,16 @@ pub fn fig3b(quick: bool) -> FigureResult {
         ("baseline 5 thr", PrestoreMode::None, 5),
         ("clean 5 thr", PrestoreMode::Clean, 5),
     ];
-    let combos: Vec<(PrestoreMode, usize, u32)> = variants
-        .iter()
-        .flat_map(|&(_, mode, t)| FIG3_SIZES.iter().map(move |&s| (mode, t, s)))
-        .collect();
-    let points = runner::sweep(combos.len(), |i| {
-        let (mode, threads, size) = combos[i];
+    let rows = runner::sweep_grid(variants.len(), FIG3_SIZES.len(), |v, si| {
+        let (_, mode, threads) = variants[v];
+        let size = FIG3_SIZES[si];
         let p = listing1_params(threads, size, quick);
         let stats = simulate(&cfg, &memo::listing1(&p, mode).traces);
         (size as f64, stats.write_amplification())
     });
-    for ((label, _, _), chunk) in variants.iter().zip(points.chunks(FIG3_SIZES.len())) {
+    for ((label, _, _), points) in variants.iter().zip(rows) {
         let mut s = Series::new(*label);
-        s.points.extend_from_slice(chunk);
+        s.points = points;
         fig.series.push(s);
     }
     fig.notes
@@ -105,17 +109,23 @@ pub fn fig5(quick: bool) -> FigureResult {
     let combos: Vec<(usize, u64)> = (0..machines.len())
         .flat_map(|m| FIG5_READS.iter().map(move |&n| (m, n)))
         .collect();
-    let points = runner::sweep(combos.len(), |i| {
+    // Shard the baseline and demoted replays of each combo into their own
+    // jobs (2 x 20 grid) instead of pairing them inside one job.
+    let variants = [false, true];
+    let stats = runner::sweep_grid(variants.len(), combos.len(), |v, i| {
         let (m, n) = combos[i];
         let cfg = &machines[m].1;
         let mut p = Listing2Params::new(n);
         if quick {
             p.iters = 2_000;
         }
-        let base = simulate_single(cfg, &memo::listing2(&p, false).traces.threads[0]);
-        let demoted = simulate_single(cfg, &memo::listing2(&p, true).traces.threads[0]);
-        (n as f64, demoted.improvement_pct_vs(&base))
+        simulate_single(cfg, &memo::listing2(&p, variants[v]).traces.threads[0])
     });
+    let points: Vec<(f64, f64)> = combos
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, n))| (n as f64, stats[1][i].improvement_pct_vs(&stats[0][i])))
+        .collect();
     for ((label, _), chunk) in machines.iter().zip(points.chunks(FIG5_READS.len())) {
         let mut s = Series::new(*label);
         s.points.extend_from_slice(chunk);
@@ -161,14 +171,18 @@ pub fn skip_variant(quick: bool) -> FigureResult {
     );
     let variants = [(0.0, true), (1.0, false)];
     let mut s = Series::new("skip/clean runtime ratio");
-    s.points = runner::sweep(variants.len(), |i| {
-        let (x, reread) = variants[i];
+    let modes = [PrestoreMode::Clean, PrestoreMode::Skip];
+    let stats = runner::sweep_grid(modes.len(), variants.len(), |m, i| {
+        let (_, reread) = variants[i];
         let mut p = listing1_params(2, 64, quick);
         p.reread = reread;
-        let clean = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Clean).traces);
-        let skip = simulate(&cfg, &memo::listing1(&p, PrestoreMode::Skip).traces);
-        (x, skip.cycles as f64 / clean.cycles as f64)
+        simulate(&cfg, &memo::listing1(&p, modes[m]).traces)
     });
+    s.points = variants
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, _))| (x, stats[1][i].cycles as f64 / stats[0][i].cycles as f64))
+        .collect();
     fig.series.push(s);
     fig.notes.push(
         "paper: with the re-read, skipping is 2x slower than cleaning; without it, skipping wins"

@@ -91,19 +91,19 @@ pub fn fig9(quick: bool) -> FigureResult {
     );
     let cfg = MachineConfig::machine_a();
     // NAS kernels apply modes inside per-kernel logic (no `write_with_mode`
-    // call sites), so they are not trace-derivable; fig9 parallelizes over
-    // kernels instead.
-    let rows = runner::sweep(FIG9_KERNELS.len(), |i| {
-        let name = FIG9_KERNELS[i];
-        let base = simulate(&cfg, &run_kernel(name, PrestoreMode::None, quick).traces);
-        let pre = simulate(&cfg, &run_kernel(name, PrestoreMode::Clean, quick).traces);
-        (i as f64, pre.cycles as f64 / base.cycles as f64, base.write_amplification())
+    // call sites), so they are not trace-derivable; fig9 shards over the
+    // full (mode x kernel) grid instead — every record+replay is its own
+    // job, so one slow kernel cannot serialize the sweep.
+    let modes = [PrestoreMode::None, PrestoreMode::Clean];
+    let stats = runner::sweep_grid(modes.len(), FIG9_KERNELS.len(), |m, i| {
+        simulate(&cfg, &run_kernel(FIG9_KERNELS[i], modes[m], quick).traces)
     });
     let mut s = Series::new("prestore (clean)");
     let mut base_wa = Series::new("baseline write amplification");
-    for (x, norm, wa) in rows {
-        s.points.push((x, norm));
-        base_wa.points.push((x, wa));
+    for (i, base) in stats[0].iter().enumerate() {
+        let x = i as f64;
+        s.points.push((x, stats[1][i].cycles as f64 / base.cycles as f64));
+        base_wa.points.push((x, base.write_amplification()));
     }
     fig.series.push(s);
     fig.series.push(base_wa);

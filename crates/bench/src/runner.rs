@@ -46,6 +46,27 @@ where
     simcore::par::map_indexed(n, f)
 }
 
+/// Evaluate `f` over a `rows x cols` grid as `rows * cols` individually
+/// schedulable jobs on the shared pool, regrouped row-major so
+/// `out[r][c] == f(r, c)`.
+///
+/// This is the sub-experiment sharding primitive: an experiment that
+/// replays a (mode x parameter) matrix submits every replay as its own
+/// job instead of one fused job per parameter point, so a single
+/// expensive cell can no longer serialize a whole row and memo-cache
+/// derivations pipeline behind their baseline recordings (whichever job
+/// needs a baseline first records it; first insert wins, both sides are
+/// deterministic and identical).
+pub fn sweep_grid<T, F>(rows: usize, cols: usize, f: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let flat = simcore::par::map_indexed(rows * cols, |i| f(i / cols, i % cols));
+    let mut it = flat.into_iter();
+    (0..rows).map(|_| it.by_ref().take(cols).collect()).collect()
+}
+
 /// One regenerated experiment plus its wall-clock cost.
 #[derive(Debug)]
 pub struct TimedFigure {
@@ -137,6 +158,17 @@ mod tests {
         }
         assert_eq!(out[2].as_ref().map(|t| t.id), Ok("ok2"));
         assert!(out[1].as_ref().unwrap_err().to_string().contains("dies:"));
+    }
+
+    #[test]
+    fn sweep_grid_regroups_row_major() {
+        let g = sweep_grid(3, 4, |r, c| r * 10 + c);
+        assert_eq!(g.len(), 3);
+        for (r, row) in g.iter().enumerate() {
+            assert_eq!(row, &(0..4).map(|c| r * 10 + c).collect::<Vec<_>>());
+        }
+        assert_eq!(sweep_grid(0, 4, |r, c| r + c), Vec::<Vec<usize>>::new());
+        assert_eq!(sweep_grid(2, 0, |r, c| r + c), vec![Vec::<usize>::new(); 2]);
     }
 
     #[test]

@@ -179,6 +179,17 @@ pub struct Cache {
     // Per-slot dense line id, meaningful only while `index` is installed.
     ids: Vec<u32>,
     index: Option<IdIndex>,
+    /// One occupancy bit per way of each set (bit `w` of entry `set`
+    /// mirrors `valid[set * ways + w]`), maintained only for geometries of
+    /// at most 64 ways: the fill path finds the first free way with one
+    /// mask op instead of scanning the set.
+    valid_ways: Vec<u64>,
+    /// `log2(line_size)`, precomputed so the set-index path shifts instead
+    /// of dividing.
+    line_shift: u32,
+    /// `log2(ways)` when the associativity is a power of two (the common
+    /// case); `None` keeps the div/mod slot arithmetic for odd geometries.
+    ways_shift: Option<u32>,
     policies: Vec<SetPolicy>,
     rng: SimRng,
     stats: CacheStats,
@@ -188,14 +199,18 @@ impl Cache {
     /// Create an empty cache with the given geometry and RNG seed (the seed
     /// drives random replacement decisions).
     pub fn new(cfg: CacheConfig, seed: u64) -> Self {
+        assert!(cfg.line_size.is_power_of_two(), "line size must be a power of two");
         let n = cfg.sets * cfg.ways;
         Self {
+            line_shift: cfg.line_size.trailing_zeros(),
+            ways_shift: cfg.ways.is_power_of_two().then(|| cfg.ways.trailing_zeros()),
             cfg,
             tags: vec![0; n],
             valid: vec![false; n],
             dirty: vec![false; n],
             ids: vec![LineId::INVALID.0; n],
             index: None,
+            valid_ways: vec![0; if cfg.ways <= 64 { cfg.sets } else { 0 }],
             policies: (0..cfg.sets).map(|_| SetPolicy::new(cfg.replacement, cfg.ways)).collect(),
             rng: SimRng::new(seed),
             stats: CacheStats::default(),
@@ -243,16 +258,38 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, line: Addr) -> usize {
-        ((line / self.cfg.line_size) as usize) & (self.cfg.sets - 1)
+        ((line >> self.line_shift) as usize) & (self.cfg.sets - 1)
     }
 
     #[inline]
     fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.cfg.ways + way
+        match self.ways_shift {
+            Some(sh) => (set << sh) | way,
+            None => set * self.cfg.ways + way,
+        }
+    }
+
+    /// Inverse of [`Cache::slot`]: split a flat slot back into `(set, way)`.
+    #[inline]
+    fn unslot(&self, slot: usize) -> (usize, usize) {
+        match self.ways_shift {
+            Some(sh) => (slot >> sh, slot & ((1 << sh) - 1)),
+            None => (slot / self.cfg.ways, slot % self.cfg.ways),
+        }
     }
 
     fn find(&self, line: Addr) -> Option<(usize, usize)> {
         let set = self.set_of(line);
+        if self.cfg.ways <= 64 {
+            // A resident line occupies exactly one way, so a vectorized
+            // tag compare over the set's contiguous tag block, masked by
+            // its occupancy bits, resolves residency in one pass — the
+            // same associative probe the hardware performs.
+            let base = self.slot(set, 0);
+            let m = simcore::simd::eq_mask_u64(&self.tags[base..base + self.cfg.ways], line)
+                & self.valid_ways[set];
+            return (m != 0).then(|| (set, m.trailing_zeros() as usize));
+        }
         (0..self.cfg.ways).find_map(|way| {
             let s = self.slot(set, way);
             (self.valid[s] && self.tags[s] == line).then_some((set, way))
@@ -261,6 +298,11 @@ impl Cache {
 
     /// Resolve residency through the id index when installed, falling back
     /// to the tag scan otherwise. `line` must already be line-aligned.
+    ///
+    /// (Routing small caches through the vectorized way probe instead of
+    /// the index was tried and loses both ways: the index answers the
+    /// common *miss* with one load, and the probe's AVX2 twin cannot be
+    /// inlined across the `target_feature` boundary.)
     #[inline]
     fn find_by(&self, line: Addr, id: LineId) -> Option<(usize, usize)> {
         debug_assert_eq!(line, self.line_of(line));
@@ -269,7 +311,7 @@ impl Cache {
                 let slot = ix.get(id)?;
                 debug_assert_eq!(self.tags[slot], line);
                 debug_assert!(self.valid[slot]);
-                Some((slot / self.cfg.ways, slot % self.cfg.ways))
+                Some(self.unslot(slot))
             }
             None => self.find(line),
         }
@@ -379,8 +421,16 @@ impl Cache {
 
     fn insert_internal(&mut self, line: Addr, id: LineId, dirty: bool) -> Option<Victim> {
         let set = self.set_of(line);
-        // Prefer an invalid way.
-        let way = (0..self.cfg.ways).find(|&w| !self.valid[self.slot(set, w)]);
+        // Prefer an invalid way — the lowest-numbered one, matching the
+        // historical ascending scan. On a warm cache the set is full, so
+        // the occupancy mask answers in one op where the scan walked every
+        // way before failing.
+        let way = if self.cfg.ways <= 64 {
+            let free = !self.valid_ways[set] & (u64::MAX >> (64 - self.cfg.ways));
+            (free != 0).then(|| free.trailing_zeros() as usize)
+        } else {
+            (0..self.cfg.ways).find(|&w| !self.valid[self.slot(set, w)])
+        };
         let (way, victim) = match way {
             Some(w) => (w, None),
             None => {
@@ -400,6 +450,9 @@ impl Cache {
         let s = self.slot(set, way);
         self.tags[s] = line;
         self.valid[s] = true;
+        if self.cfg.ways <= 64 {
+            self.valid_ways[set] |= 1 << way;
+        }
         self.dirty[s] = dirty;
         if let Some(ix) = &mut self.index {
             debug_assert_ne!(id, LineId::INVALID, "id index installed but id-less op used");
@@ -445,6 +498,9 @@ impl Cache {
         self.find_by(line, id).map(|(set, way)| {
             let s = self.slot(set, way);
             self.valid[s] = false;
+            if self.cfg.ways <= 64 {
+                self.valid_ways[set] &= !(1 << way);
+            }
             let was_dirty = self.dirty[s];
             self.dirty[s] = false;
             if let Some(ix) = &mut self.index {
@@ -475,8 +531,18 @@ impl Cache {
     /// flushes deterministic and their downstream device writes
     /// byte-reproducible across runs.
     pub fn flush_all_into(&mut self, out: &mut Vec<Victim>) {
-        for s in 0..self.tags.len() {
-            if self.valid[s] {
+        // Vectorized valid-slot sweep: each 32-slot chunk's occupancy mask
+        // is computed up front, then its set bits are drained in ascending
+        // order while the slots are cleared (the mask is a snapshot, so
+        // clearing does not disturb the scan).
+        let n = self.tags.len();
+        let mut base = 0;
+        while base < n {
+            let end = (base + 32).min(n);
+            let mut m = simcore::simd::mask_true(&self.valid[base..end]);
+            while m != 0 {
+                let s = base + m.trailing_zeros() as usize;
+                m &= m - 1;
                 out.push(Victim { line: self.tags[s], dirty: self.dirty[s], id: self.id_in(s) });
                 self.valid[s] = false;
                 self.dirty[s] = false;
@@ -484,7 +550,10 @@ impl Cache {
                     ix.clear(LineId(self.ids[s]));
                 }
             }
+            base = end;
         }
+        // Everything is invalid now; the occupancy masks follow wholesale.
+        self.valid_ways.fill(0);
     }
 
     /// Iterate over resident dirty lines (diagnostics / end-of-run flush
@@ -500,14 +569,15 @@ impl Cache {
 
     /// Append all resident dirty lines to `out` in ascending slot order
     /// (set-major), the same deterministic order as
-    /// [`Cache::flush_all_into`].
+    /// [`Cache::flush_all_into`]. This is the vectorized dirty-line sweep:
+    /// valid and dirty flags are masked 32 slots at a time.
     pub fn dirty_lines_into(&self, out: &mut Vec<Addr>) {
-        out.extend(self.dirty_lines());
+        simcore::simd::for_each_both_true(&self.valid, &self.dirty, |s| out.push(self.tags[s]));
     }
 
-    /// Number of resident lines.
+    /// Number of resident lines (vectorized valid-flag count).
     pub fn resident(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        simcore::simd::count_true(&self.valid)
     }
 }
 

@@ -74,23 +74,21 @@ impl SetPolicy {
                 stamps[way] = *clock;
             }
             SetPolicy::TreePlru { bits } => {
-                // Walk from the root, flipping each node to point away from
-                // the accessed way.
-                let mut node = 0usize; // root at index 0 of implicit tree
-                let mut lo = 0usize;
-                let mut hi = ways;
-                while hi - lo > 1 {
-                    let mid = (lo + hi) / 2;
-                    if way < mid {
-                        // Accessed left half: make the node point right.
-                        *bits |= 1 << node;
-                        node = 2 * node + 1;
-                        hi = mid;
-                    } else {
-                        *bits &= !(1 << node);
-                        node = 2 * node + 2;
-                        lo = mid;
-                    }
+                // Walk from the root, flipping each node to point away
+                // from the accessed way. Branch-free: with the asserted
+                // power-of-two geometry, each level's direction is simply
+                // the next bit of `way` (1 = right half), so the halving
+                // midpoint comparison of the textbook walk reduces to bit
+                // arithmetic without an unpredictable branch per level.
+                let levels = ways.trailing_zeros();
+                let mut node = 0usize;
+                for k in 0..levels {
+                    let right = (way >> (levels - 1 - k)) & 1;
+                    let bit = 1u64 << node;
+                    // Went left: point the node right (set). Went right:
+                    // point it left (clear).
+                    *bits = (*bits | (bit * (1 - right as u64))) & !(bit * right as u64);
+                    node = 2 * node + 1 + right;
                 }
             }
             SetPolicy::Fifo { .. } | SetPolicy::Random => {}
@@ -116,20 +114,17 @@ impl SetPolicy {
                 .unwrap_or(0),
             SetPolicy::TreePlru { bits } => {
                 // Follow the PLRU bits: 1 means "go right", 0 "go left".
+                // Branch-free twin of the `on_access` walk: accumulate
+                // the direction bits straight into the way number.
+                let levels = ways.trailing_zeros();
                 let mut node = 0usize;
-                let mut lo = 0usize;
-                let mut hi = ways;
-                while hi - lo > 1 {
-                    let mid = (lo + hi) / 2;
-                    if *bits & (1 << node) != 0 {
-                        node = 2 * node + 2;
-                        lo = mid;
-                    } else {
-                        node = 2 * node + 1;
-                        hi = mid;
-                    }
+                let mut way = 0usize;
+                for _ in 0..levels {
+                    let right = ((*bits >> node) & 1) as usize;
+                    way = 2 * way + right;
+                    node = 2 * node + 1 + right;
                 }
-                lo
+                way
             }
             SetPolicy::Fifo { next } => {
                 let v = *next as usize % ways;
@@ -138,12 +133,17 @@ impl SetPolicy {
             }
             SetPolicy::Random => rng.gen_range(ways as u64) as usize,
             SetPolicy::NruRandom { refbits } => {
-                let unreferenced: Vec<usize> =
-                    (0..ways).filter(|&w| *refbits & (1 << w) == 0).collect();
-                if unreferenced.is_empty() {
+                // The clear bits of `refbits` below `ways` are the
+                // candidates; draw the k-th one straight from the mask —
+                // same selection (ascending bit order) and same single RNG
+                // draw as materializing the candidate list, without the
+                // per-eviction allocation.
+                let mask = !*refbits & (u64::MAX >> (64 - ways));
+                if mask == 0 {
                     rng.gen_range(ways as u64) as usize
                 } else {
-                    unreferenced[rng.gen_range(unreferenced.len() as u64) as usize]
+                    let k = rng.gen_range(u64::from(mask.count_ones())) as u32;
+                    simcore::simd::kth_set_bit(mask, k) as usize
                 }
             }
         }

@@ -90,9 +90,21 @@ pub const DEFAULT_MLP: Cycles = 10;
 #[derive(Debug, Clone)]
 pub struct StoreBuffer {
     entries: VecDeque<SbEntry>,
+    /// The line address of every entry, in entry order — a dense mirror of
+    /// `entries` kept in lockstep so the per-event membership scans
+    /// (store-to-load forwarding, coalescing, demote lookup) run as
+    /// vectorized equality sweeps over contiguous `u64`s instead of
+    /// striding through 40-byte entries.
+    lines: VecDeque<Addr>,
     cap: usize,
     /// Entries `[0, started)` have a scheduled drain.
     started: usize,
+    /// Completion time of the head entry's drain, or [`Cycles::MAX`] when
+    /// the buffer is empty or the head is unscheduled. Mirrors
+    /// `entries.front()` so the per-event [`StoreBuffer::collect_completed`]
+    /// no-op case is a compare against this field instead of a deque
+    /// dereference.
+    head_done: Cycles,
     /// Earliest start time of the next drain (pipelining constraint).
     next_earliest: Cycles,
     /// Latest completion time among scheduled drains.
@@ -129,8 +141,10 @@ impl StoreBuffer {
         assert!(mlp > 0, "memory-level parallelism must be positive");
         Self {
             entries: VecDeque::with_capacity(cap),
+            lines: VecDeque::with_capacity(cap),
             cap,
             started: 0,
+            head_done: Cycles::MAX,
             next_earliest: 0,
             last_done: 0,
             mlp,
@@ -149,8 +163,10 @@ impl StoreBuffer {
     pub fn placeholder() -> Self {
         Self {
             entries: VecDeque::new(),
+            lines: VecDeque::new(),
             cap: 1,
             started: 0,
+            head_done: Cycles::MAX,
             next_earliest: 0,
             last_done: 0,
             mlp: DEFAULT_MLP,
@@ -187,8 +203,29 @@ impl StoreBuffer {
     }
 
     /// Whether any pending entry covers `line` (store-to-load forwarding).
+    /// A vectorized equality scan over the contiguous line mirror.
     pub fn contains(&self, line: Addr) -> bool {
-        self.entries.iter().any(|e| e.line == line)
+        let (a, b) = self.lines.as_slices();
+        simcore::simd::contains_u64(a, line) || simcore::simd::contains_u64(b, line)
+    }
+
+    /// Position of the entry covering `line`, if any (entry order).
+    #[inline]
+    fn position_of(&self, line: Addr) -> Option<usize> {
+        let (a, b) = self.lines.as_slices();
+        simcore::simd::find_u64(a, line)
+            .or_else(|| simcore::simd::find_u64(b, line).map(|p| p + a.len()))
+    }
+
+    /// Whether any entry at or past index `from` covers `line`.
+    #[inline]
+    fn contains_from(&self, from: usize, line: Addr) -> bool {
+        let (a, b) = self.lines.as_slices();
+        if from < a.len() {
+            simcore::simd::contains_u64(&a[from..], line) || simcore::simd::contains_u64(b, line)
+        } else {
+            simcore::simd::contains_u64(&b[from - a.len()..], line)
+        }
     }
 
     /// Record a store to `line` at cycle `now`.
@@ -224,18 +261,14 @@ impl StoreBuffer {
         id: LineId,
         now: Cycles,
     ) -> Result<bool, StoreBufferOverflow> {
-        if self
-            .entries
-            .iter()
-            .skip(self.started)
-            .any(|e| e.line == line)
-        {
+        if self.contains_from(self.started, line) {
             return Ok(true);
         }
         if self.is_full() {
             return Err(StoreBufferOverflow { line, capacity: self.cap });
         }
         self.entries.push_back(SbEntry { line, id, issue: now, drain_done: None });
+        self.lines.push_back(line);
         Ok(false)
     }
 
@@ -247,10 +280,44 @@ impl StoreBuffer {
         let start = now.max(e.issue).max(self.next_earliest);
         let done = start + cost;
         self.entries[idx].drain_done = Some(done);
+        if idx == 0 {
+            self.head_done = done;
+        }
         self.next_earliest = start + (cost / self.mlp).max(1);
         self.last_done = self.last_done.max(done);
         self.started += 1;
         done
+    }
+
+    /// Re-derive `head_done` from the current front entry (after a pop).
+    #[inline]
+    fn refresh_head_done(&mut self) {
+        self.head_done =
+            self.entries.front().and_then(|e| e.drain_done).unwrap_or(Cycles::MAX);
+    }
+
+    /// The first entry whose drain has not been scheduled yet, if any.
+    ///
+    /// Pull-style counterpart of [`StoreBuffer::start_all_id`]: a caller
+    /// whose cost computation needs `&mut` access to state that *contains*
+    /// this buffer can alternate `next_unstarted` / [`StoreBuffer::
+    /// schedule_next`] instead of passing a closure (which would force the
+    /// buffer to be moved out and back around every call).
+    #[inline]
+    pub fn next_unstarted(&self) -> Option<(Addr, LineId)> {
+        self.entries.get(self.started).map(|e| (e.line, e.id))
+    }
+
+    /// Schedule the drain of the first unscheduled entry — the one
+    /// [`StoreBuffer::next_unstarted`] just returned — at cost `cost`, and
+    /// return its completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every entry is already scheduled.
+    pub fn schedule_next(&mut self, now: Cycles, cost: Cycles) -> Cycles {
+        assert!(self.started < self.entries.len(), "no unscheduled entry");
+        self.schedule(self.started, now, cost)
     }
 
     /// Start the drain of every entry that has not started yet. `cost` maps
@@ -298,7 +365,7 @@ impl StoreBuffer {
         now: Cycles,
         mut cost: impl FnMut(Addr, LineId) -> Cycles,
     ) -> Cycles {
-        let Some(pos) = self.entries.iter().position(|e| e.line == line) else {
+        let Some(pos) = self.position_of(line) else {
             return now;
         };
         while self.started <= pos {
@@ -326,7 +393,9 @@ impl StoreBuffer {
             self.retired.extend(self.entries.iter().map(|e| e.line));
         }
         self.entries.clear();
+        self.lines.clear();
         self.started = 0;
+        self.head_done = Cycles::MAX;
         done
     }
 
@@ -355,7 +424,9 @@ impl StoreBuffer {
             self.entries[0].drain_done.expect("started entries are scheduled")
         };
         let head = self.entries.pop_front().expect("not empty");
+        self.lines.pop_front();
         self.started -= 1;
+        self.refresh_head_done();
         if self.track_retired {
             self.retired.push(head.line);
         }
@@ -364,7 +435,15 @@ impl StoreBuffer {
 
     /// Pop entries whose drains completed at or before `now` (background
     /// completion). Their lines are moved to the retired list.
+    ///
+    /// Called once per replayed event; the cached `head_done` makes the
+    /// dominant nothing-finished case branch on a resident field without
+    /// touching the deque at all.
+    #[inline]
     pub fn collect_completed(&mut self, now: Cycles) {
+        if now < self.head_done {
+            return;
+        }
         while let Some(e) = self.entries.front() {
             match e.drain_done {
                 Some(d) if d <= now => {
@@ -372,11 +451,13 @@ impl StoreBuffer {
                         self.retired.push(e.line);
                     }
                     self.entries.pop_front();
+                    self.lines.pop_front();
                     self.started -= 1;
                 }
                 _ => break,
             }
         }
+        self.refresh_head_done();
     }
 
     /// Take the lines whose drains have been scheduled/completed since the
@@ -405,7 +486,8 @@ impl StoreBuffer {
     /// treats every entry here as lost (callers dedup against dirty cache
     /// lines, which such entries also appear in).
     pub fn pending_lines_into(&self, out: &mut Vec<Addr>) {
-        out.extend(self.entries.iter().map(|e| e.line));
+        debug_assert!(self.lines.iter().eq(self.entries.iter().map(|e| &e.line)));
+        out.extend(self.lines.iter());
     }
 }
 
@@ -561,6 +643,37 @@ mod tests {
         let done = sb.drain_all(32, |_| 400);
         assert!(done < 32 + 31 * 41 + 400, "pipelined drains took {done}");
         assert!(done >= 400 + 31 * 40);
+    }
+
+    #[test]
+    fn line_mirror_stays_in_lockstep_with_entries() {
+        // Exercise every mutation path and check the vectorized-scan
+        // mirror against the entry deque after each one.
+        let mut sb = StoreBuffer::with_mlp(4, 10);
+        let check = |sb: &StoreBuffer| {
+            let want: Vec<Addr> = sb.entries.iter().map(|e| e.line).collect();
+            let got: Vec<Addr> = sb.lines.iter().copied().collect();
+            assert_eq!(got, want);
+        };
+        sb.push(0, 0);
+        sb.push(64, 1);
+        sb.push(64, 2); // coalesces, no new mirror entry
+        check(&sb);
+        sb.start_all(2, |_| 100);
+        sb.push(64, 3); // started: new entry despite same line
+        check(&sb);
+        sb.demote(64, 3, |_| 100);
+        check(&sb);
+        sb.collect_completed(1_000);
+        check(&sb);
+        sb.push(128, 4);
+        sb.drain_head(5, |_| 50);
+        check(&sb);
+        sb.push(192, 6);
+        sb.drain_all(7, |_| 50);
+        check(&sb);
+        assert!(sb.is_empty());
+        assert!(!sb.contains(0));
     }
 
     #[test]

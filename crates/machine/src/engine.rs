@@ -52,6 +52,75 @@ const STREAM_TRACKERS: usize = 16;
 /// keeps this many line fills in flight on a detected stream).
 const STREAM_MLP: Cycles = 16;
 
+/// Batch-decode width of the single-core replay fast path: events are
+/// transposed from the trace's array-of-structs layout into one
+/// [`EventChunk`] of structure-of-arrays columns at a time.
+const DECODE_CHUNK: usize = 64;
+
+/// A fixed-size SoA view of one run of a thread's events: kinds, addresses,
+/// sizes and attribution functions live in separate dense arrays so the
+/// replay loop streams each column linearly instead of striding through
+/// wider [`simcore::Event`] records. Refilled in place; covers events
+/// `base..base + len`.
+struct EventChunk {
+    base: usize,
+    len: usize,
+    kinds: [EventKind; DECODE_CHUNK],
+    addrs: [Addr; DECODE_CHUNK],
+    sizes: [u32; DECODE_CHUNK],
+    funcs: [FuncId; DECODE_CHUNK],
+    callers: [FuncId; DECODE_CHUNK],
+}
+
+impl EventChunk {
+    fn new() -> Self {
+        Self {
+            base: 0,
+            len: 0,
+            kinds: [EventKind::Compute; DECODE_CHUNK],
+            addrs: [0; DECODE_CHUNK],
+            sizes: [0; DECODE_CHUNK],
+            funcs: [FuncId::UNKNOWN; DECODE_CHUNK],
+            callers: [FuncId::UNKNOWN; DECODE_CHUNK],
+        }
+    }
+
+    /// Whether event index `idx` is decoded in the current window.
+    #[inline]
+    fn covers(&self, idx: usize) -> bool {
+        idx.wrapping_sub(self.base) < self.len
+    }
+
+    /// Transpose the window starting at `base` (blocked-acquire retries
+    /// rewind `pc` within the current window, never before it, so refills
+    /// only ever move forward).
+    fn refill(&mut self, events: &[simcore::Event], base: usize) {
+        let len = DECODE_CHUNK.min(events.len() - base);
+        for (i, ev) in events[base..base + len].iter().enumerate() {
+            self.kinds[i] = ev.kind;
+            self.addrs[i] = ev.addr;
+            self.sizes[i] = ev.size;
+            self.funcs[i] = ev.func;
+            self.callers[i] = ev.caller;
+        }
+        self.base = base;
+        self.len = len;
+    }
+
+    /// Reassemble the event at index `idx` (must be covered).
+    #[inline]
+    fn get(&self, idx: usize) -> simcore::Event {
+        let i = idx - self.base;
+        simcore::Event {
+            addr: self.addrs[i],
+            size: self.sizes[i],
+            kind: self.kinds[i],
+            func: self.funcs[i],
+            caller: self.callers[i],
+        }
+    }
+}
+
 /// Per-core mutable state.
 struct CoreState {
     now: Cycles,
@@ -516,78 +585,20 @@ impl<'a, T: LineTables> Engine<'a, T> {
         let total_events: usize = traces.iter().map(|t| t.events.len()).sum();
         let budget = self.cfg.effective_step_budget(total_events);
         let mut steps: u64 = 0;
-        // Step the runnable core with the smallest clock that still has
-        // events; blocked cores wake up when their awaited release lands.
-        loop {
-            let mut best: Option<(CoreId, Cycles)> = None;
-            let mut any_left = false;
-            for (cid, core) in self.cores.iter_mut().enumerate() {
-                if core.pc >= traces[cid].events.len() {
-                    continue;
-                }
-                any_left = true;
-                if let Some((line, id, seq)) = core.blocked {
-                    match self.tables.release_get(id, line) {
-                        Some((count, when)) if count >= seq => {
-                            // The release happened: wake up at its time.
-                            core.now = core.now.max(when);
-                            core.blocked = None;
-                        }
-                        _ => continue,
-                    }
-                }
-                if best.is_none_or(|(_, t)| core.now < t) {
-                    best = Some((cid, core.now));
-                }
-            }
-            let Some((cid, _)) = best else {
-                if any_left {
-                    // All remaining cores wait on acquires whose releases
-                    // can no longer happen: report the circular wait.
-                    return Err(EngineError::ReplayDeadlock { blocked: self.blocked_report() });
-                }
-                break;
-            };
-            steps += 1;
-            self.cur_step = steps;
-            if steps > budget {
-                return Err(EngineError::StepBudgetExceeded {
-                    steps,
-                    budget,
-                    blocked: self.blocked_report(),
-                    progress: self
-                        .cores
-                        .iter()
-                        .enumerate()
-                        .map(|(i, c)| (i, c.pc, traces[i].events.len()))
-                        .collect(),
-                });
-            }
-            let idx = self.cores[cid].pc;
-            let ev = traces[cid].events[idx];
-            self.cores[cid].pc += 1;
-            let before = self.cores[cid].now;
-            self.step(cid, ev, idx)?;
-            let spent = self.cores[cid].now - before;
-            if spent > 0 {
-                self.tables.func_add(ev.func, spent);
-            }
-            // Power-failure injection: the triggering step has retired (pc
-            // already advanced), so every crash-recovery segment consumes
-            // at least one event and iterated crash-recovery terminates.
-            if let Some(ctx) = self.crash.as_mut() {
-                if ev.kind == EventKind::Fence {
-                    ctx.fences_seen += 1;
-                }
-                let fire = match ctx.plan {
-                    CrashPlan::AtStep(n) => steps >= n.max(1),
-                    CrashPlan::AtCycle(c) => self.cores[cid].now >= c,
-                    CrashPlan::EveryKFences(k) => ctx.fences_seen >= u64::from(k.max(1)),
-                };
-                if fire {
-                    return Ok(CrashOutcome::Crashed(Box::new(self.freeze_crash(steps))));
-                }
-            }
+        // Single-core traces (every figure-suite microbenchmark and the
+        // bulk of recorded workloads) have no scheduling decision to make,
+        // so crash-free replays take a fast path that batch-decodes events
+        // into fixed-size SoA chunks and skips the per-step core scan.
+        // Multi-core and crash-armed replays run the generic scheduler —
+        // stepping the runnable core with the smallest clock *is* the
+        // semantics there, so nothing is batched across those decisions.
+        // Both paths execute the same events in the same order under the
+        // same budget and blocked-acquire rules: RunStats are
+        // byte-identical by construction (pinned by the equivalence suite).
+        if self.cores.len() == 1 && self.crash.is_none() {
+            self.replay_single_core(traces, budget, &mut steps)?;
+        } else if self.replay_generic(traces, budget, &mut steps)? {
+            return Ok(CrashOutcome::Crashed(Box::new(self.freeze_crash(steps))));
         }
         // Programs complete when their stores are globally visible. These
         // final drains happen after the last trace event, so their traffic
@@ -693,6 +704,14 @@ impl<'a, T: LineTables> Engine<'a, T> {
             func_cycles: self.tables.take_func_cycles().into_iter().collect(),
             sites,
         };
+        // Telemetry: end-of-run epoch-validity sweep — how many flat-table
+        // entries still carry current-epoch state (vectorized; `None` on
+        // the reference tables).
+        if simcore::telemetry::enabled() {
+            if let Some(live) = self.tables.live_lines() {
+                crate::probes::TABLE_LIVE_LINES.record(live as u64);
+            }
+        }
         // Hand the reusable allocations back for the next run on this
         // thread (flat tables only; the reference tables drop them).
         let mut indices = Vec::new();
@@ -714,6 +733,148 @@ impl<'a, T: LineTables> Engine<'a, T> {
             crate::crash::durable_digest(&lines)
         });
         Ok(CrashOutcome::Completed { stats: Box::new(stats), durable_digest })
+    }
+
+    /// The generic replay scheduler: step the runnable core with the
+    /// smallest clock that still has events; blocked cores wake up when
+    /// their awaited release lands. Returns `Ok(true)` when an armed crash
+    /// plan fired (the caller freezes the machine at `steps`).
+    fn replay_generic(
+        &mut self,
+        traces: &[ThreadTrace],
+        budget: u64,
+        steps: &mut u64,
+    ) -> Result<bool, EngineError> {
+        loop {
+            let mut best: Option<(CoreId, Cycles)> = None;
+            let mut any_left = false;
+            for (cid, core) in self.cores.iter_mut().enumerate() {
+                if core.pc >= traces[cid].events.len() {
+                    continue;
+                }
+                any_left = true;
+                if let Some((line, id, seq)) = core.blocked {
+                    match self.tables.release_get(id, line) {
+                        Some((count, when)) if count >= seq => {
+                            // The release happened: wake up at its time.
+                            core.now = core.now.max(when);
+                            core.blocked = None;
+                        }
+                        _ => continue,
+                    }
+                }
+                if best.is_none_or(|(_, t)| core.now < t) {
+                    best = Some((cid, core.now));
+                }
+            }
+            let Some((cid, _)) = best else {
+                if any_left {
+                    // All remaining cores wait on acquires whose releases
+                    // can no longer happen: report the circular wait.
+                    return Err(EngineError::ReplayDeadlock { blocked: self.blocked_report() });
+                }
+                return Ok(false);
+            };
+            *steps += 1;
+            self.cur_step = *steps;
+            if *steps > budget {
+                return Err(EngineError::StepBudgetExceeded {
+                    steps: *steps,
+                    budget,
+                    blocked: self.blocked_report(),
+                    progress: self
+                        .cores
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| (i, c.pc, traces[i].events.len()))
+                        .collect(),
+                });
+            }
+            let idx = self.cores[cid].pc;
+            let ev = traces[cid].events[idx];
+            self.cores[cid].pc += 1;
+            let before = self.cores[cid].now;
+            self.step(cid, ev, idx)?;
+            let spent = self.cores[cid].now - before;
+            if spent > 0 {
+                self.tables.func_add(ev.func, spent);
+            }
+            // Power-failure injection: the triggering step has retired (pc
+            // already advanced), so every crash-recovery segment consumes
+            // at least one event and iterated crash-recovery terminates.
+            if let Some(ctx) = self.crash.as_mut() {
+                if ev.kind == EventKind::Fence {
+                    ctx.fences_seen += 1;
+                }
+                let fire = match ctx.plan {
+                    CrashPlan::AtStep(n) => *steps >= n.max(1),
+                    CrashPlan::AtCycle(c) => self.cores[cid].now >= c,
+                    CrashPlan::EveryKFences(k) => ctx.fences_seen >= u64::from(k.max(1)),
+                };
+                if fire {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// The single-core fast path: no scheduler scan, events batch-decoded
+    /// into SoA chunks. The step count, budget check, per-function cycle
+    /// attribution and blocked-acquire retry all follow the generic
+    /// scheduler's order exactly, so a single-core replay produces
+    /// byte-identical [`RunStats`] on either path.
+    fn replay_single_core(
+        &mut self,
+        traces: &[ThreadTrace],
+        budget: u64,
+        steps: &mut u64,
+    ) -> Result<(), EngineError> {
+        let events = &traces[0].events;
+        let mut chunk = EventChunk::new();
+        while self.cores[0].pc < events.len() {
+            let idx = self.cores[0].pc;
+            if !chunk.covers(idx) {
+                chunk.refill(events, idx);
+            }
+            *steps += 1;
+            self.cur_step = *steps;
+            if *steps > budget {
+                return Err(EngineError::StepBudgetExceeded {
+                    steps: *steps,
+                    budget,
+                    blocked: self.blocked_report(),
+                    progress: vec![(0, self.cores[0].pc, events.len())],
+                });
+            }
+            let ev = chunk.get(idx);
+            self.cores[0].pc += 1;
+            let before = self.cores[0].now;
+            self.step(0, ev, idx)?;
+            let spent = self.cores[0].now - before;
+            if spent > 0 {
+                self.tables.func_add(ev.func, spent);
+            }
+            if let Some((line, id, seq)) = self.cores[0].blocked {
+                // An acquire blocked (pc rewound to retry it). With one
+                // core the only releases that can satisfy it are ones this
+                // core already performed, so re-check once: either wake up
+                // — the next loop iteration re-runs the acquire as its own
+                // step, exactly like the generic scheduler — or report the
+                // deadlock the scheduler would report on its next pass.
+                match self.tables.release_get(id, line) {
+                    Some((count, when)) if count >= seq => {
+                        self.cores[0].now = self.cores[0].now.max(when);
+                        self.cores[0].blocked = None;
+                    }
+                    _ => {
+                        return Err(EngineError::ReplayDeadlock {
+                            blocked: self.blocked_report(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Freeze the machine at a simulated power failure and partition its
@@ -1031,7 +1192,10 @@ impl<'a, T: LineTables> Engine<'a, T> {
     fn stream_check(&mut self, cid: CoreId, line: Addr) -> bool {
         let line_size = self.cfg.line_size;
         let streams = &mut self.cores[cid].streams;
-        if let Some(pos) = streams.iter().position(|&next| next == line) {
+        let (a, b) = streams.as_slices();
+        let pos = simcore::simd::find_u64(a, line)
+            .or_else(|| simcore::simd::find_u64(b, line).map(|p| p + a.len()));
+        if let Some(pos) = pos {
             streams.remove(pos);
             streams.push_back(line + line_size);
             return true;
@@ -1180,13 +1344,17 @@ impl<'a, T: LineTables> Engine<'a, T> {
     /// Start the drains of all pending store-buffer entries of `cid`.
     fn start_drains(&mut self, cid: CoreId) -> Cycles {
         self.acts.sb_drains += 1;
-        // `placeholder()` performs no allocation, unlike `new(1)`, so this
-        // swap dance is free on the per-event hot path.
-        let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
         let now = self.cores[cid].now;
-        let done = sb.start_all_id(now, |line, id| self.acquire_for_write(cid, line, id));
-        sb.collect_completed(now);
-        self.cores[cid].sb = sb;
+        // Pull-style drain loop: each entry's acquire cost needs `&mut
+        // self`, so the buffer hands entries out one at a time instead of
+        // taking a closure — the closure form would force the whole buffer
+        // to be moved out and back (two struct memcpys) on every TSO store.
+        while let Some((line, id)) = self.cores[cid].sb.next_unstarted() {
+            let c = self.acquire_for_write(cid, line, id);
+            self.cores[cid].sb.schedule_next(now, c);
+        }
+        let done = self.cores[cid].sb.last_drain_done().max(now);
+        self.cores[cid].sb.collect_completed(now);
         done
     }
 
@@ -1220,10 +1388,12 @@ impl<'a, T: LineTables> Engine<'a, T> {
             self.start_drains(cid);
             if self.cores[cid].sb.is_full() {
                 self.acts.sb_forced_drains += 1;
-                let mut sb = std::mem::replace(&mut self.cores[cid].sb, StoreBuffer::placeholder());
                 let now = self.cores[cid].now;
-                let done = sb.drain_head_id(now, |l, i| self.acquire_for_write(cid, l, i));
-                self.cores[cid].sb = sb;
+                // `start_drains` above scheduled every entry, so the head's
+                // drain is already costed and the callback cannot fire.
+                let done = self.cores[cid]
+                    .sb
+                    .drain_head_id(now, |_, _| unreachable!("head scheduled by start_drains"));
                 if done > self.cores[cid].now {
                     let stall = done - self.cores[cid].now;
                     self.cores[cid].stats.sb_pressure_stall_cycles += stall;

@@ -64,6 +64,10 @@ pub(crate) static CRASH_LOST_BYTES: Histogram = Histogram::new("crash.lost_bytes
 pub(crate) static TABLE_EPOCHS: Metric = Metric::counter("engine.table_epochs");
 /// Epoch-counter wraps (the rare full re-zero path).
 pub(crate) static TABLE_EPOCH_WRAPS: Metric = Metric::counter("engine.table_epoch_wraps");
+/// Distribution of live flat-table entries at end of run (the vectorized
+/// epoch-validity sweep): how many lines still carried state when the
+/// replay finished.
+pub(crate) static TABLE_LIVE_LINES: Histogram = Histogram::new("engine.table_live_lines");
 
 /// Distribution of line lifetimes: scheduler steps between a line's first
 /// dirtying store and the moment its dirty data leaves the hierarchy

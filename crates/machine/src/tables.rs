@@ -80,6 +80,13 @@ pub trait LineTables {
     /// end-of-run residual flush.
     fn dirt_take(&mut self, id: LineId, line: Addr) -> Option<(FuncId, u64)>;
 
+    /// Number of lines carrying live table state (the epoch-validity
+    /// sweep), when the implementation can answer without walking a map —
+    /// `None` for the hashed reference. End-of-run telemetry only.
+    fn live_lines(&self) -> Option<usize> {
+        None
+    }
+
     /// Attribute `spent` cycles to function `f` (`spent > 0`).
     fn func_add(&mut self, f: FuncId, spent: Cycles);
     /// Drain the per-function attribution accumulated this run.
@@ -106,7 +113,10 @@ pub trait LineTables {
 /// absent. Within the current epoch, bits [`OWNER`] | [`WB`] | [`NT`] |
 /// [`REL`] of `flags` say which concerns are present; the owning core is
 /// packed into `flags >> OWNER_SHIFT`.
+/// `repr(C)` so the epoch-validity sweep ([`FlatTables::live_lines`]) can
+/// view the hot table as `[epoch, flags]` pairs for the vectorized scan.
 #[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
 struct HotEntry {
     epoch: u32,
     flags: u32,
@@ -202,28 +212,45 @@ impl FlatTables {
     }
 
     /// The current-epoch flags for `id` (0 = entry absent).
+    ///
+    /// Branchless: the epoch comparison becomes an all-ones/all-zeros mask
+    /// select instead of a data-dependent branch — this accessor runs on
+    /// every per-line lookup of the replay hot loop, where the mix of
+    /// stale and current entries makes the branch unpredictable.
     #[inline]
     fn flags(&self, id: LineId) -> u32 {
         let e = &self.hot[id.index()];
-        if e.epoch == self.epoch {
-            e.flags
-        } else {
-            0
-        }
+        e.flags & ((e.epoch == self.epoch) as u32).wrapping_neg()
     }
 
     /// The flags word for `id`, re-stamped empty if stale. Mutating
     /// accessors go through here so a first touch within an epoch never
     /// sees leftover flags from a previous run.
+    ///
+    /// Branchless like [`FlatTables::flags`]: stale flags are zeroed via
+    /// the same mask select and the epoch stamp is written unconditionally
+    /// (idempotent when already current).
     #[inline]
     fn flags_mut(&mut self, id: LineId) -> &mut u32 {
         let epoch = self.epoch;
         let e = &mut self.hot[id.index()];
-        if e.epoch != epoch {
-            e.epoch = epoch;
-            e.flags = 0;
-        }
+        e.flags &= ((e.epoch == epoch) as u32).wrapping_neg();
+        e.epoch = epoch;
         &mut e.flags
+    }
+
+    /// Number of lines carrying live state this epoch: the epoch-validity
+    /// sweep, vectorized over the `[epoch, flags]` pairs of the hot table.
+    /// O(lines) — called for end-of-run telemetry only, never on the step
+    /// path.
+    pub(crate) fn epoch_live_lines(&self) -> usize {
+        // SAFETY: `HotEntry` is `repr(C)` with exactly two `u32` fields
+        // and no padding, so `&[HotEntry]` and `&[[u32; 2]]` have
+        // identical layout.
+        let pairs = unsafe {
+            std::slice::from_raw_parts(self.hot.as_ptr().cast::<[u32; 2]>(), self.hot.len())
+        };
+        simcore::simd::count_live_pairs(pairs, self.epoch)
     }
 
     /// The cold entry for `id`, growing the table on first use. Cold state
@@ -269,10 +296,9 @@ impl LineTables for FlatTables {
 
     #[inline]
     fn owner_clear(&mut self, id: LineId, _line: Addr) {
-        let e = &mut self.hot[id.index()];
-        if e.epoch == self.epoch {
-            e.flags &= !OWNER;
-        }
+        // Via the branchless re-stamp: clearing a bit of a stale entry
+        // leaves it at 0 flags, exactly like the historical no-op.
+        *self.flags_mut(id) &= !OWNER;
     }
 
     #[inline]
@@ -290,10 +316,7 @@ impl LineTables for FlatTables {
 
     #[inline]
     fn wb_clear(&mut self, id: LineId, _line: Addr) {
-        let e = &mut self.hot[id.index()];
-        if e.epoch == self.epoch {
-            e.flags &= !WB;
-        }
+        *self.flags_mut(id) &= !WB;
     }
 
     #[inline]
@@ -309,10 +332,7 @@ impl LineTables for FlatTables {
 
     #[inline]
     fn nt_clear(&mut self, id: LineId, _line: Addr) {
-        let e = &mut self.hot[id.index()];
-        if e.epoch == self.epoch {
-            e.flags &= !NT;
-        }
+        *self.flags_mut(id) &= !NT;
     }
 
     #[inline]
@@ -353,14 +373,22 @@ impl LineTables for FlatTables {
 
     #[inline]
     fn dirt_take(&mut self, id: LineId, _line: Addr) -> Option<(FuncId, u64)> {
-        let e = &mut self.hot[id.index()];
-        if e.epoch == self.epoch && e.flags & DIRT != 0 {
-            e.flags &= !DIRT;
+        // The branchless re-stamp folds the epoch check into a mask, so
+        // the only remaining branch is on the DIRT bit itself (which gates
+        // the lazily-sized dirt table, so it cannot be removed).
+        let f = self.flags_mut(id);
+        if *f & DIRT != 0 {
+            *f &= !DIRT;
             let d = self.dirt[id.index()];
             Some((d.site, d.step))
         } else {
             None
         }
+    }
+
+    #[inline]
+    fn live_lines(&self) -> Option<usize> {
+        Some(self.epoch_live_lines())
     }
 
     #[inline]
@@ -650,6 +678,28 @@ mod tests {
         hash.release_bump(id, line, 42);
         assert_eq!(flat.release_get(id, line), Some((8, 42)));
         assert_eq!(flat.release_get(id, line), hash.release_get(id, line));
+    }
+
+    #[test]
+    fn epoch_live_lines_counts_only_current_epoch_state() {
+        let mut flat = FlatTables::default();
+        flat.reset(40);
+        assert_eq!(flat.epoch_live_lines(), 0);
+        for i in 0..10u32 {
+            flat.owner_set(LineId(i), 0, 1);
+        }
+        flat.wb_set(LineId(20), 0, 5);
+        assert_eq!(flat.epoch_live_lines(), 11);
+        assert_eq!(LineTables::live_lines(&flat), Some(11));
+        // Clearing the only concern of a line makes it dead again (the
+        // entry stays current-epoch but carries no flags).
+        flat.wb_clear(LineId(20), 0);
+        assert_eq!(flat.epoch_live_lines(), 10);
+        // An epoch bump kills everything without touching the entries.
+        flat.reset(40);
+        assert_eq!(flat.epoch_live_lines(), 0);
+        // The hashed reference opts out.
+        assert_eq!(LineTables::live_lines(&HashTables::default()), None);
     }
 
     #[test]

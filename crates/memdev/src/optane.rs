@@ -34,8 +34,18 @@ pub struct OptanePmem {
     bandwidth: f64,
     block: u64,
     buffer_blocks: usize,
-    /// Open blocks: (block address, bytes covered), oldest first.
-    open: VecDeque<(Addr, u64)>,
+    /// Addresses of open blocks, oldest first. Kept as a parallel deque to
+    /// `open_covered` so the per-writeback membership scan runs over a
+    /// plain `&[u64]` with the vectorized [`simcore::simd`] kernels.
+    open_blocks: VecDeque<Addr>,
+    /// Bytes covered in each open block; entry `i` pairs with
+    /// `open_blocks[i]`.
+    open_covered: VecDeque<u64>,
+    /// Counting occupancy filter over the open blocks: bucket
+    /// `(block_number) & 255` counts the open blocks hashing there. Most
+    /// writebacks target a block that is *not* open, and a zero bucket
+    /// proves absence, skipping the membership scan on that common path.
+    filter: [u32; 256],
     stats: DeviceStats,
     /// Transient-fault injection schedule, if enabled.
     faults: Option<TransientFaults>,
@@ -79,7 +89,9 @@ impl OptanePmem {
             bandwidth,
             block,
             buffer_blocks,
-            open: VecDeque::new(),
+            open_blocks: VecDeque::new(),
+            open_covered: VecDeque::new(),
+            filter: [0; 256],
             stats: DeviceStats::default(),
             faults: None,
         }
@@ -90,10 +102,37 @@ impl OptanePmem {
     /// from, without cloning accumulated run state.
     pub fn fresh(&self) -> Self {
         Self {
-            open: VecDeque::new(),
+            open_blocks: VecDeque::new(),
+            open_covered: VecDeque::new(),
+            filter: [0; 256],
             stats: DeviceStats::default(),
             ..*self
         }
+    }
+
+    /// Filter bucket for a block address.
+    #[inline]
+    fn bucket(&self, blk: Addr) -> usize {
+        ((blk >> self.block.trailing_zeros()) as usize) & 0xFF
+    }
+
+    /// Index of `blk` among the open blocks, if it is open.
+    #[inline]
+    fn open_position(&self, blk: Addr) -> Option<usize> {
+        if self.filter[self.bucket(blk)] == 0 {
+            return None;
+        }
+        let (a, b) = self.open_blocks.as_slices();
+        simcore::simd::find_u64(a, blk)
+            .or_else(|| simcore::simd::find_u64(b, blk).map(|i| i + a.len()))
+    }
+
+    /// Close and pop the oldest open block, returning its covered bytes.
+    fn pop_oldest(&mut self) -> Option<u64> {
+        let blk = self.open_blocks.pop_front()?;
+        let b = self.bucket(blk);
+        self.filter[b] -= 1;
+        self.open_covered.pop_front()
     }
 
     fn close_block(&mut self, covered: u64) {
@@ -145,16 +184,27 @@ impl MemDevice for OptanePmem {
         while cur < end {
             let blk = align_down(cur, self.block);
             let chunk = (blk + self.block - cur).min(end - cur);
-            if let Some(pos) = self.open.iter().position(|&(b, _)| b == blk) {
+            if self.open_blocks.back() == Some(&blk) {
+                // Sequential writebacks land in the block opened last:
+                // merge in place — it is already in the LRU position the
+                // remove-and-push below would give it.
+                let covered = self.open_covered.back_mut().expect("deques in lockstep");
+                *covered = (*covered + chunk).min(self.block);
+            } else if let Some(pos) = self.open_position(blk) {
                 // Merge into the open block and refresh its position (LRU).
-                let (b, covered) = self.open.remove(pos).expect("pos is valid");
-                self.open.push_back((b, (covered + chunk).min(self.block)));
+                let b = self.open_blocks.remove(pos).expect("pos is valid");
+                let covered = self.open_covered.remove(pos).expect("pos is valid");
+                self.open_blocks.push_back(b);
+                self.open_covered.push_back((covered + chunk).min(self.block));
             } else {
-                if self.open.len() >= self.buffer_blocks {
-                    let (_, covered) = self.open.pop_front().expect("buffer not empty");
+                if self.open_blocks.len() >= self.buffer_blocks {
+                    let covered = self.pop_oldest().expect("buffer not empty");
                     self.close_block(covered);
                 }
-                self.open.push_back((blk, chunk.min(self.block)));
+                let b = self.bucket(blk);
+                self.filter[b] += 1;
+                self.open_blocks.push_back(blk);
+                self.open_covered.push_back(chunk.min(self.block));
             }
             cur += chunk;
         }
@@ -166,7 +216,7 @@ impl MemDevice for OptanePmem {
     }
 
     fn flush(&mut self) {
-        while let Some((_, covered)) = self.open.pop_front() {
+        while let Some(covered) = self.pop_oldest() {
             self.close_block(covered);
         }
     }
@@ -177,7 +227,9 @@ impl MemDevice for OptanePmem {
 
     fn reset_stats(&mut self) {
         self.stats = DeviceStats::default();
-        self.open.clear();
+        self.open_blocks.clear();
+        self.open_covered.clear();
+        self.filter = [0; 256];
     }
 
     fn inject_faults(
@@ -200,7 +252,7 @@ impl MemDevice for OptanePmem {
     fn buffered_blocks_into(&self, out: &mut Vec<(Addr, u64)>) {
         // Open XPBuffer blocks have not reached the media yet; a power
         // failure loses them even though the media itself is persistent.
-        out.extend(self.open.iter().copied());
+        out.extend(self.open_blocks.iter().copied().zip(self.open_covered.iter().copied()));
     }
 }
 

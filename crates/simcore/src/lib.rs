@@ -24,6 +24,7 @@ pub mod loc;
 pub mod par;
 pub mod rng;
 pub mod serialize;
+pub mod simd;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;

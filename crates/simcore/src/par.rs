@@ -11,10 +11,13 @@
 //! calls, so an outer loop over experiments and inner loops over sweep
 //! points share one budget instead of multiplying. When no permits are
 //! available the calling thread simply runs its loop serially — same
-//! results, no oversubscription. Nested maps additionally probe their
-//! first item inline and finish serially when the remaining work is too
-//! small to pay for thread handoff, so tiny inner sweeps never get
-//! *slower* under `--jobs`.
+//! results, no oversubscription. Nested maps additionally probe items
+//! inline one at a time and finish serially while the *largest* per-item
+//! cost observed so far projects the remaining work below the thread
+//! handoff overhead, so tiny inner sweeps never get *slower* under
+//! `--jobs` — but growing sweeps (cheap first point, costly later ones)
+//! still escape to the pool the moment any item proves the remainder is
+//! worth fanning out.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,8 +36,9 @@ mod probes {
     /// Multi-job maps that ran serially because the permit budget was
     /// exhausted — the pool's contention signal.
     pub(super) static SERIAL_FALLBACKS: Metric = Metric::counter("runner.serial_fallbacks");
-    /// Nested maps that finished serially because the first-item probe
-    /// estimated the remaining work below the fan-out threshold.
+    /// Nested maps that ran *fully* inline because the incremental probe
+    /// never saw an item costly enough to make the projected remainder
+    /// worth fanning out.
     pub(super) static INLINE_MAPS: Metric = Metric::counter("runner.inline_maps");
     /// The budget configured by the last `set_parallelism` call.
     pub(super) static CONFIGURED_JOBS: Metric = Metric::gauge("runner.configured_jobs");
@@ -172,27 +176,39 @@ where
         return (0..n).map(run_job).collect();
     }
     // Nested maps (called from inside an enclosing map's job body) probe
-    // their first item inline: when the estimated remaining work is below
-    // the handoff overhead, finishing serially is faster than fanning out
-    // and the permits stay available for the enclosing sweep.
-    let mut first: Option<T> = None;
+    // items inline, one at a time: while the *largest* per-item cost seen
+    // so far projects the remaining work below the handoff overhead,
+    // finishing serially is faster than fanning out and the permits stay
+    // available for the enclosing sweep. Probing per item (not just item
+    // 0) is what keeps growing sweeps honest: a sweep whose first point is
+    // cheap but whose later points are not escapes to the pool as soon as
+    // any observed item makes the projected remainder worth the handoff.
+    let mut prefix: Vec<T> = Vec::new();
     if DEPTH.with(|d| d.get()) > 0 {
-        let probe = std::time::Instant::now();
-        first = Some(run_job(0));
-        let per_item_ns = u64::try_from(probe.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        if per_item_ns.saturating_mul(n as u64 - 1) < INLINE_THRESHOLD_NS {
+        let mut max_item_ns = 0u64;
+        while prefix.len() < n {
+            let probe = std::time::Instant::now();
+            prefix.push(run_job(prefix.len()));
+            let item_ns = u64::try_from(probe.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            max_item_ns = max_item_ns.max(item_ns);
+            let remaining = (n - prefix.len()) as u64;
+            if max_item_ns.saturating_mul(remaining) >= INLINE_THRESHOLD_NS {
+                break;
+            }
+        }
+        if prefix.len() == n {
             probes::INLINE_MAPS.inc();
-            return first.into_iter().chain((1..n).map(run_job)).collect();
+            return prefix;
         }
     }
-    let start = usize::from(first.is_some());
+    let start = prefix.len();
     if n - start <= 1 {
-        return first.into_iter().chain((start..n).map(run_job)).collect();
+        return prefix.into_iter().chain((start..n).map(run_job)).collect();
     }
     let helpers = acquire_permits(n - start - 1);
     if helpers == 0 {
         probes::SERIAL_FALLBACKS.inc();
-        return first.into_iter().chain((start..n).map(run_job)).collect();
+        return prefix.into_iter().chain((start..n).map(run_job)).collect();
     }
     probes::HELPERS.add(helpers as u64);
     let _permits = PermitGuard(helpers);
@@ -207,8 +223,8 @@ where
         out.push((i, run_job(i)));
     };
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    if let Some(v) = first.take() {
-        slots[0] = Some(v);
+    for (i, v) in prefix.into_iter().enumerate() {
+        slots[i] = Some(v);
     }
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..helpers)
@@ -432,7 +448,7 @@ mod tests {
     fn nested_tiny_maps_stay_correct_and_release_permits() {
         let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
         set_parallelism(4);
-        // Inner maps are near-instant, so the first-item probe should
+        // Inner maps are near-instant, so the incremental probe should
         // route them through the inline path — either way the results and
         // the permit balance must be identical.
         let v = map_indexed(3, |i| map_indexed(16, move |j| i * 100 + j));
@@ -440,6 +456,38 @@ mod tests {
             assert_eq!(inner, (0..16).map(|j| i * 100 + j).collect::<Vec<_>>());
         }
         assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 3);
+        assert_eq!(DEPTH.with(|d| d.get()), 0);
+        set_parallelism(1);
+    }
+
+    #[test]
+    fn nested_growing_maps_escape_the_inline_path() {
+        let _g = LOCK.lock().expect("no test panicked while holding the budget lock");
+        set_parallelism(4);
+        // A nested sweep whose first item is near-instant but whose later
+        // items are not: the single-item probe of old serialized the whole
+        // sweep off item 0's cost; the incremental probe must fan out once
+        // a costly item is observed. Peak observed concurrency > 1 proves
+        // worker threads actually ran.
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let v = map_indexed(1, |_| {
+            map_indexed(12, |j| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                if j > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                live.fetch_sub(1, Ordering::SeqCst);
+                j
+            })
+        });
+        assert_eq!(v[0], (0..12).collect::<Vec<_>>());
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "growing nested sweep never left the inline path"
+        );
+        assert_eq!(EXTRA_PERMITS.load(Ordering::Relaxed), 3, "permits leaked");
         assert_eq!(DEPTH.with(|d| d.get()), 0);
         set_parallelism(1);
     }

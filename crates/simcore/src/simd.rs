@@ -1,0 +1,528 @@
+//! Runtime-selected vectorized scan kernels for the replay hot loops.
+//!
+//! The replay engine's inner loops spend much of their time in a handful
+//! of dense scans: "which slots of this cache are valid (and dirty)?",
+//! "does this store buffer hold line X?", "how many table entries are
+//! live this epoch?". Each kernel here exists in two semantically
+//! identical implementations:
+//!
+//! * a **scalar** twin written so LLVM can autovectorize it (chunked,
+//!   branch-free mask computation), which is also the portable fallback
+//!   on non-x86 targets, and
+//! * an **AVX2** twin (`std::arch`, x86_64 only) selected at runtime via
+//!   `is_x86_feature_detected!`.
+//!
+//! Selection happens once per process and can be overridden two ways so
+//! the equivalence suite can pin either path:
+//!
+//! * the `PS_FORCE_SCALAR` environment variable (any value other than
+//!   `0` or empty forces the scalar twins), read on first use;
+//! * [`set_force_scalar`], which wins over the environment and is what
+//!   the figures CLI's `--force-scalar` flag calls.
+//!
+//! Both twins of every kernel produce *identical* outputs (same order,
+//! same counts) — byte-identical simulation results on either path are a
+//! hard invariant, enforced by the unit tests here and by the
+//! `simd_equivalence` integration suite in `crates/bench`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Kernel selection: 0 = undecided, 1 = vectorized, 2 = scalar.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+const MODE_SIMD: u8 = 1;
+const MODE_SCALAR: u8 = 2;
+
+/// Force (or un-force) the scalar twins, overriding both the CPU-feature
+/// probe and `PS_FORCE_SCALAR`. Takes effect for all subsequent kernel
+/// calls process-wide.
+pub fn set_force_scalar(force: bool) {
+    let mode = if force { MODE_SCALAR } else { detect() };
+    MODE.store(mode, Ordering::Relaxed);
+}
+
+/// Probe the CPU (and target) for the vectorized twins.
+fn detect() -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return MODE_SIMD;
+        }
+    }
+    MODE_SCALAR
+}
+
+/// Whether the vectorized twins are active. First call resolves the mode
+/// from `PS_FORCE_SCALAR` and the CPU-feature probe.
+#[inline]
+pub fn simd_active() -> bool {
+    let m = MODE.load(Ordering::Relaxed);
+    if m != 0 {
+        return m == MODE_SIMD;
+    }
+    let forced = std::env::var("PS_FORCE_SCALAR")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let mode = if forced { MODE_SCALAR } else { detect() };
+    MODE.store(mode, Ordering::Relaxed);
+    mode == MODE_SIMD
+}
+
+/// Whether the BMI2 bit-deposit path may be used: requires the
+/// vectorized mode (so `PS_FORCE_SCALAR` pins the scalar twin here too)
+/// plus a one-time BMI2 probe.
+#[inline]
+#[cfg(target_arch = "x86_64")]
+fn bmi2_active() -> bool {
+    // 0 = unprobed, 1 = present, 2 = absent.
+    static BMI2: AtomicU8 = AtomicU8::new(0);
+    match BMI2.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let has = std::arch::is_x86_feature_detected!("bmi2");
+            BMI2.store(if has { 1 } else { 2 }, Ordering::Relaxed);
+            has
+        }
+    }
+}
+
+/// Human-readable name of the active kernel set (for `--timing` logs).
+pub fn active_kernels() -> &'static str {
+    if simd_active() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+/// View a `bool` slice as bytes (sound: `bool` is 1 byte, always 0 or 1).
+#[inline]
+fn bools_as_bytes(b: &[bool]) -> &[u8] {
+    // SAFETY: bool has size 1, align 1, and only the bit patterns 0 and 1.
+    unsafe { std::slice::from_raw_parts(b.as_ptr().cast::<u8>(), b.len()) }
+}
+
+/// Width of one mask chunk: 32 lanes = one AVX2 register of bytes.
+const CHUNK: usize = 32;
+
+/// Bitmask of the nonzero bytes in a chunk of up to 32 (bit i set iff
+/// `chunk[i] != 0`; bits past `chunk.len()` are 0). Scalar twin — written
+/// as a reduction LLVM vectorizes on full chunks.
+#[inline]
+fn mask_nonzero_scalar(chunk: &[u8]) -> u32 {
+    let mut m = 0u32;
+    for (i, &b) in chunk.iter().enumerate() {
+        m |= u32::from(b != 0) << i;
+    }
+    m
+}
+
+/// AVX2 twin of [`mask_nonzero_scalar`] for a full 32-byte chunk.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mask_nonzero_avx2(chunk: &[u8; CHUNK]) -> u32 {
+    use std::arch::x86_64::*;
+    let v = _mm256_loadu_si256(chunk.as_ptr().cast());
+    let zero = _mm256_setzero_si256();
+    let eq0 = _mm256_cmpeq_epi8(v, zero);
+    !(_mm256_movemask_epi8(eq0) as u32)
+}
+
+/// Bitmask of the nonzero bytes in `chunk` (≤ 32 bytes), on the active
+/// kernel set.
+#[inline]
+fn mask_nonzero(chunk: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if chunk.len() == CHUNK && simd_active() {
+        let full: &[u8; CHUNK] = chunk.try_into().expect("length checked");
+        // SAFETY: `simd_active()` implies the AVX2 probe succeeded.
+        return unsafe { mask_nonzero_avx2(full) };
+    }
+    mask_nonzero_scalar(chunk)
+}
+
+/// Bitmask of the `true` entries in a chunk of at most 32 flags (bit `i`
+/// set iff `flags[i]`). Building block for sweeps that must mutate the
+/// flags while draining the mask (the mask is a snapshot).
+///
+/// # Panics
+///
+/// Panics if `flags` is longer than 32 entries.
+#[inline]
+pub fn mask_true(flags: &[bool]) -> u32 {
+    assert!(flags.len() <= CHUNK, "mask_true chunk too long: {}", flags.len());
+    mask_nonzero(bools_as_bytes(flags))
+}
+
+/// Invoke `f(i)` for every `i` with `flags[i]` true, in ascending order.
+///
+/// The deterministic ascending order is load-bearing: cache flush and
+/// residual sweeps feed device writes whose byte-reproducibility the
+/// golden-digest suite pins.
+#[inline]
+pub fn for_each_true(flags: &[bool], mut f: impl FnMut(usize)) {
+    let bytes = bools_as_bytes(flags);
+    let mut base = 0;
+    for chunk in bytes.chunks(CHUNK) {
+        let mut m = mask_nonzero(chunk);
+        while m != 0 {
+            let bit = m.trailing_zeros() as usize;
+            f(base + bit);
+            m &= m - 1;
+        }
+        base += CHUNK;
+    }
+}
+
+/// Invoke `f(i)` for every `i` with both `a[i]` and `b[i]` true, in
+/// ascending order. The slices must be the same length.
+#[inline]
+pub fn for_each_both_true(a: &[bool], b: &[bool], mut f: impl FnMut(usize)) {
+    assert_eq!(a.len(), b.len(), "flag slices must be the same length");
+    let (ab, bb) = (bools_as_bytes(a), bools_as_bytes(b));
+    let mut base = 0;
+    for (ca, cb) in ab.chunks(CHUNK).zip(bb.chunks(CHUNK)) {
+        let mut m = mask_nonzero(ca) & mask_nonzero(cb);
+        while m != 0 {
+            let bit = m.trailing_zeros() as usize;
+            f(base + bit);
+            m &= m - 1;
+        }
+        base += CHUNK;
+    }
+}
+
+/// Number of `true` entries in `flags`.
+#[inline]
+pub fn count_true(flags: &[bool]) -> usize {
+    let bytes = bools_as_bytes(flags);
+    let mut n = 0usize;
+    for chunk in bytes.chunks(CHUNK) {
+        n += mask_nonzero(chunk).count_ones() as usize;
+    }
+    n
+}
+
+/// Index of the first occurrence of `needle` in `hay` (an equality scan
+/// over `u64` keys — store-buffer line lookups, way-tag probes).
+#[inline]
+pub fn find_u64(hay: &[u64], needle: u64) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if hay.len() >= 4 && simd_active() {
+        // SAFETY: `simd_active()` implies the AVX2 probe succeeded.
+        return unsafe { find_u64_avx2(hay, needle) };
+    }
+    find_u64_scalar(hay, needle)
+}
+
+/// Whether `hay` contains `needle`.
+#[inline]
+pub fn contains_u64(hay: &[u64], needle: u64) -> bool {
+    find_u64(hay, needle).is_some()
+}
+
+/// Bitmask of positions in `hay` equal to `needle` (bit `i` set when
+/// `hay[i] == needle`). `hay` must hold at most 64 entries — sized for
+/// way-tag probes over one cache set.
+#[inline]
+pub fn eq_mask_u64(hay: &[u64], needle: u64) -> u64 {
+    debug_assert!(hay.len() <= 64, "eq_mask_u64 masks at most 64 entries");
+    #[cfg(target_arch = "x86_64")]
+    if hay.len() >= 4 && simd_active() {
+        // SAFETY: `simd_active()` implies the AVX2 probe succeeded.
+        return unsafe { eq_mask_u64_avx2(hay, needle) };
+    }
+    eq_mask_u64_scalar(hay, needle)
+}
+
+/// Position of the `k`-th set bit of `mask`, counting from bit 0 upward
+/// (`k` is 0-based and must be below `mask.count_ones()`) — the random
+/// victim draw over a candidate bitmask in NRU replacement.
+#[inline]
+pub fn kth_set_bit(mask: u64, k: u32) -> u32 {
+    debug_assert!(k < mask.count_ones(), "k out of range for mask");
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() && bmi2_active() {
+        // SAFETY: `bmi2_active()` implies the BMI2 probe succeeded.
+        return unsafe { kth_set_bit_bmi2(mask, k) };
+    }
+    kth_set_bit_scalar(mask, k)
+}
+
+#[inline]
+fn kth_set_bit_scalar(mask: u64, k: u32) -> u32 {
+    let mut m = mask;
+    for _ in 0..k {
+        m &= m - 1;
+    }
+    m.trailing_zeros()
+}
+
+/// BMI2 twin of [`kth_set_bit_scalar`]: deposit a single bit into the
+/// `k`-th set position of `mask`, then locate it.
+///
+/// # Safety
+///
+/// Caller must ensure BMI2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn kth_set_bit_bmi2(mask: u64, k: u32) -> u32 {
+    std::arch::x86_64::_pdep_u64(1u64 << k, mask).trailing_zeros()
+}
+
+#[inline]
+fn eq_mask_u64_scalar(hay: &[u64], needle: u64) -> u64 {
+    let mut m = 0u64;
+    for (i, &v) in hay.iter().enumerate() {
+        m |= u64::from(v == needle) << i;
+    }
+    m
+}
+
+/// AVX2 twin of [`eq_mask_u64_scalar`]: 4 lanes per compare.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn eq_mask_u64_avx2(hay: &[u64], needle: u64) -> u64 {
+    use std::arch::x86_64::*;
+    let n = _mm256_set1_epi64x(needle as i64);
+    let mut m = 0u64;
+    let mut i = 0;
+    while i + 4 <= hay.len() {
+        let v = _mm256_loadu_si256(hay.as_ptr().add(i).cast());
+        let eq = _mm256_cmpeq_epi64(v, n);
+        m |= u64::from(_mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32 & 0xF) << i;
+        i += 4;
+    }
+    while i < hay.len() {
+        m |= u64::from(*hay.get_unchecked(i) == needle) << i;
+        i += 1;
+    }
+    m
+}
+
+#[inline]
+fn find_u64_scalar(hay: &[u64], needle: u64) -> Option<usize> {
+    hay.iter().position(|&v| v == needle)
+}
+
+/// AVX2 twin of [`find_u64_scalar`]: 4 lanes per compare.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn find_u64_avx2(hay: &[u64], needle: u64) -> Option<usize> {
+    use std::arch::x86_64::*;
+    let n = _mm256_set1_epi64x(needle as i64);
+    let mut i = 0;
+    while i + 4 <= hay.len() {
+        let v = _mm256_loadu_si256(hay.as_ptr().add(i).cast());
+        let eq = _mm256_cmpeq_epi64(v, n);
+        let m = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32;
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 4;
+    }
+    hay[i..].iter().position(|&v| v == needle).map(|p| i + p)
+}
+
+/// Count the `[key, nonzero]` pairs in `pairs`: entries whose first lane
+/// equals `key` and whose second lane is nonzero. This is the
+/// epoch-validity sweep over the engine's flat line tables (`[epoch,
+/// flags]` per line): how many lines carry live state this epoch.
+#[inline]
+pub fn count_live_pairs(pairs: &[[u32; 2]], key: u32) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if pairs.len() >= 4 && simd_active() {
+        // SAFETY: `simd_active()` implies the AVX2 probe succeeded.
+        return unsafe { count_live_pairs_avx2(pairs, key) };
+    }
+    count_live_pairs_scalar(pairs, key)
+}
+
+#[inline]
+fn count_live_pairs_scalar(pairs: &[[u32; 2]], key: u32) -> usize {
+    pairs.iter().filter(|p| p[0] == key && p[1] != 0).count()
+}
+
+/// AVX2 twin of [`count_live_pairs_scalar`]: 4 pairs per compare.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn count_live_pairs_avx2(pairs: &[[u32; 2]], key: u32) -> usize {
+    use std::arch::x86_64::*;
+    let k = _mm256_set1_epi32(key as i32);
+    let zero = _mm256_setzero_si256();
+    let mut n = 0usize;
+    let mut i = 0;
+    while i + 4 <= pairs.len() {
+        let v = _mm256_loadu_si256(pairs.as_ptr().add(i).cast());
+        // Per 32-bit lane: even lanes hold keys, odd lanes hold values.
+        let keq = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, k))) as u32;
+        let veq0 = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, zero))) as u32;
+        // Pair p is live iff its key lane (bit 2p) matched and its value
+        // lane (bit 2p+1) is nonzero.
+        let live = keq & !(veq0 >> 1) & 0x55;
+        n += live.count_ones() as usize;
+        i += 4;
+    }
+    n + count_live_pairs_scalar(&pairs[i..], key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random byte pattern (no external RNG).
+    fn pattern(len: usize, seed: u64) -> Vec<bool> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 61) & 1 == 1
+            })
+            .collect()
+    }
+
+    /// Boundary-heavy lengths: empty, sub-chunk, exact chunks, ragged.
+    const LENS: [usize; 8] = [0, 1, 7, 31, 32, 33, 64, 257];
+
+    #[test]
+    fn for_each_true_matches_filter() {
+        for len in LENS {
+            let flags = pattern(len, len as u64 + 3);
+            let mut got = Vec::new();
+            for_each_true(&flags, |i| got.push(i));
+            let want: Vec<usize> =
+                (0..len).filter(|&i| flags[i]).collect();
+            assert_eq!(got, want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn for_each_both_true_matches_zip_filter() {
+        for len in LENS {
+            let a = pattern(len, 11);
+            let b = pattern(len, 17);
+            let mut got = Vec::new();
+            for_each_both_true(&a, &b, |i| got.push(i));
+            let want: Vec<usize> = (0..len).filter(|&i| a[i] && b[i]).collect();
+            assert_eq!(got, want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn count_true_matches_filter_count() {
+        for len in LENS {
+            let flags = pattern(len, 29);
+            assert_eq!(count_true(&flags), flags.iter().filter(|&&v| v).count(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn find_u64_matches_position() {
+        for len in LENS {
+            let hay: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+            for needle in [0u64, 0x9E37_79B9, u64::MAX, (len as u64 / 2).wrapping_mul(0x9E37_79B9)]
+            {
+                assert_eq!(
+                    find_u64(&hay, needle),
+                    hay.iter().position(|&v| v == needle),
+                    "len {len} needle {needle:#x}"
+                );
+                assert_eq!(contains_u64(&hay, needle), hay.contains(&needle));
+            }
+        }
+    }
+
+    #[test]
+    fn kth_set_bit_matches_scalar_walk() {
+        for mask in [1u64, 0b1010, 0xFF, 0xF0F0, u64::MAX, 1 << 63, 0x8000_0001] {
+            for k in 0..mask.count_ones() {
+                let want = kth_set_bit_scalar(mask, k);
+                assert_eq!(kth_set_bit(mask, k), want, "mask {mask:#x} k {k}");
+                assert_eq!(mask & (1 << want), 1 << want, "returned bit must be set");
+            }
+        }
+    }
+
+    #[test]
+    fn eq_mask_u64_matches_positions() {
+        for len in [0usize, 1, 3, 4, 5, 8, 15, 16, 17, 32, 64] {
+            let hay: Vec<u64> = (0..len as u64).map(|i| (i % 6).wrapping_mul(0x40)).collect();
+            for needle in [0u64, 0x40, 0x140, 7, u64::MAX] {
+                let mut want = 0u64;
+                for (i, &v) in hay.iter().enumerate() {
+                    want |= u64::from(v == needle) << i;
+                }
+                assert_eq!(eq_mask_u64(&hay, needle), want, "len {len} needle {needle:#x}");
+                assert_eq!(eq_mask_u64_scalar(&hay, needle), want);
+            }
+        }
+    }
+
+    #[test]
+    fn count_live_pairs_matches_filter() {
+        for len in LENS {
+            let pairs: Vec<[u32; 2]> = (0..len as u32)
+                .map(|i| [i % 3, if i % 5 == 0 { 0 } else { i }])
+                .collect();
+            for key in 0..4u32 {
+                assert_eq!(
+                    count_live_pairs(&pairs, key),
+                    pairs.iter().filter(|p| p[0] == key && p[1] != 0).count(),
+                    "len {len} key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_twins_match_active_kernels() {
+        // Directly pit the scalar twins against whatever `simd_active()`
+        // picked (on AVX2 hardware this is a real cross-implementation
+        // check; elsewhere it is a self-check).
+        let flags = pattern(517, 41);
+        let bytes = bools_as_bytes(&flags);
+        for chunk in bytes.chunks(CHUNK) {
+            assert_eq!(mask_nonzero(chunk), mask_nonzero_scalar(chunk));
+        }
+        let hay: Vec<u64> = (0..201u64).map(|i| i * 64).collect();
+        for needle in [0, 64, 200 * 64, 13, u64::MAX] {
+            assert_eq!(find_u64(&hay, needle), find_u64_scalar(&hay, needle));
+        }
+        let pairs: Vec<[u32; 2]> = (0..203u32).map(|i| [i & 7, i % 6]).collect();
+        for key in 0..8 {
+            assert_eq!(count_live_pairs(&pairs, key), count_live_pairs_scalar(&pairs, key));
+        }
+    }
+
+    #[test]
+    fn force_scalar_toggles_mode() {
+        // Serialize against other tests touching the global mode.
+        set_force_scalar(true);
+        assert!(!simd_active());
+        assert_eq!(active_kernels(), "scalar");
+        let flags = pattern(64, 5);
+        let mut forced = Vec::new();
+        for_each_true(&flags, |i| forced.push(i));
+        set_force_scalar(false);
+        let mut auto = Vec::new();
+        for_each_true(&flags, |i| auto.push(i));
+        assert_eq!(forced, auto, "both kernel sets walk the same indices");
+    }
+}
