@@ -289,6 +289,43 @@ fn simd_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+fn streaming_replay(c: &mut Criterion) {
+    use machine::{try_simulate_stream_opts, try_simulate_threads, MachineConfig, StreamOptions};
+    use workloads::kv::{KvServingSource, ServingParams};
+
+    let mut g = c.benchmark_group("streaming_replay");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+
+    // Events/sec through the fused generate→validate→intern→replay
+    // pipeline at fixed memory budgets: the chunk size is what a
+    // `--mem-budget` of 4 MiB / 64 MiB derives for two threads (the
+    // kv_serving binary's 64 B/event rule). Smaller chunks pay more
+    // refill/grow overhead per event; this group tracks that tax.
+    let cfg = MachineConfig::machine_b_fast();
+    let params = ServingParams::new(100_000, 400_000, 2, prestore::PrestoreMode::Clean);
+    for (label, chunk_events) in [("budget_4mib", 32_768usize), ("budget_64mib", 524_288)] {
+        g.bench_function(BenchmarkId::new("kv_serving_400k", label), |b| {
+            b.iter(|| {
+                let mut src = KvServingSource::new(params.clone());
+                let opts = StreamOptions { chunk_events };
+                try_simulate_stream_opts(&cfg, &mut src, opts).unwrap().events
+            });
+        });
+    }
+
+    // The same stream materialized then replayed conventionally — the
+    // baseline the streaming path must stay near while using a fraction
+    // of the memory.
+    let materialized = {
+        let mut src = KvServingSource::new(params.clone());
+        workloads::kv::serving::materialize(&mut src, 65_536)
+    };
+    g.bench_function("kv_serving_400k/materialized", |b| {
+        b.iter(|| try_simulate_threads(&cfg, &materialized).unwrap().cycles);
+    });
+    g.finish();
+}
+
 fn dirtbuster_passes(c: &mut Criterion) {
     let mut g = c.benchmark_group("dirtbuster_passes");
     g.sample_size(10).measurement_time(Duration::from_secs(6));
@@ -326,6 +363,7 @@ criterion_group!(
     intern_vs_hash,
     nt_write_path,
     simd_kernels,
+    streaming_replay,
     dirtbuster_passes
 );
 criterion_main!(benches);

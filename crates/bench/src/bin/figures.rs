@@ -219,6 +219,7 @@ fn main() {
         ("abl_dram", experiments::dram_sanity),
         ("ext_cxl_kv", experiments::cxl_kv),
         ("crashbuster", experiments::crashbuster),
+        ("kv_serving", experiments::kv_serving),
     ];
 
     let selected: Vec<Experiment> = if ids.is_empty() {

@@ -1,0 +1,257 @@
+//! Drive the million-tenant KV serving scenario through the streaming
+//! replay pipeline.
+//!
+//! ```text
+//! kv_serving [--users N] [--events N] [--threads N]
+//!            [--machine a|b-fast|b-slow] [--mode none|clean|demote|skip]
+//!            [--mem-budget BYTES] [--chunk EVENTS]
+//!            [--metrics-out FILE] [--assert-rss-mb MB]
+//!            [--verify-materialized]
+//! ```
+//!
+//! The request stream is synthesized on the fly and replayed
+//! chunk-by-chunk ([`machine::try_simulate_stream_opts`]): the trace is
+//! never materialized, so `--events 100000000` and beyond replay in a
+//! pipeline footprint bounded by `--mem-budget` (the chunk size is
+//! derived from the budget; the run *fails* if the measured peak pipeline
+//! footprint exceeds it — this binary is the bounded-memory acceptance
+//! check, not just a demo).
+//!
+//! `--assert-rss-mb` additionally bounds the whole process's peak RSS
+//! (`VmHWM` from `/proc/self/status`), which covers the interner and
+//! engine tables that scale with *distinct lines* (tenants), not events.
+//!
+//! `--verify-materialized` (small runs only) materializes the identical
+//! stream, replays it through the conventional validate→intern→replay
+//! path, and fails unless the statistics and the chunk-size-invariant
+//! digest both match exactly.
+//!
+//! Exit codes: `0` success, `1` usage or I/O error, `4` a memory bound was
+//! exceeded, `5` streaming-vs-materialized verification failed.
+
+use machine::{MachineConfig, StreamOptions};
+use prestore::PrestoreMode;
+use workloads::kv::{serving, KvServingSource, ServingParams};
+
+/// Conservative per-event window cost: 24 B event + 4 B id-run offset +
+/// one-to-two 4 B interned line ids, doubled for capacity headroom
+/// (vectors grow geometrically).
+const BYTES_PER_EVENT: u64 = 64;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kv_serving [--users N] [--events N] [--threads N]
+                  [--machine a|b-fast|b-slow] [--mode none|clean|demote|skip]
+                  [--mem-budget BYTES] [--chunk EVENTS]
+                  [--metrics-out FILE] [--assert-rss-mb MB]
+                  [--verify-materialized]
+
+  --users N        distinct tenants (default 1000000)
+  --events N       target trace events across all threads (default 2000000)
+  --threads N      serving threads (default 2)
+  --machine M      machine model (default a)
+  --mode M         pre-store mode applied to PUTs (default none)
+  --mem-budget B   bound the streaming pipeline's peak bytes; the chunk
+                   size is derived from this and the run fails (exit 4)
+                   if the measured peak exceeds it
+  --chunk EVENTS   explicit chunk size (overrides the derived one)
+  --metrics-out F  write a JSON summary of the run to F
+  --assert-rss-mb M  fail (exit 4) if the process's peak RSS exceeds M MB
+  --verify-materialized
+                   also replay the materialized trace and require equal
+                   stats + digest (refused above 8M events)"
+    );
+    std::process::exit(1);
+}
+
+fn parse_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    match args.iter().position(|a| a == flag) {
+        None => default,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("{flag} needs an unsigned integer");
+                usage();
+            }
+        },
+    }
+}
+
+fn parse_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("{flag} needs a value");
+            usage();
+        }
+    })
+}
+
+/// Peak resident set size (`VmHWM`) in bytes, if the kernel exposes it.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let users = parse_u64(&args, "--users", 1_000_000);
+    let events = parse_u64(&args, "--events", 2_000_000);
+    let threads = parse_u64(&args, "--threads", 2) as usize;
+    let mem_budget = match args.iter().position(|a| a == "--mem-budget") {
+        None => None,
+        Some(_) => Some(parse_u64(&args, "--mem-budget", 0)),
+    };
+    let assert_rss_mb = match args.iter().position(|a| a == "--assert-rss-mb") {
+        None => None,
+        Some(_) => Some(parse_u64(&args, "--assert-rss-mb", 0)),
+    };
+    let verify = args.iter().any(|a| a == "--verify-materialized");
+    let machine = parse_str(&args, "--machine").unwrap_or_else(|| "a".into());
+    let cfg = match machine.as_str() {
+        "a" => MachineConfig::machine_a(),
+        "b-fast" => MachineConfig::machine_b_fast(),
+        "b-slow" => MachineConfig::machine_b_slow(),
+        other => {
+            eprintln!("unknown machine {other:?}");
+            usage();
+        }
+    };
+    let mode_str = parse_str(&args, "--mode").unwrap_or_else(|| "none".into());
+    let mode = match PrestoreMode::parse(&mode_str) {
+        Some(m) => m,
+        None => {
+            eprintln!("unknown mode {mode_str:?}");
+            usage();
+        }
+    };
+    if users == 0 || events == 0 || threads == 0 {
+        eprintln!("--users, --events and --threads must be positive");
+        usage();
+    }
+
+    // Chunk size: explicit, else derived so all windows together fit the
+    // budget with headroom, else the library default.
+    let chunk_events = match parse_u64(&args, "--chunk", 0) {
+        0 => match mem_budget {
+            Some(budget) => {
+                ((budget / BYTES_PER_EVENT / threads as u64).max(256) as usize)
+                    .min(1 << 22)
+            }
+            None => StreamOptions::default().chunk_events,
+        },
+        n => n as usize,
+    };
+    let opts = StreamOptions { chunk_events };
+    let params = ServingParams::new(users, events, threads, mode);
+
+    let mut source = KvServingSource::new(params.clone());
+    let start = std::time::Instant::now();
+    let report = match machine::try_simulate_stream_opts(&cfg, &mut source, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("streaming replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall = start.elapsed();
+
+    let rss = peak_rss_bytes();
+    let events_per_sec = report.events as f64 / wall.as_secs_f64();
+    println!("kv_serving: {users} tenants, {threads} threads, mode {mode_str}, machine {machine}");
+    println!("  events            {:>14}", report.events);
+    println!("  chunks            {:>14}  ({chunk_events} events/chunk)", report.chunks);
+    println!("  digest            {:>14}", format!("{:016x}", report.digest));
+    println!("  peak pipeline     {:>14} bytes", report.peak_pipeline_bytes);
+    if let Some(rss) = rss {
+        println!("  peak process RSS  {:>14} bytes", rss);
+    }
+    println!("  wall clock        {:>14.2} s  ({:.1}M events/s)", wall.as_secs_f64(), events_per_sec / 1e6);
+    println!("  simulated cycles  {:>14}", report.stats.cycles);
+    println!("  write amp         {:>14.3}", report.stats.write_amplification());
+
+    let mut failed_bound = false;
+    if let Some(budget) = mem_budget {
+        if report.peak_pipeline_bytes > budget {
+            eprintln!(
+                "FAIL: peak pipeline {} bytes exceeds --mem-budget {budget}",
+                report.peak_pipeline_bytes
+            );
+            failed_bound = true;
+        } else {
+            println!("  budget check      {:>14} <= {budget} ok", report.peak_pipeline_bytes);
+        }
+    }
+    if let Some(mb) = assert_rss_mb {
+        match rss {
+            Some(rss) if rss > mb * 1024 * 1024 => {
+                eprintln!("FAIL: peak RSS {rss} bytes exceeds --assert-rss-mb {mb}");
+                failed_bound = true;
+            }
+            Some(rss) => println!("  rss check         {rss:>14} <= {mb} MB ok"),
+            None => eprintln!("warning: /proc/self/status unavailable; RSS not checked"),
+        }
+    }
+
+    if let Some(path) = parse_str(&args, "--metrics-out") {
+        let json = format!(
+            "{{\n  \"users\": {users},\n  \"threads\": {threads},\n  \"mode\": \"{mode_str}\",\n  \
+             \"machine\": \"{machine}\",\n  \"events\": {},\n  \"chunks\": {},\n  \
+             \"chunk_events\": {chunk_events},\n  \"digest\": \"{:016x}\",\n  \
+             \"peak_pipeline_bytes\": {},\n  \"peak_rss_bytes\": {},\n  \
+             \"wall_seconds\": {:.3},\n  \"events_per_sec\": {:.0},\n  \
+             \"sim_cycles\": {},\n  \"write_amplification\": {:.4}\n}}\n",
+            report.events,
+            report.chunks,
+            report.digest,
+            report.peak_pipeline_bytes,
+            rss.map_or("null".to_string(), |r| r.to_string()),
+            wall.as_secs_f64(),
+            events_per_sec,
+            report.stats.cycles,
+            report.stats.write_amplification(),
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+        println!("  metrics           {path}");
+    }
+
+    if verify {
+        if report.events > 8_000_000 {
+            eprintln!("--verify-materialized refused above 8M events (it materializes the trace)");
+            std::process::exit(1);
+        }
+        let threads_vec = serving::materialize(&mut source, chunk_events);
+        let golden = match machine::try_simulate_threads(&cfg, &threads_vec) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("materialized replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut slice_src = simcore::SliceSource::new(&threads_vec);
+        let materialized_digest =
+            simcore::stream::digest_source(&mut slice_src, chunk_events);
+        if golden != report.stats || materialized_digest != report.digest {
+            eprintln!(
+                "FAIL: streaming vs materialized mismatch (digest {:016x} vs {:016x}, stats {})",
+                report.digest,
+                materialized_digest,
+                if golden == report.stats { "equal" } else { "DIFFER" },
+            );
+            std::process::exit(5);
+        }
+        println!("  verify            streaming == materialized (stats + digest) ok");
+    }
+
+    if failed_bound {
+        std::process::exit(4);
+    }
+}

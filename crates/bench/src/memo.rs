@@ -21,6 +21,13 @@
 //! once the cached traces exceed an event budget. Derived variants are
 //! cached under their own key — several figures replay the same variant
 //! on more than one machine configuration.
+//!
+//! Streaming workloads cannot cache traces — not holding the trace is
+//! their point — so they memoize the *replay result* instead:
+//! [`stream_cached`] keys a [`machine::StreamReport`] on the stream's
+//! chunk-size-invariant [`simcore::StreamDigest`] (plus the machine
+//! configuration), sharing this module's hit/miss/insert/evict ledger so
+//! the [`MemoCounters`] invariants cover both caches.
 
 use dirtbuster::{apply_plan, PrestorePlan, Recommendation};
 use prestore::PrestoreMode;
@@ -61,6 +68,30 @@ struct CacheInner {
 }
 
 static CACHE: Mutex<Option<CacheInner>> = Mutex::new(None);
+
+/// Streamed replay results cached by [`stream_cached`]. A
+/// [`machine::StreamReport`] is a few hundred bytes of statistics, so the
+/// bound is an entry count, not an event budget.
+const MAX_STREAM_RESULTS: usize = 64;
+
+/// The active entry bound: [`MAX_STREAM_RESULTS`] in production, shrunk
+/// by tests to exercise eviction accounting.
+static STREAM_CAPACITY: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(MAX_STREAM_RESULTS);
+
+/// Test-only: shrink the streaming-result bound. Pair with [`clear`].
+#[cfg(test)]
+fn set_stream_capacity_for_test(entries: usize) {
+    STREAM_CAPACITY.store(entries, Ordering::Relaxed);
+}
+
+struct StreamInner {
+    map: HashMap<String, Arc<machine::StreamReport>>,
+    /// Insertion order, oldest first (FIFO eviction).
+    order: VecDeque<String>,
+}
+
+static STREAM_CACHE: Mutex<Option<StreamInner>> = Mutex::new(None);
 static LOOKUPS: AtomicU64 = AtomicU64::new(0);
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
@@ -132,6 +163,9 @@ pub fn counters() -> MemoCounters {
 pub fn clear() {
     let mut guard = CACHE.lock().expect("memo cache poisoned");
     *guard = None;
+    drop(guard);
+    let mut guard = STREAM_CACHE.lock().expect("stream memo cache poisoned");
+    *guard = None;
     LOOKUPS.store(0, Ordering::Relaxed);
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
@@ -189,6 +223,65 @@ fn cached(key: String, record: impl FnOnce() -> WorkloadOutput) -> Arc<WorkloadO
         let oldest = inner.order.pop_front().expect("order tracks map");
         if let Some(evicted) = inner.map.remove(&oldest) {
             inner.events -= evicted.traces.total_events();
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            probes::EVICTIONS.inc();
+        }
+    }
+    out
+}
+
+/// The cache key of one streamed replay: the stream's chunk-size-invariant
+/// digest plus the machine configuration tag (the same stream replays
+/// differently on different machines).
+pub fn stream_key(digest: u64, machine_tag: &str) -> String {
+    format!("stream|{digest:016x}|{machine_tag}")
+}
+
+/// Fetch a streamed replay result from the cache or compute it with `run`
+/// (which replays the stream through `machine::try_simulate_stream`).
+///
+/// Shares the trace cache's counter ledger: every call is one lookup and
+/// either a hit or a miss, race losers are dropped without an insert, and
+/// FIFO eviction (entry-count bound — reports are small) increments the
+/// shared eviction counter. The [`MemoCounters`] invariants therefore hold
+/// across both caches combined.
+pub fn stream_cached(
+    key: String,
+    run: impl FnOnce() -> machine::StreamReport,
+) -> Arc<machine::StreamReport> {
+    LOOKUPS.fetch_add(1, Ordering::Relaxed);
+    probes::LOOKUPS.inc();
+    {
+        let mut guard = STREAM_CACHE.lock().expect("stream memo cache poisoned");
+        let inner = guard
+            .get_or_insert_with(|| StreamInner { map: HashMap::new(), order: VecDeque::new() });
+        if let Some(out) = inner.map.get(&key) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            probes::HITS.inc();
+            return Arc::clone(out);
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    probes::MISSES.inc();
+    let out = {
+        let _timed = simcore::telemetry::span(&probes::RECORD);
+        Arc::new(run())
+    };
+    let mut guard = STREAM_CACHE.lock().expect("stream memo cache poisoned");
+    let inner =
+        guard.get_or_insert_with(|| StreamInner { map: HashMap::new(), order: VecDeque::new() });
+    if let Some(existing) = inner.map.get(&key) {
+        // Lost a replay race; the reports are identical (deterministic
+        // replay). Dropped without an insert, keeping `inserts <= misses`.
+        return Arc::clone(existing);
+    }
+    inner.map.insert(key.clone(), Arc::clone(&out));
+    inner.order.push_back(key);
+    INSERTS.fetch_add(1, Ordering::Relaxed);
+    probes::INSERTS.inc();
+    while inner.map.len() > STREAM_CAPACITY.load(Ordering::Relaxed).max(1) {
+        let oldest = inner.order.pop_front().expect("order tracks map");
+        if inner.map.remove(&oldest).is_some() {
             EVICTIONS.fetch_add(1, Ordering::Relaxed);
             probes::EVICTIONS.inc();
         }
@@ -441,6 +534,52 @@ mod tests {
         assert_eq!(c.hits, 4, "each seed's immediate re-lookup hits: {c:?}");
         assert_eq!(c.misses, 5, "four first recordings plus one re-recording: {c:?}");
         set_capacity_for_test(MAX_CACHED_EVENTS);
+        clear();
+    }
+
+    /// Satellite: the streaming-result cache books its digest-keyed hits,
+    /// misses, inserts and evictions through the same ledger, and the
+    /// combined counters still reconcile.
+    #[test]
+    fn stream_results_share_the_counter_ledger() {
+        let _g = LOCK.lock().expect("no memo test panicked while holding the lock");
+        clear();
+        set_stream_capacity_for_test(2);
+        let cfg = machine::MachineConfig::machine_a();
+        let report_for = |seed: u64| {
+            let p = workloads::kv::ServingParams {
+                seed,
+                ..workloads::kv::ServingParams::quick()
+            };
+            let mut src = workloads::kv::KvServingSource::new(p);
+            let digest = simcore::stream::digest_source(&mut src, 4096);
+            stream_cached(stream_key(digest, "machine_a"), || {
+                machine::try_simulate_stream(&cfg, &mut src).expect("serving stream replays")
+            })
+        };
+        let a = report_for(1);
+        let b = report_for(1);
+        assert!(Arc::ptr_eq(&a, &b), "same digest must share the report");
+        assert_eq!(a.digest, b.digest);
+        let c = counters();
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        // A trace-cache lookup interleaves with stream lookups in the
+        // same ledger.
+        let _ = listing3(200, false);
+        // Two more digests overflow the 2-entry bound and evict.
+        let _ = report_for(2);
+        let _ = report_for(3);
+        let c = counters();
+        assert_eq!(c.hits + c.misses, c.lookups, "{c:?}");
+        assert!(c.inserts <= c.misses, "{c:?}");
+        assert!(c.evictions <= c.inserts, "{c:?}");
+        assert!(c.evictions >= 1, "2-entry bound must evict: {c:?}");
+        // The evicted first digest re-records as a miss, hitting nothing.
+        let hits_before = counters().hits;
+        let _ = report_for(1);
+        assert_eq!(counters().hits, hits_before);
+        set_stream_capacity_for_test(MAX_STREAM_RESULTS);
         clear();
     }
 }

@@ -44,6 +44,17 @@ impl IdIndex {
         };
     }
 
+    /// Extend the index to cover `lines` ids *within the current epoch*
+    /// (no bump: existing mappings stay valid). Streaming replays intern
+    /// lines chunk-by-chunk mid-run, so the id space grows while cached
+    /// lines keep their slots; fresh entries are zero, which no epoch
+    /// (always ≥ 1 after a [`IdIndex::reset`]) ever matches.
+    pub fn grow(&mut self, lines: usize) {
+        if self.slots.len() < lines {
+            self.slots.resize(lines, 0);
+        }
+    }
+
     #[inline]
     fn get(&self, id: LineId) -> Option<usize> {
         let e = self.slots[id.index()];
@@ -233,6 +244,14 @@ impl Cache {
     /// its allocation for the next run.
     pub fn take_id_index(&mut self) -> Option<IdIndex> {
         self.index.take()
+    }
+
+    /// Grow the installed [`IdIndex`] (if any) to cover `lines` ids
+    /// without invalidating existing mappings; see [`IdIndex::grow`].
+    pub fn grow_id_index(&mut self, lines: usize) {
+        if let Some(ix) = self.index.as_mut() {
+            ix.grow(lines);
+        }
     }
 
     /// The cache geometry.

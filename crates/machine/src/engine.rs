@@ -36,6 +36,7 @@ use cachesim::wcbuf::WcFlush;
 use memdev::{Device, MemDevice};
 use simcore::faultinject::CrashPlan;
 use simcore::telemetry::SiteTable;
+use simcore::stream::{EventSource, StreamFeed};
 use simcore::{
     align_down, blocks_touched, Addr, CoreId, Cycles, EventKind, FuncId, FxHashMap, FxHashSet,
     InternedTraces, LineId, ThreadTrace, TraceSet,
@@ -319,6 +320,97 @@ pub fn try_simulate_threads(
     Engine::new_flat(cfg, &interned, threads.len()).try_run(threads)
 }
 
+/// Tuning knobs for the streaming replay pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Target events per chunk window. Smaller chunks bound the pipeline's
+    /// peak memory tighter at the cost of more refill round-trips; the
+    /// replayed schedule (and therefore [`RunStats`]) is identical for any
+    /// chunk size — pinned by the equivalence suite.
+    pub chunk_events: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        // 64K events ≈ 1.5 MiB of window per thread: large enough that
+        // refill overhead vanishes, small enough that even wide multi-
+        // tenant runs stay well under typical memory budgets.
+        Self { chunk_events: 65_536 }
+    }
+}
+
+/// What a streaming replay produced, beyond the stats themselves: how much
+/// trace flowed through the pipeline, how it was chunked, the peak bytes
+/// the pipeline held at once, and the chunk-size-invariant trace digest
+/// (the memoization key — see `bench::memo`).
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// The run's statistics, identical to a materialized replay of the
+    /// same event stream.
+    pub stats: RunStats,
+    /// Total events pulled from the source across all threads.
+    pub events: u64,
+    /// Chunk windows fetched (refill calls that yielded events).
+    pub chunks: u64,
+    /// Peak bytes the chunk windows (events + interned-id runs) held at
+    /// any point — the pipeline's working memory, excluding the interner
+    /// and engine tables which scale with *distinct lines*, not events.
+    pub peak_pipeline_bytes: u64,
+    /// Chunk-size-invariant [`simcore::StreamDigest`] of the full stream.
+    pub digest: u64,
+}
+
+/// Replay an [`EventSource`] chunk-by-chunk under default
+/// [`StreamOptions`]: record → validate → intern → replay proceed one
+/// bounded window at a time, so the full trace is never materialized.
+///
+/// Semantics match [`try_simulate`] exactly — same scheduler, same step
+/// budget, same statistics — with two documented exceptions: crash plans
+/// are not supported (use the materialized path), and statically
+/// unsatisfiable acquires surface as [`EngineError::ReplayDeadlock`] at
+/// the point of the stall rather than [`EngineError::AcquireUnsatisfiable`]
+/// up front (a stream's future releases are unknowable; the runtime
+/// deadlock detector covers the same inputs).
+pub fn try_simulate_stream<S: EventSource>(
+    cfg: &MachineConfig,
+    source: &mut S,
+) -> Result<StreamReport, EngineError> {
+    try_simulate_stream_opts(cfg, source, StreamOptions::default())
+}
+
+/// [`try_simulate_stream`] with explicit [`StreamOptions`].
+pub fn try_simulate_stream_opts<S: EventSource>(
+    cfg: &MachineConfig,
+    source: &mut S,
+    opts: StreamOptions,
+) -> Result<StreamReport, EngineError> {
+    let threads = source.threads();
+    if threads == 0 {
+        return Err(EngineError::EmptyTraceSet);
+    }
+    let _replay_span = simcore::telemetry::span(&crate::probes::REPLAY);
+    let mut feed = StreamFeed::new(cfg.line_size, threads, opts.chunk_events.max(1));
+    // The engine's materialized view is an empty stand-in: the streaming
+    // scheduler resolves events and id runs through the feed, and
+    // `finalize` resolves residual lines through the feed's interner.
+    let empty = InternedTraces::empty(cfg.line_size);
+    let mut engine = Engine::new_flat(cfg, &empty, threads);
+    let mut steps: u64 = 0;
+    engine.replay_stream(source, &mut feed, &mut steps)?;
+    let stats = match engine.finalize(feed.interner(), steps)? {
+        CrashOutcome::Completed { stats, .. } => *stats,
+        // `crash` is never armed on the streaming path.
+        CrashOutcome::Crashed(_) => unreachable!("crash fired without an armed plan"),
+    };
+    Ok(StreamReport {
+        stats,
+        events: feed.fetched(),
+        chunks: feed.chunks(),
+        peak_pipeline_bytes: feed.peak_window_bytes() as u64,
+        digest: feed.digest(),
+    })
+}
+
 /// A configured machine: the owned-config entry point to replay.
 ///
 /// [`Machine::try_run`] is the panic-free pipeline: it statically
@@ -364,6 +456,16 @@ impl Machine {
     ///   [`MachineConfig::step_budget`]).
     pub fn try_run(&self, traces: &TraceSet) -> Result<RunStats, EngineError> {
         try_simulate_threads(&self.cfg, &traces.threads)
+    }
+
+    /// Replay an [`EventSource`] chunk-by-chunk without materializing the
+    /// trace; see [`try_simulate_stream`] for semantics and caveats.
+    pub fn try_run_stream<S: EventSource>(
+        &self,
+        source: &mut S,
+        opts: StreamOptions,
+    ) -> Result<StreamReport, EngineError> {
+        try_simulate_stream_opts(&self.cfg, source, opts)
     }
 
     /// Replay `traces` under a simulated power-failure plan.
@@ -600,6 +702,21 @@ impl<'a, T: LineTables> Engine<'a, T> {
         } else if self.replay_generic(traces, budget, &mut steps)? {
             return Ok(CrashOutcome::Crashed(Box::new(self.freeze_crash(steps))));
         }
+        let interned: &'a InternedTraces = self.interned;
+        self.finalize(interned.interner(), steps)
+    }
+
+    /// Close out a completed replay: final drains, residual dirty-line
+    /// accounting, device flush, stats assembly and scratch recycling.
+    /// `interner` resolves residual line addresses back to ids — the
+    /// trace's interned view on the materialized path, the feed's growing
+    /// interner on the streaming path (the engine's own `interned` field
+    /// is an empty stand-in there).
+    fn finalize(
+        mut self,
+        interner: &simcore::LineInterner,
+        steps: u64,
+    ) -> Result<CrashOutcome, EngineError> {
         // Programs complete when their stores are globally visible. These
         // final drains happen after the last trace event, so their traffic
         // is attributed through the lines' first-dirty tags (the stall
@@ -626,7 +743,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             // line's first-dirty tag (end-of-run frequency: one hash probe
             // per residual line, never on the step path).
             let id = if T::USE_IDS {
-                self.interned.interner().id_of(line).unwrap_or(LineId::INVALID)
+                interner.id_of(line).unwrap_or(LineId::INVALID)
             } else {
                 LineId::INVALID
             };
@@ -794,7 +911,11 @@ impl<'a, T: LineTables> Engine<'a, T> {
             let ev = traces[cid].events[idx];
             self.cores[cid].pc += 1;
             let before = self.cores[cid].now;
-            self.step(cid, ev, idx)?;
+            // The id run borrows from the trace's interned view (`'a`),
+            // not `self`, so it stays usable across the `&mut self` call.
+            let interned: &'a InternedTraces = self.interned;
+            let ids: &[LineId] = if T::USE_IDS { interned.ids_for(cid, idx) } else { &[] };
+            self.step(cid, ev, ids)?;
             let spent = self.cores[cid].now - before;
             if spent > 0 {
                 self.tables.func_add(ev.func, spent);
@@ -849,7 +970,9 @@ impl<'a, T: LineTables> Engine<'a, T> {
             let ev = chunk.get(idx);
             self.cores[0].pc += 1;
             let before = self.cores[0].now;
-            self.step(0, ev, idx)?;
+            let interned: &'a InternedTraces = self.interned;
+            let ids: &[LineId] = if T::USE_IDS { interned.ids_for(0, idx) } else { &[] };
+            self.step(0, ev, ids)?;
             let spent = self.cores[0].now - before;
             if spent > 0 {
                 self.tables.func_add(ev.func, spent);
@@ -875,6 +998,120 @@ impl<'a, T: LineTables> Engine<'a, T> {
             }
         }
         Ok(())
+    }
+
+    /// Extend every id-indexed structure (flat tables, per-cache
+    /// [`cachesim::IdIndex`]es) to cover `lines` interned ids. Streaming
+    /// replays intern new lines chunk-by-chunk mid-run, so the id space
+    /// grows while existing entries keep their state — growth never bumps
+    /// an epoch (see [`FlatTables::grow`] for why that is sound).
+    fn grow_line_space(&mut self, lines: usize) {
+        self.tables.grow(lines);
+        if T::USE_IDS {
+            self.llc.grow_id_index(lines);
+            for c in &mut self.cores {
+                c.l1.grow_id_index(lines);
+            }
+        }
+    }
+
+    /// The streaming replay scheduler: identical scan, wakeup, deadlock
+    /// and budget semantics to [`Engine::replay_generic`], but events and
+    /// interned-id runs come from `feed`'s bounded chunk windows instead
+    /// of materialized traces. A core whose window is spent refills it
+    /// from `source` (validate + digest + intern ride along per event);
+    /// after any refill the engine's id-indexed tables grow to cover the
+    /// newly interned lines and the step budget is re-derived from the
+    /// events fetched so far — the budget only grows, and a valid replay
+    /// executes at most ~2 steps per fetched event, so intermediate
+    /// budgets never fire on schedules the materialized path accepts.
+    ///
+    /// Crash plans are not supported here (freezing a machine needs the
+    /// full durable-set bookkeeping of the materialized path).
+    fn replay_stream<S: EventSource>(
+        &mut self,
+        source: &mut S,
+        feed: &mut StreamFeed,
+        steps: &mut u64,
+    ) -> Result<(), EngineError> {
+        debug_assert!(self.crash.is_none(), "crash plans require the materialized path");
+        let n = self.cores.len();
+        debug_assert_eq!(n, feed.threads());
+        let mut budget = self.cfg.effective_step_budget(0);
+        loop {
+            // Refill before the scan so every runnable core is visible to
+            // this scheduling decision. Blocked-acquire retries rewind
+            // `pc` within the current window, never before it, so a core
+            // with `pc >= end` has truly consumed its window.
+            let mut grew = false;
+            for cid in 0..n {
+                if !feed.exhausted(cid) && self.cores[cid].pc >= feed.end(cid) {
+                    feed.refill(source, cid)?;
+                    grew = true;
+                }
+            }
+            if grew {
+                self.grow_line_space(feed.interner().len());
+                budget = self.cfg.effective_step_budget(feed.fetched() as usize);
+            }
+            let mut best: Option<(CoreId, Cycles)> = None;
+            let mut any_left = false;
+            for (cid, core) in self.cores.iter_mut().enumerate() {
+                if core.pc >= feed.end(cid) {
+                    // Window consumed and (per the refill above) the
+                    // source is exhausted: this core is done.
+                    continue;
+                }
+                any_left = true;
+                if let Some((line, id, seq)) = core.blocked {
+                    match self.tables.release_get(id, line) {
+                        Some((count, when)) if count >= seq => {
+                            core.now = core.now.max(when);
+                            core.blocked = None;
+                        }
+                        _ => continue,
+                    }
+                }
+                if best.is_none_or(|(_, t)| core.now < t) {
+                    best = Some((cid, core.now));
+                }
+            }
+            let Some((cid, _)) = best else {
+                if any_left {
+                    // Releases that could satisfy the blocked acquires may
+                    // still lurk in unfetched chunks of the *blocked*
+                    // threads themselves — but a blocked core cannot fetch
+                    // past its acquire, so the wait is circular either way.
+                    return Err(EngineError::ReplayDeadlock { blocked: self.blocked_report() });
+                }
+                return Ok(());
+            };
+            *steps += 1;
+            self.cur_step = *steps;
+            if *steps > budget {
+                return Err(EngineError::StepBudgetExceeded {
+                    steps: *steps,
+                    budget,
+                    blocked: self.blocked_report(),
+                    progress: self
+                        .cores
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| (i, c.pc, feed.end(i)))
+                        .collect(),
+                });
+            }
+            let idx = self.cores[cid].pc;
+            let ev = feed.event(cid, idx);
+            self.cores[cid].pc += 1;
+            let before = self.cores[cid].now;
+            let ids: &[LineId] = if T::USE_IDS { feed.ids(cid, idx) } else { &[] };
+            self.step(cid, ev, ids)?;
+            let spent = self.cores[cid].now - before;
+            if spent > 0 {
+                self.tables.func_add(ev.func, spent);
+            }
+        }
     }
 
     /// Freeze the machine at a simulated power failure and partition its
@@ -1001,13 +1238,13 @@ impl<'a, T: LineTables> Engine<'a, T> {
         if T::USE_IDS { ids[i] } else { LineId::INVALID }
     }
 
-    fn step(&mut self, cid: CoreId, ev: simcore::Event, idx: usize) -> Result<(), EngineError> {
+    /// Execute one event. `ids` is the event's pre-resolved id run in
+    /// splitting order (empty on the reference path): the caller fetches
+    /// it — from the trace's interned view on the materialized path, from
+    /// the chunk feed's window on the streaming path — so the step logic
+    /// itself is source-agnostic.
+    fn step(&mut self, cid: CoreId, ev: simcore::Event, ids: &[LineId]) -> Result<(), EngineError> {
         let line_size = self.cfg.line_size;
-        // The pre-resolved line ids of this event, in splitting order. The
-        // borrow is against the trace's interned view (`'a`), not `self`,
-        // so it stays usable across the `&mut self` calls below.
-        let ids: &'a [LineId] =
-            if T::USE_IDS { self.interned.ids_for(cid, idx) } else { &[] };
         match ev.kind {
             EventKind::Compute => {
                 self.cores[cid].now += ev.addr;
@@ -1600,6 +1837,97 @@ mod tests {
         let cfg = MachineConfig::machine_a();
         let r = simulate_single(&cfg, &ThreadTrace::default());
         assert_eq!(r.cpu_cycles, 0);
+    }
+
+    #[test]
+    fn stream_replay_matches_materialized_across_chunk_sizes() {
+        // Two threads with cross-thread acquire/release traffic and
+        // prestores: thread 1 blocks until thread 0's atomics land, so the
+        // streaming scheduler's wakeup path is exercised too.
+        let t0 = trace_of(|t| {
+            for i in 0..300u64 {
+                t.write(i * 64, 48);
+                t.prestore(i * 64, 48, PrestoreOp::Clean);
+            }
+            t.atomic(1 << 40, 8);
+            t.atomic(1 << 40, 8);
+            t.fence();
+        });
+        let t1 = trace_of(|t| {
+            t.acquire(1 << 40, 2);
+            for i in 0..300u64 {
+                t.read(i * 64, 48);
+            }
+            t.fence();
+        });
+        let threads = vec![t0, t1];
+        for cfg in [MachineConfig::machine_a(), MachineConfig::machine_b_fast()] {
+            let golden = try_simulate_threads(&cfg, &threads).unwrap();
+            let mut digests = Vec::new();
+            for chunk_events in [1usize, 7, 64, 65_536] {
+                let mut src = simcore::SliceSource::new(&threads);
+                let report = try_simulate_stream_opts(
+                    &cfg,
+                    &mut src,
+                    StreamOptions { chunk_events },
+                )
+                .unwrap();
+                assert_eq!(report.stats, golden, "chunk_events={chunk_events}");
+                assert_eq!(report.events, 905);
+                digests.push(report.digest);
+            }
+            digests.dedup();
+            assert_eq!(digests.len(), 1, "digest must be chunk-size-invariant");
+        }
+    }
+
+    #[test]
+    fn stream_replay_single_thread_matches_fast_path() {
+        let trace = trace_of(|t| {
+            for i in 0..500u64 {
+                t.write(i * 64, 64);
+                t.read((i % 17) * 64, 8);
+            }
+            t.fence();
+        });
+        let cfg = MachineConfig::machine_a();
+        let golden = try_simulate_single(&cfg, &trace).unwrap();
+        let threads = [trace];
+        let mut src = simcore::SliceSource::new(&threads);
+        let report =
+            try_simulate_stream_opts(&cfg, &mut src, StreamOptions { chunk_events: 33 }).unwrap();
+        assert_eq!(report.stats, golden);
+        assert!(report.chunks >= 31, "500 events / 33 per chunk");
+        assert!(report.peak_pipeline_bytes > 0);
+    }
+
+    #[test]
+    fn stream_replay_reports_runtime_deadlock_for_unsatisfiable_acquire() {
+        // The materialized validator rejects this statically; a stream's
+        // future releases are unknowable, so the streaming path reports
+        // the deadlock at replay time instead.
+        let threads = [trace_of(|t| t.acquire(0, 1))];
+        let cfg = MachineConfig::machine_a();
+        let mut src = simcore::SliceSource::new(&threads);
+        let err = try_simulate_stream(&cfg, &mut src).unwrap_err();
+        assert!(matches!(err, EngineError::ReplayDeadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn stream_replay_rejects_empty_and_malformed_sources() {
+        let cfg = MachineConfig::machine_a();
+        let threads: [ThreadTrace; 0] = [];
+        let mut src = simcore::SliceSource::new(&threads);
+        assert!(matches!(
+            try_simulate_stream(&cfg, &mut src).unwrap_err(),
+            EngineError::EmptyTraceSet
+        ));
+        let threads = [trace_of(|t| t.write(0, 0))];
+        let mut src = simcore::SliceSource::new(&threads);
+        assert!(matches!(
+            try_simulate_stream(&cfg, &mut src).unwrap_err(),
+            EngineError::MalformedTrace(simcore::ValidateError::ZeroSizeAccess { .. })
+        ));
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub use config::{CostModel, MachineConfig, MemModel};
 pub use crash::{CrashImage, CrashOutcome, CrashReport, LostSite};
 pub use engine::{
     simulate, simulate_reference, simulate_single, try_simulate, try_simulate_single,
-    try_simulate_threads, try_simulate_threads_reference, Engine, Machine,
+    try_simulate_stream, try_simulate_stream_opts, try_simulate_threads,
+    try_simulate_threads_reference, Engine, Machine, StreamOptions, StreamReport,
 };
 pub use error::{BlockedAcquire, EngineError};
 pub use simcore::faultinject::CrashPlan;

@@ -87,6 +87,12 @@ pub trait LineTables {
         None
     }
 
+    /// Extend the id-indexed tables to cover `lines` ids *mid-run* without
+    /// touching existing entries. Streaming replays intern lines
+    /// chunk-by-chunk, so the dense id space grows while the run's state
+    /// must survive; a no-op for address-keyed implementations.
+    fn grow(&mut self, _lines: usize) {}
+
     /// Attribute `spent` cycles to function `f` (`spent > 0`).
     fn func_add(&mut self, f: FuncId, spent: Cycles);
     /// Drain the per-function attribution accumulated this run.
@@ -389,6 +395,16 @@ impl LineTables for FlatTables {
     #[inline]
     fn live_lines(&self) -> Option<usize> {
         Some(self.epoch_live_lines())
+    }
+
+    fn grow(&mut self, lines: usize) {
+        // New entries carry epoch 0, which never matches the current epoch
+        // (≥ 1 after any `reset`), so they read as logically absent — no
+        // epoch bump, existing entries keep their state. `cold` and `dirt`
+        // stay lazily sized by their accessors.
+        if self.hot.len() < lines {
+            self.hot.resize(lines, HotEntry::default());
+        }
     }
 
     #[inline]

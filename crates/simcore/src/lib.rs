@@ -26,6 +26,7 @@ pub mod rng;
 pub mod serialize;
 pub mod simd;
 pub mod stats;
+pub mod stream;
 pub mod telemetry;
 pub mod trace;
 
@@ -36,6 +37,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{InternedTraces, LineId, LineInterner};
 pub use loc::{FuncId, FuncInfo, FuncRegistry};
 pub use stats::Histogram;
+pub use stream::{EventSource, SliceSource, StreamDigest, StreamFeed, StreamValidator};
 pub use trace::{ThreadTrace, TraceSet, Tracer};
 
 /// A simulated physical/virtual address (the simulator does not distinguish).

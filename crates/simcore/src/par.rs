@@ -68,7 +68,12 @@ thread_local! {
 /// Minimum estimated *remaining* work, in nanoseconds, before a nested
 /// map fans out to worker threads. Below this the spawn/handoff overhead
 /// dominates and the tiny sweeps behind `--jobs` get slower, not faster.
-const INLINE_THRESHOLD_NS: u64 = 2_000_000;
+/// Measured on the figure suite's sharded sweeps: at 2 ms the sub-
+/// millisecond shards (listing3 ~1.5 ms serial, fig12 ~0.5 s of many tiny
+/// points) fanned out anyway and ran up to 2x slower than the serial
+/// pass; 8 ms keeps them inline while sweeps with real per-point cost
+/// (≥ 10 ms figures) still escape on their first costly item.
+const INLINE_THRESHOLD_NS: u64 = 8_000_000;
 
 /// Increments the thread-local map depth for the guard's lifetime
 /// (drop-based so a panicking job body still restores it).
@@ -173,6 +178,14 @@ where
         f(i)
     };
     if n <= 1 {
+        return (0..n).map(run_job).collect();
+    }
+    // A budget of 1 disables threading outright: no permits can ever be
+    // acquired, so skip the nested-map probe (an `Instant::now` pair per
+    // item — the dominant cost of sub-millisecond sweeps at `--jobs 1`)
+    // and run serially without touching the clock.
+    if parallelism() == 1 {
+        probes::SERIAL_FALLBACKS.inc();
         return (0..n).map(run_job).collect();
     }
     // Nested maps (called from inside an enclosing map's job body) probe

@@ -9,10 +9,12 @@
 
 pub mod clht;
 pub mod masstree;
+pub mod serving;
 pub mod ycsb;
 
 pub use clht::Clht;
 pub use masstree::Masstree;
+pub use serving::{KvServingSource, ServingParams};
 
 use prestore::PrestoreMode;
 use simcore::{Addr, AddressSpace, Tracer};
