@@ -4,7 +4,9 @@
 //! ```text
 //! dirtbuster <workload> [--sample-interval N] [--verbose] [--save-trace F]
 //!            [--trace-out F] [--crash-at-fence N | --crash-at-step N]
-//!            [--crash-report F]
+//!            [--crash-report F] [--auto] [--auto-iters N]
+//!            [--auto-budget-secs S] [--auto-objective SPEC] [--seed N]
+//!            [--jobs N]
 //! dirtbuster --from-trace FILE [--sample-interval N] [--verbose]
 //!
 //! workloads: mg ft sp bt ua is lu ep cg tensorflow clht masstree x9
@@ -29,9 +31,18 @@
 //! `--crash-report FILE` additionally writes the report as JSON (the CI
 //! crash-smoke artifact).
 //!
+//! `--auto` closes the advisory loop: after the report, a seeded
+//! hill-climb ([`dirtbuster::search`]) flips the per-site plan of the top
+//! attributed sites, replaying each candidate on Machine A (memoized via
+//! [`ps_bench::memo::plan_cached`]) and minimizing `--auto-objective`
+//! (`media`, `stalls`, or `blend:MW,SW`). The convergence trace and an
+//! auto-vs-hand-placed comparison are printed to stdout; for a fixed
+//! `--seed` both are byte-identical at any `--jobs` level.
+//!
 //! Exit codes: `0` success, `1` trace I/O or validation error, a crash
-//! replay/recovery error, or a recovery digest mismatch, `2` usage error
-//! (unknown workload, missing argument, unparsable flag value).
+//! replay/recovery error, a recovery digest mismatch, or a failed `--auto`
+//! baseline replay, `2` usage error (unknown workload, missing argument,
+//! unparsable flag value).
 
 use dirtbuster::{analyze, DirtBusterConfig};
 use machine::MachineConfig;
@@ -113,11 +124,22 @@ fn usage() -> String {
          \u{20}                  recover and verify digest equivalence\n\
          --crash-at-step N   same, at the N-th scheduler step\n\
          --crash-report FILE write the crash report as JSON (CI artifact)\n\
+         --auto              closed-loop policy search: hill-climb per-site\n\
+         \u{20}                  pre-store plans on the Machine A replay and\n\
+         \u{20}                  compare against the hand-placed plan\n\
+         --auto-iters N      generation cap of the search (default 16)\n\
+         --auto-budget-secs S  wall-clock budget (makes the trace timing-\n\
+         \u{20}                  dependent; omit for exact reproducibility)\n\
+         --auto-objective SPEC  media | stalls | blend:MW,SW (default media)\n\
+         --seed N            RNG seed of the search's restarts (default 42)\n\
+         --jobs N            parallel candidate evaluations (default 1; the\n\
+         \u{20}                  convergence trace is identical at any level)\n\
          \n\
          phase timing is printed to stderr; stdout carries only the report\n\
          \n\
          exit codes: 0 success; 1 trace I/O or validation error, crash replay\n\
-         \u{20}           error, or recovery digest mismatch; 2 usage error\n\
+         \u{20}           error, recovery digest mismatch, or failed --auto\n\
+         \u{20}           baseline replay; 2 usage error\n\
          \u{20}           (the exit code never depends on the report's content)",
         workloads::phoronix::names().join(" ")
     )
@@ -167,6 +189,54 @@ fn main() {
         eprintln!("--crash-report needs --crash-at-fence or --crash-at-step");
         std::process::exit(2);
     }
+    let auto = args.iter().any(|a| a == "--auto");
+    let auto_iters = match flag_value(&args, "--auto-iters") {
+        None => 16,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--auto-iters must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let auto_budget = flag_value(&args, "--auto-budget-secs").map(|v| match v.parse::<f64>() {
+        Ok(s) if s > 0.0 && s.is_finite() => std::time::Duration::from_secs_f64(s),
+        _ => {
+            eprintln!("--auto-budget-secs must be a positive number, got {v:?}");
+            std::process::exit(2);
+        }
+    });
+    let seed = match flag_value(&args, "--seed") {
+        None => 42,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("cannot parse --seed value {v:?}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let auto_objective = match flag_value(&args, "--auto-objective") {
+        None => dirtbuster::Objective::MediaBytes,
+        Some(v) => match dirtbuster::Objective::parse(v) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    match flag_value(&args, "--jobs") {
+        None => {}
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => simcore::par::set_parallelism(n),
+            _ => {
+                eprintln!("--jobs must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    }
 
     let flag_values: Vec<&String> = [
         "--sample-interval",
@@ -176,6 +246,11 @@ fn main() {
         "--crash-at-fence",
         "--crash-at-step",
         "--crash-report",
+        "--auto-iters",
+        "--auto-budget-secs",
+        "--auto-objective",
+        "--seed",
+        "--jobs",
     ]
     .iter()
     .filter_map(|f| flag_value(&args, f))
@@ -271,14 +346,96 @@ fn main() {
     // Table-3 view of *why* DirtBuster recommends what it recommends.
     let replay_start = std::time::Instant::now();
     let machine_cfg = MachineConfig::machine_a();
-    match machine::try_simulate(&machine_cfg, &out.traces) {
+    let base_stats = match machine::try_simulate(&machine_cfg, &out.traces) {
         Ok(stats) => {
             println!("\nstep 4 (attribution replay on {}):\n", machine_cfg.name);
             print!("{}", machine::report::render_site_table(&stats, &out.registry, 12));
+            Some(stats)
         }
-        Err(e) => eprintln!("attribution replay failed: {e}"),
-    }
+        Err(e) => {
+            eprintln!("attribution replay failed: {e}");
+            None
+        }
+    };
     let replay_elapsed = replay_start.elapsed();
+
+    // Closed-loop policy search: hill-climb per-site plans against the
+    // Machine A replay, then compare against what the advisor's report
+    // would have had a human patch in.
+    let mut auto_elapsed = None;
+    if auto {
+        use dirtbuster::{
+            apply_plan, render_convergence, render_plan, search, PrestorePlan, SearchConfig,
+        };
+        let auto_start = std::time::Instant::now();
+        let machine_tag = "machine_a";
+        // Step 4 already replayed the unpatched trace — seed the candidate
+        // cache so the search's baseline evaluation is a hit.
+        if let Some(stats) = &base_stats {
+            let _ = ps_bench::memo::plan_cached(
+                ps_bench::memo::plan_key(&name, machine_tag, &PrestorePlan::empty()),
+                || Some(stats.clone()),
+            );
+        }
+        let eval = |plan: &PrestorePlan| {
+            ps_bench::memo::plan_cached(ps_bench::memo::plan_key(&name, machine_tag, plan), || {
+                machine::try_simulate(&machine_cfg, &apply_plan(&out.traces, plan)).ok()
+            })
+        };
+        let scfg = SearchConfig {
+            iters: auto_iters,
+            budget: auto_budget,
+            seed,
+            objective: auto_objective,
+            ..Default::default()
+        };
+        let Some(outcome) = search(&scfg, &eval) else {
+            eprintln!("policy search failed: the baseline replay did not complete");
+            std::process::exit(1);
+        };
+        println!("\n== closed-loop policy search ({}) ==\n", machine_cfg.name);
+        print!("{}", render_convergence(&outcome, &scfg, &out.registry));
+
+        let hand = PrestorePlan::from_analysis(&analysis);
+        let hand_stats = eval(&hand);
+        println!("\n-- auto vs. hand-placed --");
+        println!(
+            "  baseline    : {:>14} attributed media B  {}",
+            outcome.baseline.attributed_media_bytes(),
+            render_plan(&PrestorePlan::empty(), &out.registry)
+        );
+        match &hand_stats {
+            Some(h) => println!(
+                "  hand-placed : {:>14} attributed media B  {}",
+                h.attributed_media_bytes(),
+                render_plan(&hand, &out.registry)
+            ),
+            None => println!("  hand-placed : replay failed"),
+        }
+        let auto_media = outcome.stats.attributed_media_bytes();
+        println!(
+            "  auto        : {:>14} attributed media B  {}",
+            auto_media,
+            render_plan(&outcome.plan, &out.registry)
+        );
+        if let Some(h) = &hand_stats {
+            let hand_media = h.attributed_media_bytes();
+            if auto_media < hand_media {
+                println!(
+                    "  verdict: auto beats the hand-placed plan by {:.1}% attributed media bytes",
+                    (hand_media - auto_media) as f64 * 100.0 / hand_media.max(1) as f64
+                );
+            } else if auto_media == hand_media {
+                println!("  verdict: auto matches the hand-placed plan");
+            } else {
+                println!(
+                    "  verdict: auto trails the hand-placed plan by {:.1}% attributed media bytes",
+                    (auto_media - hand_media) as f64 * 100.0 / hand_media.max(1) as f64
+                );
+            }
+        }
+        auto_elapsed = Some(auto_start.elapsed());
+    }
 
     // Simulated power failure + recovery, when armed. The crash replay,
     // the recovery replay and a golden uninterrupted replay are all on
@@ -369,6 +526,9 @@ fn main() {
     eprintln!("  analyze  {elapsed:>10.2?}");
     eprintln!("  report   {report_elapsed:>10.2?}");
     eprintln!("  replay   {replay_elapsed:>10.2?}  (site attribution on Machine A)");
+    if let Some(e) = auto_elapsed {
+        eprintln!("  auto     {e:>10.2?}  (closed-loop policy search)");
+    }
     if let Some(e) = crash_elapsed {
         eprintln!("  crash    {e:>10.2?}  (injection + recovery + golden replay)");
     }

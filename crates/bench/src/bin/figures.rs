@@ -220,6 +220,7 @@ fn main() {
         ("ext_cxl_kv", experiments::cxl_kv),
         ("crashbuster", experiments::crashbuster),
         ("kv_serving", experiments::kv_serving),
+        ("autotune", experiments::autotune),
     ];
 
     let selected: Vec<Experiment> = if ids.is_empty() {

@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure.
 
 pub mod ablation;
+pub mod autotune;
 pub mod crash_figs;
 pub mod microbench_figs;
 pub mod kv_figs;
@@ -12,6 +13,7 @@ pub mod tensor_figs;
 pub mod x9_figs;
 
 pub use ablation::{cxl_kv, dram_sanity, fpga_latency_sweep, granularity_sweep, replacement_policy_sweep, ycsb_mix_sweep};
+pub use autotune::autotune;
 pub use crash_figs::crashbuster;
 pub use kv_figs::{fig10, fig11, fig12, fig13, fig14};
 pub use microbench_figs::{fig3a, fig3b, fig5, listing3_pitfall, skip_variant};
@@ -55,5 +57,6 @@ pub fn all(quick: bool) -> Vec<FigureResult> {
         cxl_kv(quick),
         crashbuster(quick),
         kv_serving(quick),
+        autotune(quick),
     ]
 }

@@ -28,6 +28,14 @@
 //! chunk-size-invariant [`simcore::StreamDigest`] (plus the machine
 //! configuration), sharing this module's hit/miss/insert/evict ledger so
 //! the [`MemoCounters`] invariants cover both caches.
+//!
+//! The closed-loop policy search (`dirtbuster --auto`) memoizes whole
+//! candidate *evaluations* the same way: [`plan_cached`] keys a
+//! [`machine::RunStats`] on the workload, the machine configuration and
+//! the candidate plan's canonical [`PrestorePlan::signature`], so a
+//! hill-climb that revisits a plan — or several [`simcore::par`] jobs
+//! racing on the same candidate — pays for one replay. Same shared
+//! ledger, same invariants.
 
 use dirtbuster::{apply_plan, PrestorePlan, Recommendation};
 use prestore::PrestoreMode;
@@ -92,6 +100,30 @@ struct StreamInner {
 }
 
 static STREAM_CACHE: Mutex<Option<StreamInner>> = Mutex::new(None);
+
+/// Candidate-plan replay results cached by [`plan_cached`]. A
+/// [`machine::RunStats`] is a few KB, and one `--auto` search evaluates a
+/// few hundred candidates at most, so the bound is an entry count.
+const MAX_PLAN_RESULTS: usize = 512;
+
+/// The active entry bound: [`MAX_PLAN_RESULTS`] in production, shrunk by
+/// tests to exercise eviction accounting.
+static PLAN_CAPACITY: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(MAX_PLAN_RESULTS);
+
+/// Test-only: shrink the plan-result bound. Pair with [`clear`].
+#[cfg(test)]
+fn set_plan_capacity_for_test(entries: usize) {
+    PLAN_CAPACITY.store(entries, Ordering::Relaxed);
+}
+
+struct PlanInner {
+    map: HashMap<String, Arc<machine::RunStats>>,
+    /// Insertion order, oldest first (FIFO eviction).
+    order: VecDeque<String>,
+}
+
+static PLAN_CACHE: Mutex<Option<PlanInner>> = Mutex::new(None);
 static LOOKUPS: AtomicU64 = AtomicU64::new(0);
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
@@ -165,6 +197,9 @@ pub fn clear() {
     *guard = None;
     drop(guard);
     let mut guard = STREAM_CACHE.lock().expect("stream memo cache poisoned");
+    *guard = None;
+    drop(guard);
+    let mut guard = PLAN_CACHE.lock().expect("plan memo cache poisoned");
     *guard = None;
     LOOKUPS.store(0, Ordering::Relaxed);
     HITS.store(0, Ordering::Relaxed);
@@ -287,6 +322,67 @@ pub fn stream_cached(
         }
     }
     out
+}
+
+/// The cache key of one candidate-plan evaluation: the workload, the
+/// machine configuration tag and the plan's canonical signature. Equal
+/// plans have equal signatures, so the hill-climb's revisits — and
+/// parallel jobs racing on the same candidate — collapse onto one key.
+pub fn plan_key(workload: &str, machine_tag: &str, plan: &PrestorePlan) -> String {
+    format!("plan|{workload}|{machine_tag}|{}", plan.signature())
+}
+
+/// Fetch a candidate-plan replay result from the cache or compute it with
+/// `run` (which rewrites the base trace via [`dirtbuster::apply_plan`] and
+/// replays it through `machine::try_simulate`).
+///
+/// A failed replay (`run` returns `None`) is booked as a miss *without* an
+/// insert — the same accounting as a lost recording race — so the shared
+/// [`MemoCounters`] invariants (`hits + misses == lookups`,
+/// `evictions <= inserts <= misses`) hold whether or not every candidate
+/// replays cleanly. Failures are not negatively cached: a revisit retries.
+pub fn plan_cached(
+    key: String,
+    run: impl FnOnce() -> Option<machine::RunStats>,
+) -> Option<Arc<machine::RunStats>> {
+    LOOKUPS.fetch_add(1, Ordering::Relaxed);
+    probes::LOOKUPS.inc();
+    {
+        let mut guard = PLAN_CACHE.lock().expect("plan memo cache poisoned");
+        let inner =
+            guard.get_or_insert_with(|| PlanInner { map: HashMap::new(), order: VecDeque::new() });
+        if let Some(out) = inner.map.get(&key) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            probes::HITS.inc();
+            return Some(Arc::clone(out));
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    probes::MISSES.inc();
+    let out = {
+        let _timed = simcore::telemetry::span(&probes::RECORD);
+        Arc::new(run()?)
+    };
+    let mut guard = PLAN_CACHE.lock().expect("plan memo cache poisoned");
+    let inner =
+        guard.get_or_insert_with(|| PlanInner { map: HashMap::new(), order: VecDeque::new() });
+    if let Some(existing) = inner.map.get(&key) {
+        // Lost an evaluation race; deterministic replay makes the results
+        // identical. Dropped without an insert, keeping `inserts <= misses`.
+        return Some(Arc::clone(existing));
+    }
+    inner.map.insert(key.clone(), Arc::clone(&out));
+    inner.order.push_back(key);
+    INSERTS.fetch_add(1, Ordering::Relaxed);
+    probes::INSERTS.inc();
+    while inner.map.len() > PLAN_CAPACITY.load(Ordering::Relaxed).max(1) {
+        let oldest = inner.order.pop_front().expect("order tracks map");
+        if inner.map.remove(&oldest).is_some() {
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            probes::EVICTIONS.inc();
+        }
+    }
+    Some(out)
 }
 
 fn recommendation_for(mode: PrestoreMode) -> Option<Recommendation> {
@@ -580,6 +676,94 @@ mod tests {
         let _ = report_for(1);
         assert_eq!(counters().hits, hits_before);
         set_stream_capacity_for_test(MAX_STREAM_RESULTS);
+        clear();
+    }
+
+    /// Satellite: the plan-result cache with the `--auto` search loop as
+    /// its client. Many parallel jobs hammer the *same* few candidate
+    /// plans — exactly what a search generation does — and the shared
+    /// ledger must still reconcile: every lookup is a hit or a miss, race
+    /// losers are dropped without an insert, eviction never exceeds
+    /// insertion, and identical keys share one replay.
+    #[test]
+    fn plan_results_reconcile_under_parallel_hammering() {
+        let _g = LOCK.lock().expect("no memo test panicked while holding the lock");
+        clear();
+        let prev_jobs = simcore::par::parallelism();
+        simcore::par::set_parallelism(4);
+
+        let base = listing3(400, false);
+        let cfg = machine::MachineConfig::machine_a();
+        let site = base
+            .registry
+            .iter()
+            .find(|(_, info)| info.name == "listing3::loop")
+            .map(|(id, _)| id)
+            .expect("listing3 registers its loop");
+        // Three distinct candidate plans, hammered by 24 jobs: every job
+        // evaluates candidate i % 3, so each plan is requested 8 times.
+        let plans: Vec<PrestorePlan> = [
+            Recommendation::NoPrestore,
+            Recommendation::Clean,
+            Recommendation::Demote,
+        ]
+        .iter()
+        .map(|&rec| {
+            let mut p = PrestorePlan::empty();
+            p.force(site, rec);
+            p
+        })
+        .collect();
+        let results: Vec<Option<Arc<machine::RunStats>>> =
+            simcore::par::map_indexed(24, |i| {
+                let plan = &plans[i % 3];
+                plan_cached(plan_key("listing3", "machine_a", plan), || {
+                    machine::try_simulate(&cfg, &apply_plan(&base.traces, plan)).ok()
+                })
+            });
+        assert!(results.iter().all(Option::is_some), "every candidate replays");
+        // Identical keys resolve to the same cached replay.
+        for w in results.chunks(3).collect::<Vec<_>>().windows(2) {
+            for k in 0..3 {
+                let a = w[0][k].as_ref().expect("replayed");
+                let b = w[1][k].as_ref().expect("replayed");
+                assert!(Arc::ptr_eq(a, b), "candidate {k} must share one replay");
+            }
+        }
+        let c = counters();
+        assert_eq!(c.hits + c.misses, c.lookups, "every lookup is a hit or a miss: {c:?}");
+        assert!(c.inserts <= c.misses, "race losers must not inflate inserts: {c:?}");
+        assert!(c.evictions <= c.inserts, "evicted more than was inserted: {c:?}");
+        // 25 lookups (one recording + 24 evaluations); the ample default
+        // bound never evicts, so each distinct key (+ the recording)
+        // inserts exactly once no matter how the 24 jobs raced.
+        assert_eq!(c.lookups, 25, "{c:?}");
+        assert!(c.inserts <= 4, "one insert per distinct key: {c:?}");
+        assert_eq!(c.evictions, 0, "default bound must not evict here: {c:?}");
+
+        // Shrink the bound: the next insert overflows the 3 resident
+        // plans down to 2 entries, booking evictions through the ledger.
+        set_plan_capacity_for_test(2);
+        let mut skip = PrestorePlan::empty();
+        skip.force(site, Recommendation::Skip);
+        let _ = plan_cached(plan_key("listing3", "machine_a", &skip), || {
+            machine::try_simulate(&cfg, &apply_plan(&base.traces, &skip)).ok()
+        });
+        let c = counters();
+        assert!(c.evictions >= 1, "2-entry bound must evict: {c:?}");
+        assert!(c.evictions <= c.inserts, "{c:?}");
+        assert_eq!(c.hits + c.misses, c.lookups, "{c:?}");
+
+        // A failed replay is a miss without an insert and is not
+        // negatively cached.
+        let inserts_before = counters().inserts;
+        assert!(plan_cached("plan|broken|machine_a|-".to_owned(), || None).is_none());
+        let c = counters();
+        assert_eq!(c.inserts, inserts_before, "failed replays must not insert: {c:?}");
+        assert_eq!(c.hits + c.misses, c.lookups, "{c:?}");
+
+        simcore::par::set_parallelism(prev_jobs);
+        set_plan_capacity_for_test(MAX_PLAN_RESULTS);
         clear();
     }
 }

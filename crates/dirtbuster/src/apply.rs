@@ -17,7 +17,7 @@ use simcore::{Event, EventKind, FuncId, ThreadTrace, TraceSet};
 use std::collections::HashMap;
 
 /// The per-function patch decisions derived from an [`Analysis`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PrestorePlan {
     per_func: HashMap<FuncId, Recommendation>,
 }
@@ -65,6 +65,29 @@ impl PrestorePlan {
     pub fn is_empty(&self) -> bool {
         self.per_func.is_empty()
     }
+
+    /// The plan's decisions in ascending [`FuncId`] order — the
+    /// deterministic view used for rendering and cache keys.
+    pub fn iter_sorted(&self) -> Vec<(FuncId, Recommendation)> {
+        let mut v: Vec<(FuncId, Recommendation)> =
+            self.per_func.iter().map(|(&f, &r)| (f, r)).collect();
+        v.sort_by_key(|&(f, _)| f);
+        v
+    }
+
+    /// Canonical signature string, e.g. `"f3=clean,f7=skip"` (`"-"` for
+    /// the empty plan). Equal plans have equal signatures, so the
+    /// signature can key a memoization cache of replay results.
+    pub fn signature(&self) -> String {
+        if self.per_func.is_empty() {
+            return "-".to_owned();
+        }
+        self.iter_sorted()
+            .iter()
+            .map(|(f, r)| format!("f{}={}", f.0, r.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
 }
 
 /// Rewrite one thread's trace according to `plan`.
@@ -74,20 +97,31 @@ impl PrestorePlan {
 ///   one-line patches).
 /// * `Skip`: the function's writes become non-temporal stores (the
 ///   `craftValue` rewrite of §7.2.3).
+///
+/// The rewrite is idempotent: applying the same plan to its own output
+/// changes nothing. A write whose *next* event is already the exact
+/// pre-store the plan would insert keeps its single pre-store instead of
+/// gaining a duplicate, and `Skip`'s converted stores are no longer
+/// writes at all. (The search loop always re-derives from the unpatched
+/// base; this guards the public API against double application.)
 pub fn apply_plan_thread(trace: &ThreadTrace, plan: &PrestorePlan) -> ThreadTrace {
     let mut events = Vec::with_capacity(trace.events.len() + trace.events.len() / 4);
-    for ev in &trace.events {
+    for (i, ev) in trace.events.iter().enumerate() {
         match (ev.kind, plan.op_for(ev.func)) {
             (EventKind::Write, Some(Recommendation::Skip)) => {
                 events.push(Event { kind: EventKind::NtWrite, ..*ev });
             }
-            (EventKind::Write, Some(Recommendation::Clean)) => {
+            (EventKind::Write, Some(op @ (Recommendation::Clean | Recommendation::Demote))) => {
                 events.push(*ev);
-                events.push(Event { kind: EventKind::PrestoreClean, ..*ev });
-            }
-            (EventKind::Write, Some(Recommendation::Demote)) => {
-                events.push(*ev);
-                events.push(Event { kind: EventKind::PrestoreDemote, ..*ev });
+                let kind = if op == Recommendation::Clean {
+                    EventKind::PrestoreClean
+                } else {
+                    EventKind::PrestoreDemote
+                };
+                let prestore = Event { kind, ..*ev };
+                if trace.events.get(i + 1) != Some(&prestore) {
+                    events.push(prestore);
+                }
             }
             _ => events.push(*ev),
         }
@@ -250,5 +284,121 @@ mod tests {
         traces.threads[0].events[7].size = 0;
         let err = auto_patch(&traces, &reg, &Default::default()).unwrap_err();
         assert!(matches!(err, simcore::ValidateError::ZeroSizeAccess { index: 7, .. }));
+    }
+
+    #[test]
+    fn apply_plan_is_idempotent_for_every_operation() {
+        let (traces, _, f) = seq_writer_trace();
+        for op in [Recommendation::Clean, Recommendation::Demote, Recommendation::Skip] {
+            let mut plan = PrestorePlan::empty();
+            plan.force(f, op);
+            let once = apply_plan(&traces, &plan);
+            let twice = apply_plan(&once, &plan);
+            assert_eq!(
+                once.threads[0].events, twice.threads[0].events,
+                "{op:?} must not duplicate pre-stores on an already-patched trace"
+            );
+        }
+    }
+
+    #[test]
+    fn signature_is_sorted_and_canonical() {
+        let mut plan = PrestorePlan::empty();
+        assert_eq!(plan.signature(), "-");
+        plan.force(FuncId(7), Recommendation::Skip);
+        plan.force(FuncId(3), Recommendation::Clean);
+        assert_eq!(plan.signature(), "f3=clean,f7=skip");
+        assert_eq!(
+            plan.iter_sorted(),
+            vec![(FuncId(3), Recommendation::Clean), (FuncId(7), Recommendation::Skip)]
+        );
+        let mut same = PrestorePlan::empty();
+        same.force(FuncId(3), Recommendation::Clean);
+        same.force(FuncId(7), Recommendation::Skip);
+        assert_eq!(plan, same);
+        assert_eq!(plan.signature(), same.signature());
+    }
+
+    mod idempotence_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A plannable trace operation in plain data form. Addresses are
+        /// line-aligned-ish and sizes positive so every generated trace is
+        /// valid; `func` indexes a small pool so plans actually hit.
+        #[derive(Debug, Clone, Copy)]
+        enum POp {
+            Write(u8, u64, u32),
+            Read(u8, u64, u32),
+            Fence,
+            Compute(u64),
+        }
+
+        fn any_pop() -> impl Strategy<Value = POp> {
+            let addr = 0u64..(1 << 14);
+            let size = 1u32..=128;
+            prop_oneof![
+                (0u8..4, addr.clone(), size.clone()).prop_map(|(f, a, s)| POp::Write(f, a, s)),
+                (0u8..4, addr, size).prop_map(|(f, a, s)| POp::Read(f, a, s)),
+                Just(POp::Fence),
+                (1u64..50).prop_map(POp::Compute),
+            ]
+        }
+
+        fn any_rec() -> impl Strategy<Value = Recommendation> {
+            prop_oneof![
+                Just(Recommendation::Clean),
+                Just(Recommendation::Demote),
+                Just(Recommendation::Skip),
+                Just(Recommendation::NoPrestore),
+            ]
+        }
+
+        fn build(ops: &[POp], funcs: &[FuncId]) -> TraceSet {
+            let mut t = simcore::Tracer::new();
+            for &op in ops {
+                match op {
+                    POp::Write(f, a, s) => {
+                        let mut g = t.enter(funcs[f as usize]);
+                        g.write(a, s);
+                    }
+                    POp::Read(f, a, s) => {
+                        let mut g = t.enter(funcs[f as usize]);
+                        g.read(a, s);
+                    }
+                    POp::Fence => t.fence(),
+                    POp::Compute(c) => t.compute(c),
+                }
+            }
+            TraceSet::new(vec![t.finish()])
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Satellite: `apply_plan(apply_plan(t, p), p) == apply_plan(t, p)`
+            /// for arbitrary traces and plans — the search loop may hand an
+            /// already-patched trace back to the rewriter without the
+            /// pre-store count drifting.
+            #[test]
+            fn apply_plan_idempotent(
+                ops in proptest::collection::vec(any_pop(), 0..300),
+                recs in proptest::collection::vec(any_rec(), 4),
+            ) {
+                let mut reg = simcore::FuncRegistry::new();
+                let funcs: Vec<FuncId> =
+                    (0..4).map(|i| reg.register(&format!("p{i}"), "prop.rs", i + 1)).collect();
+                let traces = build(&ops, &funcs);
+                let mut plan = PrestorePlan::empty();
+                for (f, r) in funcs.iter().zip(&recs) {
+                    plan.force(*f, *r);
+                }
+                let once = apply_plan(&traces, &plan);
+                let twice = apply_plan(&once, &plan);
+                prop_assert_eq!(&once.threads[0].events, &twice.threads[0].events);
+                // And the rewrite stays valid.
+                prop_assert!(simcore::trace::validate(&once, 64).is_ok());
+            }
+        }
     }
 }

@@ -22,17 +22,26 @@
 //!    Pre-store choice: clean
 //!    ```
 //!
-//! The whole pipeline is driven by [`analyze`].
+//! The whole pipeline is driven by [`analyze`]. Two further modules close
+//! the loop mechanically: [`apply`] rewrites a recorded trace as the
+//! hand-patched binary would have produced it, and [`search`] hill-climbs
+//! over per-site plans against a replay [`objective`] (`--auto`).
 
 pub mod apply;
+pub mod objective;
 pub mod patterns;
 pub mod recommend;
 pub mod sampling;
+pub mod search;
 
 pub use apply::{apply_plan, auto_patch, PrestorePlan};
+pub use objective::Objective;
 pub use patterns::{BucketStat, FuncPatterns, PatternAnalysis};
 pub use recommend::{Recommendation, Report};
 pub use sampling::{FuncSample, SamplingProfile};
+pub use search::{
+    render_convergence, render_plan, search, SearchConfig, SearchOutcome, SearchStep, StepAction,
+};
 
 use simcore::{FuncRegistry, TraceSet};
 

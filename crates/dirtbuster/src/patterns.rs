@@ -18,8 +18,8 @@
 //!   when a write breaks a streak of sequential accesses").
 
 use crate::DirtBusterConfig;
-use simcore::{blocks_touched, Addr, EventKind, FuncId, TraceSet};
-use std::collections::{BTreeMap, HashMap};
+use simcore::{blocks_touched, Addr, EventKind, FuncId, FxHashMap, TraceSet};
+use std::collections::BTreeMap;
 
 /// Maximum simultaneously active contexts per function.
 const MAX_ACTIVE_CTXS: usize = 128;
@@ -115,7 +115,10 @@ struct LineInfo {
 
 /// Run the instrumentation pass over `traces` for `monitored` functions.
 pub fn analyze(traces: &TraceSet, monitored: &[FuncId], cfg: &DirtBusterConfig) -> PatternAnalysis {
-    let mut fstates: HashMap<FuncId, FState> = monitored
+    // Seeded FxHashMap (same fix as the sampling pass): iteration feeds
+    // the pre-sort order below, and std HashMap's per-instance seed made
+    // equal-write-count ties nondeterministic.
+    let mut fstates: FxHashMap<FuncId, FState> = monitored
         .iter()
         .map(|&f| (f, FState::default()))
         .collect();
@@ -244,7 +247,7 @@ pub fn analyze(traces: &TraceSet, monitored: &[FuncId], cfg: &DirtBusterConfig) 
         .filter(|(_, st)| st.writes > 0)
         .map(|(func, st)| summarize(func, st))
         .collect();
-    funcs.sort_by_key(|f| std::cmp::Reverse(f.writes));
+    funcs.sort_by_key(|f| (std::cmp::Reverse(f.writes), f.func));
     PatternAnalysis { funcs }
 }
 
@@ -260,7 +263,9 @@ fn summarize(func: FuncId, st: FState) -> FuncPatterns {
         rewrite_cnt: u64,
         rewrite_sum: u64,
     }
-    let mut byclass: HashMap<u32, Agg> = HashMap::new();
+    // BTreeMap: the bucket list below is collected in ascending size
+    // class, so the stable write-share sort breaks ties deterministically.
+    let mut byclass: BTreeMap<u32, Agg> = BTreeMap::new();
     for c in &st.ctxs {
         let class = 64 - c.extent().max(1).leading_zeros();
         let a = byclass.entry(class).or_default();

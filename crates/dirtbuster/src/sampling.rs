@@ -9,8 +9,7 @@
 //! step 2 is for.
 
 use crate::DirtBusterConfig;
-use simcore::{EventKind, FuncId, TraceSet};
-use std::collections::HashMap;
+use simcore::{EventKind, FuncId, FxHashMap, TraceSet};
 
 /// Sampled statistics of one function.
 #[derive(Debug, Clone)]
@@ -58,9 +57,12 @@ impl SamplingProfile {
 
 /// Run the sampling pass.
 pub fn profile(traces: &TraceSet, cfg: &DirtBusterConfig) -> SamplingProfile {
-    let mut loads: HashMap<FuncId, u64> = HashMap::new();
-    let mut stores: HashMap<FuncId, u64> = HashMap::new();
-    let mut callers: HashMap<FuncId, HashMap<FuncId, u64>> = HashMap::new();
+    // Seeded FxHashMaps, not std HashMaps: std's per-instance RandomState
+    // makes the pre-sort iteration order differ between runs, which used
+    // to break `store_share` ties nondeterministically.
+    let mut loads: FxHashMap<FuncId, u64> = FxHashMap::default();
+    let mut stores: FxHashMap<FuncId, u64> = FxHashMap::default();
+    let mut callers: FxHashMap<FuncId, FxHashMap<FuncId, u64>> = FxHashMap::default();
     let mut sampled_loads = 0u64;
     let mut sampled_stores = 0u64;
     let mut samples = 0u64;
@@ -103,7 +105,7 @@ pub fn profile(traces: &TraceSet, cfg: &DirtBusterConfig) -> SamplingProfile {
                 .get(&func)
                 .map(|m| m.iter().map(|(&c, &n)| (c, n)).collect())
                 .unwrap_or_default();
-            cs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            cs.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
             FuncSample {
                 func,
                 stores: s,
@@ -113,7 +115,9 @@ pub fn profile(traces: &TraceSet, cfg: &DirtBusterConfig) -> SamplingProfile {
             }
         })
         .collect();
-    funcs.sort_by_key(|f| std::cmp::Reverse(f.stores));
+    // Total order: store count descending, then FuncId — equal-share
+    // functions rank identically on every run and platform.
+    funcs.sort_by_key(|f| (std::cmp::Reverse(f.stores), f.func));
 
     SamplingProfile {
         app_store_fraction,
@@ -195,6 +199,61 @@ mod tests {
         let monitored = p.write_intensive_funcs(&cfg());
         assert!(monitored.contains(&big));
         assert!(!monitored.contains(&tiny));
+    }
+
+    /// Satellite: equal `store_share` ties must break on `FuncId`, not on
+    /// hash-map iteration order. Many functions with *identical* store
+    /// counts make any nondeterministic ordering visible immediately:
+    /// with std HashMaps two `profile` calls build independently seeded
+    /// maps and used to disagree.
+    #[test]
+    fn tied_functions_rank_deterministically() {
+        let mut reg = FuncRegistry::new();
+        let funcs: Vec<FuncId> =
+            (0..16).map(|i| reg.register(&format!("f{i}"), "tie.rs", i + 1)).collect();
+        let mut t = Tracer::new();
+        for i in 0..1_000u64 {
+            for (k, &f) in funcs.iter().enumerate() {
+                let mut g = t.enter(f);
+                // Same size and count for every function: a 16-way tie.
+                g.write((k as u64) << 30 | (i * 64), 64);
+            }
+        }
+        let traces = TraceSet::new(vec![t.finish()]);
+        // Dense sampling: every function sees exactly the same weight, so
+        // the ranking is one big tie.
+        let dense = DirtBusterConfig { sample_interval: 1, ..Default::default() };
+        let a = profile(&traces, &dense);
+        let b = profile(&traces, &dense);
+        let order_a: Vec<FuncId> = a.funcs.iter().map(|f| f.func).collect();
+        let order_b: Vec<FuncId> = b.funcs.iter().map(|f| f.func).collect();
+        assert_eq!(order_a, order_b, "two profiles of the same trace must rank identically");
+        assert_eq!(order_a, funcs, "ties break on ascending FuncId");
+        assert!(a.funcs.windows(2).all(|w| w[0].stores == w[1].stores), "fixture must tie");
+    }
+
+    /// Same trace, two full pipeline runs: the rendered report is
+    /// byte-identical (the satellite's acceptance form).
+    #[test]
+    fn repeated_analysis_renders_byte_identical_reports() {
+        let mut reg = FuncRegistry::new();
+        let funcs: Vec<FuncId> =
+            (0..6).map(|i| reg.register(&format!("w{i}"), "tie.rs", 100 + i)).collect();
+        let mut t = Tracer::new();
+        for i in 0..5_000u64 {
+            for (k, &f) in funcs.iter().enumerate() {
+                let mut g = t.enter(f);
+                g.write((k as u64) << 32 | (i * 64), 64);
+            }
+        }
+        let traces = TraceSet::new(vec![t.finish()]);
+        // Dense sampling keeps the six functions tied on store share, so
+        // the report order exercises the tie-break end to end.
+        let dcfg = DirtBusterConfig { sample_interval: 1, ..Default::default() };
+        let one = crate::analyze(&traces, &reg, &dcfg).render(&reg);
+        let two = crate::analyze(&traces, &reg, &dcfg).render(&reg);
+        assert_eq!(one, two, "same trace must render the same report");
+        assert!(!one.is_empty(), "fixture must produce reports");
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub use engine::{
 };
 pub use error::{BlockedAcquire, EngineError};
 pub use simcore::faultinject::CrashPlan;
-pub use stats::{CoreStats, RunStats, SiteCounters};
+pub use stats::{CoreStats, RunStats, SiteCounters, SiteScore};

@@ -76,6 +76,19 @@ pub struct SiteCounters {
     pub writeback_stall_cycles: Cycles,
 }
 
+/// A cheap per-site score snapshot: the two quantities a policy search
+/// ranks sites by, copied out of one [`RunStats::sites`] row. Produced by
+/// [`RunStats::site_scores`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteScore {
+    /// The attributed site.
+    pub func: FuncId,
+    /// Device media bytes written on behalf of this site.
+    pub media_bytes: u64,
+    /// Stall cycles paid at this site.
+    pub stall_cycles: Cycles,
+}
+
 impl SiteCounters {
     /// Decode one attribution-table row (see [`site_col`]).
     pub(crate) fn from_row(row: &[u64; SITE_COLS]) -> Self {
@@ -242,6 +255,27 @@ impl RunStats {
             .map(|(_, s)| s.total_stall_cycles())
             .sum()
     }
+
+    /// Per-site score snapshot for closed-loop policy search: every
+    /// *known* attributed site (the [`FuncId::UNKNOWN`] catch-all row is
+    /// excluded), ranked by attributed media bytes, then stall cycles,
+    /// then [`FuncId`] — a total order, so equal runs rank identically.
+    pub fn site_scores(&self) -> Vec<SiteScore> {
+        let mut scores: Vec<SiteScore> = self
+            .sites
+            .iter()
+            .filter(|(f, _)| *f != FuncId::UNKNOWN)
+            .map(|(f, s)| SiteScore {
+                func: *f,
+                media_bytes: s.media_bytes,
+                stall_cycles: s.total_stall_cycles(),
+            })
+            .collect();
+        scores.sort_by(|a, b| {
+            (b.media_bytes, b.stall_cycles, a.func).cmp(&(a.media_bytes, a.stall_cycles, b.func))
+        });
+        scores
+    }
 }
 
 #[cfg(test)]
@@ -309,5 +343,27 @@ mod tests {
         assert_eq!(r.site(FuncId(3)), None);
         assert_eq!(r.attributed_media_bytes(), 356, "unknown row excluded");
         assert_eq!(r.attributed_stall_cycles(), 15);
+    }
+
+    #[test]
+    fn site_scores_rank_with_total_tie_break() {
+        let mut r = stats(100);
+        r.sites = vec![
+            // Stored sorted by FuncId, as the engine produces them.
+            (FuncId(1), SiteCounters { media_bytes: 100, ..Default::default() }),
+            (
+                FuncId(2),
+                SiteCounters { media_bytes: 100, fence_stall_cycles: 7, ..Default::default() },
+            ),
+            (FuncId(3), SiteCounters { media_bytes: 900, ..Default::default() }),
+            (FuncId(4), SiteCounters { media_bytes: 100, ..Default::default() }),
+            (FuncId::UNKNOWN, SiteCounters { media_bytes: 9999, ..Default::default() }),
+        ];
+        let ranked = r.site_scores();
+        let order: Vec<FuncId> = ranked.iter().map(|s| s.func).collect();
+        // Media first, then stalls, then id; UNKNOWN never appears.
+        assert_eq!(order, vec![FuncId(3), FuncId(2), FuncId(1), FuncId(4)]);
+        assert_eq!(ranked[0].media_bytes, 900);
+        assert_eq!(ranked[1].stall_cycles, 7);
     }
 }
