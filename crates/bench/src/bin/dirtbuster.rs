@@ -29,7 +29,11 @@
 //! recovery ([`machine::Machine::recover_and_resume`]) and checks the
 //! recovered run reaches the same durable digest as an uninterrupted one.
 //! `--crash-report FILE` additionally writes the report as JSON (the CI
-//! crash-smoke artifact).
+//! crash-smoke artifact) plus a sibling `FILE.flight.jsonl` post-mortem
+//! dump: the last events the engine retired before freezing (bounded
+//! flight-recorder ring, O(1) per event while running), ending in the
+//! crash marker whose `seq` is the crash step. Both files are pure
+//! functions of the simulated schedule, so CI diffs them across builds.
 //!
 //! `--auto` closes the advisory loop: after the report, a seeded
 //! hill-climb ([`dirtbuster::search`]) flips the per-site plan of the top
@@ -123,7 +127,8 @@ fn usage() -> String {
          \u{20}                  Machine A replay, print the crash report, then\n\
          \u{20}                  recover and verify digest equivalence\n\
          --crash-at-step N   same, at the N-th scheduler step\n\
-         --crash-report FILE write the crash report as JSON (CI artifact)\n\
+         --crash-report FILE write the crash report as JSON plus a\n\
+         \u{20}                 FILE.flight.jsonl post-mortem event dump\n\
          --auto              closed-loop policy search: hill-climb per-site\n\
          \u{20}                  pre-store plans on the Machine A replay and\n\
          \u{20}                  compare against the hand-placed plan\n\
@@ -471,7 +476,21 @@ fn main() {
                         eprintln!("cannot write crash report to {path:?}: {e}");
                         std::process::exit(1);
                     }
-                    println!("crash report written to {path}");
+                    // Post-mortem flight dump: the last events the engine
+                    // retired before freezing, ending in the crash marker.
+                    // A sibling file (not embedded) so the JSON report
+                    // stays small; deterministic, so CI diffs it across
+                    // builds like the report itself.
+                    let flight_path = format!("{path}.flight.jsonl");
+                    let dump = machine::render_flight_jsonl(&report);
+                    if let Err(e) = std::fs::write(&flight_path, dump) {
+                        eprintln!("cannot write flight dump to {flight_path:?}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "crash report written to {path} ({} flight event(s) in {flight_path})",
+                        report.flight.len()
+                    );
                 }
                 let golden = match m.try_run_until_crash(&out.traces, CrashPlan::AtStep(u64::MAX))
                 {

@@ -3,8 +3,8 @@
 //! ```text
 //! figures [--quick] [--json] [--chart] [--jobs N] [--timing]
 //!         [--force-scalar] [--job-deadline SECS] [--baseline FILE]
-//!         [--metrics FILE] [--metrics-baseline FILE] [--trace-out FILE]
-//!         [--out DIR] [id ...]
+//!         [--metrics FILE] [--metrics-baseline FILE] [--metrics-fail-on-new]
+//!         [--trace-out FILE] [--report FILE] [--out DIR] [id ...]
 //! ```
 //!
 //! With no ids, every experiment runs. Results are printed as text tables
@@ -46,12 +46,24 @@
 //! <https://ui.perfetto.dev> to see experiments, replays and pool jobs on
 //! their thread lanes. Empty without `--features telemetry`.
 //!
+//! `--report FILE` renders every regenerated figure as a self-contained
+//! HTML report (inline-SVG charts, no scripts or external assets) — the
+//! artifact CI uploads so a run's shapes can be eyeballed without
+//! checking out the branch. `--metrics-fail-on-new` hardens the
+//! `--metrics-baseline` gate: gated metrics present in the snapshot but
+//! absent from the baseline (normally informational `new_metrics`) also
+//! fail with exit 2, catching baselines that went stale.
+//!
 //! Experiments run fail-soft: each one executes under
 //! [`ps_bench::runner::run_experiments_supervised`], so a panicking
 //! experiment (retried once) or one overrunning the optional
 //! `--job-deadline SECS` soft deadline is reported in a failure summary
 //! while every healthy experiment still prints and writes its files —
-//! partial results instead of a torn-down run.
+//! partial results instead of a torn-down run. On any failure the
+//! process-global flight recorder — which the supervised runner feeds
+//! job start/retry/fail/done markers — is dumped to
+//! `<out>/flight-dump.jsonl`, so the post-mortem ("which jobs were in
+//! flight, what had just retried") ships with the partial results.
 //!
 //! Exit codes: `0` success, `1` I/O error, no matching experiment, or a
 //! `--timing` identity mismatch, `2` wall-clock regression vs `--baseline`
@@ -105,6 +117,12 @@ fn usage() -> ! {
                write the main pass's telemetry spans as a Chrome Trace
                Event JSON timeline (Perfetto-loadable; empty without a
                --features telemetry build)
+  --metrics-fail-on-new
+               with --metrics-baseline: also fail (exit 2) when gated
+               metrics exist in the snapshot but not in the baseline
+  --report FILE
+               write every regenerated figure as a self-contained HTML
+               report (inline SVG, no scripts)
   --out DIR    output directory (default: results/)
 
 exit codes: 0 success; 1 I/O error, no matching experiment, or --timing
@@ -139,7 +157,9 @@ fn main() {
     let baseline = flag_value("--baseline");
     let metrics = flag_value("--metrics");
     let metrics_baseline = flag_value("--metrics-baseline");
+    let metrics_fail_on_new = args.iter().any(|a| a == "--metrics-fail-on-new");
     let trace_out = flag_value("--trace-out");
+    let report_out = flag_value("--report");
     if baseline.is_some() && !timing {
         eprintln!("--baseline needs --timing (it compares measured wall-clock)");
         usage();
@@ -176,6 +196,7 @@ fn main() {
         "--metrics",
         "--metrics-baseline",
         "--trace-out",
+        "--report",
     ]
     .iter()
     .filter_map(|f| flag_value(f))
@@ -296,6 +317,38 @@ fn main() {
         for f in &failures {
             eprintln!("  {f}");
         }
+        // Post-mortem: the supervised runner feeds the process-global
+        // flight recorder job start/retry/fail/done markers; dump the
+        // recent ones next to the partial results.
+        let flight = simcore::telemetry::flight::global_snapshot();
+        if !flight.is_empty() {
+            let path = format!("{out_dir}/flight-dump.jsonl");
+            if let Err(e) = std::fs::write(&path, simcore::telemetry::flight::render_jsonl(&flight))
+            {
+                exit_io_error("write flight dump", &path, e);
+            }
+            eprintln!("flight recorder: {} event(s) dumped to {path}", flight.len());
+        }
+    }
+
+    if let Some(report_path) = &report_out {
+        let mut html = ps_bench::report::Report::new(format!(
+            "Pre-stores figures ({} experiment(s){})",
+            results.len(),
+            if quick { ", --quick" } else { "" }
+        ));
+        for res in &results {
+            if let Ok(t) = res {
+                html.add_figure(&t.fig);
+            }
+        }
+        for f in &failures {
+            html.add_note(&format!("FAILED: {f}"));
+        }
+        if let Err(e) = std::fs::write(report_path, html.render()) {
+            exit_io_error("write HTML report", report_path, e);
+        }
+        println!("report: {} figure(s) written to {report_path}", html.len());
     }
 
     simcore::telemetry::set_span_observer(None);
@@ -331,15 +384,22 @@ fn main() {
                     eprintln!("cannot compare metrics baseline {baseline_path:?}: {e}");
                     std::process::exit(1);
                 }
-                Ok(report) if !report.regressions.is_empty() => {
+                Ok(report)
+                    if !report.regressions.is_empty()
+                        || (metrics_fail_on_new && !report.new_metrics.is_empty()) =>
+                {
                     eprintln!(
                         "metrics regressions vs baseline {baseline_path} \
-                         ({} of {} gated values):",
+                         ({} of {} gated values, {} new):",
                         report.regressions.len(),
-                        report.compared
+                        report.compared,
+                        report.new_metrics.len()
                     );
                     for r in &report.regressions {
                         eprintln!("  {r}");
+                    }
+                    for n in &report.new_metrics {
+                        eprintln!("  new (absent from baseline): {n}");
                     }
                     std::process::exit(2);
                 }
@@ -351,9 +411,15 @@ fn main() {
                 }
                 Ok(report) => {
                     println!(
-                        "metrics baseline: {} gated values within {:.0}% of {baseline_path}",
+                        "metrics baseline: {} gated values within {:.0}% of {baseline_path}\
+                         {}",
                         report.compared,
-                        metricsjson::DEFAULT_TOLERANCE * 100.0
+                        metricsjson::DEFAULT_TOLERANCE * 100.0,
+                        if report.new_metrics.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" ({} new, informational)", report.new_metrics.len())
+                        }
                     );
                 }
             }

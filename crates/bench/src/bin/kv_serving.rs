@@ -6,6 +6,7 @@
 //!            [--machine a|b-fast|b-slow] [--mode none|clean|demote|skip]
 //!            [--mem-budget BYTES] [--chunk EVENTS]
 //!            [--metrics-out FILE] [--assert-rss-mb MB]
+//!            [--timeseries CYCLES] [--slo SPEC[,SPEC...]] [--report FILE]
 //!            [--verify-materialized]
 //! ```
 //!
@@ -26,11 +27,30 @@
 //! path, and fails unless the statistics and the chunk-size-invariant
 //! digest both match exactly.
 //!
+//! Every run classifies requests on the fly ([`workloads::kv::ServingClasses`]
+//! riding the engine's retire hook): each GET ends at its value read and
+//! each PUT at its durability fence, and the retire-to-retire simulated
+//! cycles land in per-class tail histograms (`get_hot`/`get_cold`/
+//! `put_hot`/`put_cold`; "hot" = the top ~1% of the Zipfian tenant
+//! ranking). The percentiles are printed, written to `--metrics-out`, and
+//! gated by `--slo`: a comma-separated list of `pNN:CYCLES` bounds (p50,
+//! p90, p99 or p999, e.g. `--slo p99:250000,p999:900000`) checked against
+//! the merged all-class histogram, or `CLASS:pNN:CYCLES` for one class.
+//! A violated bound exits 6 — the CI-facing tail-latency regression gate.
+//!
+//! `--timeseries CYCLES` additionally arms the engine's delta sampler at
+//! the given simulated-cycle window; the windows land in `--metrics-out`
+//! (machine-diffable, window-granular) and as charts in `--report FILE`,
+//! a self-contained HTML report (inline-SVG time-series, the tail-latency
+//! table, and the ranked site-attribution heatmap).
+//!
 //! Exit codes: `0` success, `1` usage or I/O error, `4` a memory bound was
-//! exceeded, `5` streaming-vs-materialized verification failed.
+//! exceeded, `5` streaming-vs-materialized verification failed, `6` an
+//! `--slo` bound was violated.
 
-use machine::{MachineConfig, StreamOptions};
+use machine::{MachineConfig, RunStats, StreamOptions};
 use prestore::PrestoreMode;
+use simcore::telemetry::HistogramSample;
 use workloads::kv::{serving, KvServingSource, ServingParams};
 
 /// Conservative per-event window cost: 24 B event + 4 B id-run offset +
@@ -44,6 +64,7 @@ fn usage() -> ! {
                   [--machine a|b-fast|b-slow] [--mode none|clean|demote|skip]
                   [--mem-budget BYTES] [--chunk EVENTS]
                   [--metrics-out FILE] [--assert-rss-mb MB]
+                  [--timeseries CYCLES] [--slo SPEC[,SPEC...]] [--report FILE]
                   [--verify-materialized]
 
   --users N        distinct tenants (default 1000000)
@@ -57,6 +78,13 @@ fn usage() -> ! {
   --chunk EVENTS   explicit chunk size (overrides the derived one)
   --metrics-out F  write a JSON summary of the run to F
   --assert-rss-mb M  fail (exit 4) if the process's peak RSS exceeds M MB
+  --timeseries C   sample the engine's temporal counters every C simulated
+                   cycles (windows land in --metrics-out and --report)
+  --slo SPECS      comma-separated pNN:CYCLES bounds (p50/p90/p99/p999)
+                   on the merged request-latency histogram, or
+                   CLASS:pNN:CYCLES for one class; violation exits 6
+  --report F       write a self-contained HTML report (SVG time-series,
+                   tail-latency table, site heatmap) to F
   --verify-materialized
                    also replay the materialized trace and require equal
                    stats + digest (refused above 8M events)"
@@ -93,6 +121,76 @@ fn peak_rss_bytes() -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb * 1024)
+}
+
+/// One parsed `--slo` bound.
+struct SloBound {
+    /// Restrict to one class histogram; `None` = the merged all-class one.
+    class: Option<String>,
+    /// Which percentile ("p50", "p90", "p99", "p999").
+    pct: String,
+    /// Inclusive upper bound in simulated cycles.
+    limit: u64,
+}
+
+/// Parse `--slo` specs: comma-separated `pNN:CYCLES` or `CLASS:pNN:CYCLES`.
+fn parse_slo(specs: &str) -> Vec<SloBound> {
+    specs
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|spec| {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let (class, pct, limit) = match parts.as_slice() {
+                [p, v] => (None, *p, *v),
+                [c, p, v] => (Some((*c).to_owned()), *p, *v),
+                _ => {
+                    eprintln!("--slo spec {spec:?} is not pNN:CYCLES or CLASS:pNN:CYCLES");
+                    usage();
+                }
+            };
+            if !matches!(pct, "p50" | "p90" | "p99" | "p999") {
+                eprintln!("--slo percentile {pct:?} must be p50, p90, p99 or p999");
+                usage();
+            }
+            let Ok(limit) = limit.parse::<u64>() else {
+                eprintln!("--slo bound {limit:?} is not a cycle count");
+                usage();
+            };
+            SloBound { class, pct: pct.to_owned(), limit }
+        })
+        .collect()
+}
+
+/// Look up a percentile by name on a histogram.
+fn percentile_of(h: &HistogramSample, pct: &str) -> u64 {
+    match pct {
+        "p50" => h.p50(),
+        "p90" => h.p90(),
+        "p99" => h.p99(),
+        _ => h.p999(),
+    }
+}
+
+/// Render the per-class tail-latency table printed after every run.
+fn latency_text(stats: &RunStats) -> String {
+    let mut out = format!(
+        "  {:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "class", "requests", "mean", "p50", "p90", "p99", "p99.9"
+    );
+    let all = stats.request_latency_all();
+    for h in stats.request_latency.iter().chain(std::iter::once(&all)) {
+        out.push_str(&format!(
+            "  {:<10} {:>10} {:>10.1} {:>10} {:>10} {:>10} {:>10}\n",
+            h.name,
+            h.count,
+            h.mean(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.p999()
+        ));
+    }
+    out
 }
 
 fn main() {
@@ -149,16 +247,24 @@ fn main() {
     };
     let opts = StreamOptions { chunk_events };
     let params = ServingParams::new(users, events, threads, mode);
+    let mut cfg = cfg;
+    match parse_u64(&args, "--timeseries", 0) {
+        0 => {}
+        w => cfg.timeseries_window = Some(w),
+    }
+    let slo_bounds = parse_str(&args, "--slo").map_or_else(Vec::new, |s| parse_slo(&s));
 
     let mut source = KvServingSource::new(params.clone());
+    let classifier = Box::new(source.classifier());
     let start = std::time::Instant::now();
-    let report = match machine::try_simulate_stream_opts(&cfg, &mut source, opts) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("streaming replay failed: {e}");
-            std::process::exit(1);
-        }
-    };
+    let report =
+        match machine::try_simulate_stream_classified(&cfg, &mut source, opts, classifier) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("streaming replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
     let wall = start.elapsed();
 
     let rss = peak_rss_bytes();
@@ -174,6 +280,15 @@ fn main() {
     println!("  wall clock        {:>14.2} s  ({:.1}M events/s)", wall.as_secs_f64(), events_per_sec / 1e6);
     println!("  simulated cycles  {:>14}", report.stats.cycles);
     println!("  write amp         {:>14.3}", report.stats.write_amplification());
+    if !report.stats.timeseries.is_empty() {
+        println!(
+            "  timeseries        {:>14} windows of {} cycles",
+            report.stats.timeseries.len(),
+            report.stats.timeseries_window_cycles
+        );
+    }
+    println!("  request latency (simulated cycles, retire-to-retire):");
+    print!("{}", latency_text(&report.stats));
 
     let mut failed_bound = false;
     if let Some(budget) = mem_budget {
@@ -199,13 +314,13 @@ fn main() {
     }
 
     if let Some(path) = parse_str(&args, "--metrics-out") {
-        let json = format!(
+        let mut json = format!(
             "{{\n  \"users\": {users},\n  \"threads\": {threads},\n  \"mode\": \"{mode_str}\",\n  \
              \"machine\": \"{machine}\",\n  \"events\": {},\n  \"chunks\": {},\n  \
              \"chunk_events\": {chunk_events},\n  \"digest\": \"{:016x}\",\n  \
              \"peak_pipeline_bytes\": {},\n  \"peak_rss_bytes\": {},\n  \
              \"wall_seconds\": {:.3},\n  \"events_per_sec\": {:.0},\n  \
-             \"sim_cycles\": {},\n  \"write_amplification\": {:.4}\n}}\n",
+             \"sim_cycles\": {},\n  \"write_amplification\": {:.4},\n",
             report.events,
             report.chunks,
             report.digest,
@@ -216,11 +331,82 @@ fn main() {
             report.stats.cycles,
             report.stats.write_amplification(),
         );
+        json.push_str("  \"request_latency\": [");
+        let all = report.stats.request_latency_all();
+        for (i, h) in report.stats.request_latency.iter().chain(std::iter::once(&all)).enumerate()
+        {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"count\": {}, \"p50\": {}, \"p90\": {}, \
+                 \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+                h.name,
+                h.count,
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.p999(),
+                h.max
+            ));
+        }
+        json.push_str("\n  ],\n  \"timeseries\": [");
+        if !report.stats.timeseries.is_empty() {
+            json.push_str(&format!(
+                "\n    {{\"name\": \"kv_serving\", \"window_cycles\": {}, \"channels\": [{}], \
+                 \"windows\": [",
+                report.stats.timeseries_window_cycles,
+                machine::ts_channel::NAMES
+                    .iter()
+                    .map(|n| format!("\"{n}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            for (i, w) in report.stats.timeseries.iter().enumerate() {
+                if i > 0 {
+                    json.push_str(", ");
+                }
+                let mut row = vec![w.start.to_string()];
+                row.extend(w.values.iter().map(ToString::to_string));
+                json.push_str(&format!("[{}]", row.join(", ")));
+            }
+            json.push_str("]}");
+        }
+        json.push_str("\n  ]\n}\n");
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("cannot write {path:?}: {e}");
             std::process::exit(1);
         }
         println!("  metrics           {path}");
+    }
+
+    if let Some(path) = parse_str(&args, "--report") {
+        let mut html = ps_bench::report::Report::new(format!(
+            "KV serving: {users} tenants, {threads} threads, mode {mode_str}, machine {machine}"
+        ));
+        html.add_note(&format!(
+            "{} events in {} chunks; digest {:016x}; {} simulated cycles; write amplification {:.3}",
+            report.events,
+            report.chunks,
+            report.digest,
+            report.stats.cycles,
+            report.stats.write_amplification()
+        ));
+        html.add_latency_table(
+            "Per-request tail latency (simulated cycles)",
+            &report.stats.request_latency,
+        );
+        html.add_timeseries(
+            "Temporal profile",
+            &report.stats.timeseries,
+            report.stats.timeseries_window_cycles,
+        );
+        html.add_site_heatmap("Site attribution", &report.stats, source.registry(), 12);
+        if let Err(e) = std::fs::write(&path, html.render()) {
+            eprintln!("cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+        println!("  report            {path}");
     }
 
     if verify {
@@ -229,7 +415,11 @@ fn main() {
             std::process::exit(1);
         }
         let threads_vec = serving::materialize(&mut source, chunk_events);
-        let golden = match machine::try_simulate_threads(&cfg, &threads_vec) {
+        let golden = match machine::try_simulate_threads_classified(
+            &cfg,
+            &threads_vec,
+            Box::new(source.classifier()),
+        ) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("materialized replay failed: {e}");
@@ -251,7 +441,35 @@ fn main() {
         println!("  verify            streaming == materialized (stats + digest) ok");
     }
 
+    let mut slo_failed = false;
+    if !slo_bounds.is_empty() {
+        let all = report.stats.request_latency_all();
+        for b in &slo_bounds {
+            let hist = match &b.class {
+                None => Some(&all),
+                Some(c) => report.stats.request_class(c),
+            };
+            let Some(hist) = hist else {
+                eprintln!("--slo names unknown class {:?}", b.class.as_deref().unwrap_or(""));
+                std::process::exit(1);
+            };
+            let measured = percentile_of(hist, &b.pct);
+            if measured > b.limit {
+                eprintln!(
+                    "SLO VIOLATION: {} {} = {measured} cycles > bound {}",
+                    hist.name, b.pct, b.limit
+                );
+                slo_failed = true;
+            } else {
+                println!("  slo               {} {} = {measured} <= {} ok", hist.name, b.pct, b.limit);
+            }
+        }
+    }
+
     if failed_bound {
         std::process::exit(4);
+    }
+    if slo_failed {
+        std::process::exit(6);
     }
 }

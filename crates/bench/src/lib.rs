@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod jsonv;
 pub mod memo;
 pub mod metricsjson;
+pub mod report;
 pub mod runner;
 pub mod tracefmt;
 

@@ -87,6 +87,12 @@ pub struct DiffReport {
     /// Human-readable descriptions of every gated value that drifted
     /// beyond tolerance (empty = pass).
     pub regressions: Vec<String>,
+    /// Gated metric/histogram names present in the current snapshot but
+    /// absent from the baseline. Informational by default — new probes
+    /// never require a baseline regen — but callers can opt into treating
+    /// a non-empty list as a failure (the `figures --metrics-fail-on-new`
+    /// gate), which catches baselines that silently went stale.
+    pub new_metrics: Vec<String>,
 }
 
 /// Relative deviation of `cur` from `base`, with a floor of 1 on the
@@ -118,9 +124,14 @@ fn by_name<'a>(doc: &'a Json, array: &str) -> Vec<(&'a str, &'a Json)> {
 /// Every deterministic metric value and histogram shape statistic
 /// (`count`, `p50`, `p90`, `p99`) present in the *baseline* must exist in
 /// the current snapshot and lie within `tolerance` relative deviation.
-/// Metrics that only exist in the current snapshot are ignored, so adding
-/// a probe never requires regenerating the baseline. Returns `Err` only
-/// when a document is not a metrics snapshot at all.
+/// Gated names that only exist in the current snapshot are collected into
+/// [`DiffReport::new_metrics`] (informational, so adding a probe never
+/// requires regenerating the baseline — unless the caller opts into
+/// failing on them). When both snapshots carry a `"timeseries"` array,
+/// every per-window channel value is compared too, so a drift that only
+/// occurs in one temporal window — invisible to end-of-run aggregates —
+/// is still caught, and the report names the exact window. Returns `Err`
+/// only when a document is not a metrics snapshot at all.
 pub fn diff(current: &str, baseline: &str, tolerance: f64) -> Result<DiffReport, String> {
     let cur = Json::parse(current).map_err(|e| format!("current snapshot: {e}"))?;
     let base = Json::parse(baseline).map_err(|e| format!("baseline snapshot: {e}"))?;
@@ -132,9 +143,19 @@ pub fn diff(current: &str, baseline: &str, tolerance: f64) -> Result<DiffReport,
     let telemetry_on =
         |doc: &Json| doc.get("telemetry").and_then(Json::as_bool).unwrap_or(false);
     if !telemetry_on(&cur) || !telemetry_on(&base) {
-        return Ok(DiffReport { comparable: false, compared: 0, regressions: Vec::new() });
+        return Ok(DiffReport {
+            comparable: false,
+            compared: 0,
+            regressions: Vec::new(),
+            new_metrics: Vec::new(),
+        });
     }
-    let mut report = DiffReport { comparable: true, compared: 0, regressions: Vec::new() };
+    let mut report = DiffReport {
+        comparable: true,
+        compared: 0,
+        regressions: Vec::new(),
+        new_metrics: Vec::new(),
+    };
     let cur_metrics = by_name(&cur, "metrics");
     for (name, entry) in by_name(&base, "metrics") {
         if !is_gated(name) || entry.get("kind").and_then(Json::as_str) == Some("span") {
@@ -185,7 +206,71 @@ pub fn diff(current: &str, baseline: &str, tolerance: f64) -> Result<DiffReport,
             }
         }
     }
+    // Gated names the baseline has never seen.
+    for (array, what) in [("metrics", "metric"), ("histograms", "histogram")] {
+        let base_names: Vec<&str> = by_name(&base, array).iter().map(|(n, _)| *n).collect();
+        for (name, _) in by_name(&cur, array) {
+            if is_gated(name) && !base_names.contains(&name) {
+                report.new_metrics.push(format!("{what} {name}"));
+            }
+        }
+    }
+    diff_timeseries(&cur, &base, tolerance, &mut report);
     Ok(report)
+}
+
+/// Compare the optional `"timeseries"` arrays of two snapshots at window
+/// granularity. Each entry is `{"name", "window_cycles", "channels",
+/// "windows": [[start, v...], ...]}`; entries are matched by name, and
+/// every channel value of every window present in the baseline must lie
+/// within `tolerance` of the current one. The windows are keyed to
+/// simulated cycles, so across builds and job counts they are exactly
+/// reproducible — a drift pinpoints *when* in the run behaviour changed.
+fn diff_timeseries(cur: &Json, base: &Json, tolerance: f64, report: &mut DiffReport) {
+    let cur_series = by_name(cur, "timeseries");
+    for (name, entry) in by_name(base, "timeseries") {
+        let Some(base_windows) = entry.get("windows").and_then(Json::as_arr) else { continue };
+        let cur_entry = cur_series.iter().find(|(n, _)| *n == name).map(|(_, e)| *e);
+        let Some(cur_windows) = cur_entry.and_then(|e| e.get("windows").and_then(Json::as_arr))
+        else {
+            report.regressions.push(format!("timeseries {name} missing from current snapshot"));
+            continue;
+        };
+        report.compared += 1;
+        if cur_windows.len() != base_windows.len() {
+            report.regressions.push(format!(
+                "timeseries {name}: {} windows vs baseline {}",
+                cur_windows.len(),
+                base_windows.len()
+            ));
+            continue;
+        }
+        let channels: Vec<&str> = entry
+            .get("channels")
+            .and_then(Json::as_arr)
+            .map(|a| a.iter().filter_map(Json::as_str).collect())
+            .unwrap_or_default();
+        for (b, c) in base_windows.iter().zip(cur_windows) {
+            let (Some(bw), Some(cw)) = (b.as_arr(), c.as_arr()) else { continue };
+            let start = bw.first().and_then(Json::as_f64).unwrap_or(0.0);
+            // Column 0 is the window start; value channels follow.
+            for (ch, (bv, cv)) in bw.iter().zip(cw).enumerate().skip(1) {
+                let (Some(bv), Some(cv)) = (bv.as_f64(), cv.as_f64()) else { continue };
+                report.compared += 1;
+                if rel_dev(cv, bv) > tolerance {
+                    let channel = channels
+                        .get(ch - 1)
+                        .map_or_else(|| format!("channel {}", ch - 1), ToString::to_string);
+                    report.regressions.push(format!(
+                        "timeseries {name} window@{start:.0} {channel}: {cv} vs baseline {bv} \
+                         (deviation {:.1}% > {:.1}%)",
+                        rel_dev(cv, bv) * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +338,51 @@ mod tests {
             .replace("engine.device_media_bytes_written", "engine.renamed_probe");
         let r = diff(&cur, &snapshot(4096, 128), DEFAULT_TOLERANCE).expect("valid snapshots");
         assert!(r.regressions.iter().any(|m| m.contains("missing")), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn gated_names_absent_from_baseline_are_reported_as_new() {
+        let cur = snapshot(4096, 128).replace(
+            "{\"name\": \"runner.helpers_spawned\"",
+            "{\"name\": \"engine.brand_new_probe\", \"kind\": \"counter\", \"value\": 1, \
+             \"count\": 1},\n    {\"name\": \"runner.helpers_spawned\"",
+        );
+        let r = diff(&cur, &snapshot(4096, 128), DEFAULT_TOLERANCE).expect("valid snapshots");
+        assert!(r.regressions.is_empty(), "{:?}", r.regressions);
+        assert_eq!(r.new_metrics, vec!["metric engine.brand_new_probe".to_owned()]);
+        // runner.* is not gated, so it never counts as new either.
+        let r2 = diff(&snapshot(4096, 128), &snapshot(4096, 128), DEFAULT_TOLERANCE).unwrap();
+        assert!(r2.new_metrics.is_empty());
+    }
+
+    fn ts_snapshot(v: u64, windows: usize) -> String {
+        let rows: Vec<String> =
+            (0..windows).map(|i| format!("[{}, {}, {}]", i * 500, 100 + i, v)).collect();
+        snapshot(4096, 128).replace(
+            "  \"histograms\": [",
+            &format!(
+                "  \"timeseries\": [\n    {{\"name\": \"kv_serving\", \"window_cycles\": 500, \
+                 \"channels\": [\"steps\", \"write_lines\"], \"windows\": [{}]}}\n  ],\n  \
+                 \"histograms\": [",
+                rows.join(", ")
+            ),
+        )
+    }
+
+    #[test]
+    fn window_granularity_drift_names_the_window_and_channel() {
+        let ok = diff(&ts_snapshot(50, 4), &ts_snapshot(50, 4), DEFAULT_TOLERANCE).unwrap();
+        assert!(ok.regressions.is_empty(), "{:?}", ok.regressions);
+        // 5 aggregate values + 1 presence + 4 windows x 2 channels.
+        assert_eq!(ok.compared, 5 + 1 + 8);
+        let drift = diff(&ts_snapshot(90, 4), &ts_snapshot(50, 4), DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(drift.regressions.len(), 4, "{:?}", drift.regressions);
+        assert!(drift.regressions[0].contains("window@0"), "{:?}", drift.regressions);
+        assert!(drift.regressions[0].contains("write_lines"), "{:?}", drift.regressions);
+        let shorter = diff(&ts_snapshot(50, 3), &ts_snapshot(50, 4), DEFAULT_TOLERANCE).unwrap();
+        assert!(shorter.regressions.iter().any(|r| r.contains("3 windows vs baseline 4")));
+        let gone = diff(&snapshot(4096, 128), &ts_snapshot(50, 4), DEFAULT_TOLERANCE).unwrap();
+        assert!(gone.regressions.iter().any(|r| r.contains("missing")));
     }
 
     #[test]

@@ -64,23 +64,38 @@ impl TraceRecorder {
 
     /// Render the buffer as a Chrome Trace Event JSON document.
     ///
-    /// Events are sorted by `(lane, start, -duration, name)` so the
-    /// output is deterministic for a given span set and parents precede
-    /// their children within each lane. Timestamps are microseconds (the
-    /// format's unit) with nanosecond precision kept in the fraction.
+    /// The document opens with `"M"` metadata records naming the process
+    /// (`process_name`) and every thread lane (`thread_name`), so Perfetto
+    /// shows labelled lanes instead of bare tids. The span records that
+    /// follow are globally sorted by `(ts, -duration, lane, name)` — the
+    /// timestamp-sorted order the format's consumers expect (Chrome's
+    /// legacy viewer does not re-sort) — which is also deterministic for a
+    /// given span set and puts parents before their children. Timestamps
+    /// are microseconds (the format's unit) with nanosecond precision kept
+    /// in the fraction.
     pub fn render_chrome_trace(&self) -> String {
         let mut events = self.events();
         events.sort_by(|a, b| {
-            (a.lane, a.start_ns, std::cmp::Reverse(a.dur_ns), a.name)
-                .cmp(&(b.lane, b.start_ns, std::cmp::Reverse(b.dur_ns), b.name))
+            (a.start_ns, std::cmp::Reverse(a.dur_ns), a.lane, a.name)
+                .cmp(&(b.start_ns, std::cmp::Reverse(b.dur_ns), b.lane, b.name))
         });
+        let mut lanes: Vec<u64> = events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
         let mut out = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
-        for (i, e) in events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
+        out.push_str(
+            "\n    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \
+             \"args\": {\"name\": \"ps-bench\"}}",
+        );
+        for lane in lanes {
             out.push_str(&format!(
-                "\n    {{\"name\": \"{}\", \"cat\": \"span\", \"ph\": \"X\", \
+                ",\n    {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \
+                 \"tid\": {lane}, \"args\": {{\"name\": \"lane {lane}\"}}}}"
+            ));
+        }
+        for e in &events {
+            out.push_str(&format!(
+                ",\n    {{\"name\": \"{}\", \"cat\": \"span\", \"ph\": \"X\", \
                  \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 1, \"tid\": {}}}",
                 e.name,
                 e.start_ns as f64 / 1e3,
@@ -123,24 +138,41 @@ mod tests {
         assert_eq!(rec.count_named("outer"), 1);
         let doc = Json::parse(&rec.render_chrome_trace()).expect("valid JSON");
         let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
-        assert_eq!(events.len(), 3);
-        // Lane 0 sorts first; within the lane the earlier/longer span
-        // ("outer") precedes the nested one.
-        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("outer"));
-        assert_eq!(events[1].get("name").and_then(Json::as_str), Some("inner"));
-        assert_eq!(events[2].get("tid").and_then(Json::as_f64), Some(1.0));
+        // 1 process_name + 2 thread_name metadata records, then 3 spans.
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("process_name"));
+        assert_eq!(
+            events[0].get("args").and_then(|a| a.get("name")).and_then(Json::as_str),
+            Some("ps-bench")
+        );
+        for (meta, lane) in [(&events[1], 0.0), (&events[2], 1.0)] {
+            assert_eq!(meta.get("name").and_then(Json::as_str), Some("thread_name"));
+            assert_eq!(meta.get("ph").and_then(Json::as_str), Some("M"));
+            assert_eq!(meta.get("tid").and_then(Json::as_f64), Some(lane));
+        }
+        // Span records are globally timestamp-sorted across lanes, with
+        // the earlier/longer parent preceding its nested child.
+        let spans = &events[3..];
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some("other-lane"));
+        assert_eq!(spans[1].get("name").and_then(Json::as_str), Some("outer"));
+        assert_eq!(spans[2].get("name").and_then(Json::as_str), Some("inner"));
+        let ts: Vec<f64> =
+            spans.iter().filter_map(|e| e.get("ts").and_then(Json::as_f64)).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "ts-sorted: {ts:?}");
         // Timestamps convert ns → µs with the fraction kept.
-        assert_eq!(events[0].get("ts").and_then(Json::as_f64), Some(1.0));
-        assert_eq!(events[1].get("ts").and_then(Json::as_f64), Some(1.5));
-        for e in events {
+        assert_eq!(ts, vec![0.0, 1.0, 1.5]);
+        for e in spans {
             assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
             assert_eq!(e.get("pid").and_then(Json::as_f64), Some(1.0));
         }
     }
 
     #[test]
-    fn empty_recorder_renders_an_empty_trace() {
+    fn empty_recorder_renders_metadata_only() {
         let doc = Json::parse(&TraceRecorder::new().render_chrome_trace()).expect("valid JSON");
-        assert_eq!(doc.get("traceEvents").and_then(|e| e.as_arr()).map(<[Json]>::len), Some(0));
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
+        // No spans → just the process_name record (no lanes to name).
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("process_name"));
     }
 }

@@ -29,14 +29,33 @@ fn trace_export_is_valid_nested_and_complete() {
         .get("traceEvents")
         .and_then(Json::as_arr)
         .expect("document must carry a traceEvents array");
-    assert_eq!(events.len(), recorder.len(), "every buffered span must be exported");
-    for e in events {
+    let (meta, spans): (Vec<&Json>, Vec<&Json>) = events
+        .iter()
+        .partition(|e| e.get("ph").and_then(Json::as_str) == Some("M"));
+    assert_eq!(spans.len(), recorder.len(), "every buffered span must be exported");
+    assert_eq!(
+        meta.iter().filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name")).count(),
+        1,
+        "exactly one process_name metadata record"
+    );
+    let lanes: std::collections::BTreeSet<u64> =
+        recorder.events().iter().map(|e| e.lane).collect();
+    assert_eq!(
+        meta.iter().filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name")).count(),
+        lanes.len(),
+        "one thread_name metadata record per lane"
+    );
+    let mut last_ts = f64::NEG_INFINITY;
+    for e in &spans {
         assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"), "complete events only");
         assert!(e.get("name").and_then(Json::as_str).is_some(), "event without name: {e:?}");
         for field in ["ts", "dur", "pid", "tid"] {
             let v = e.get(field).and_then(Json::as_f64);
             assert!(v.is_some_and(|v| v >= 0.0), "event field {field} missing/negative: {e:?}");
         }
+        let ts = e.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+        assert!(ts >= last_ts, "span records must be timestamp-sorted");
+        last_ts = ts;
     }
 
     // (b) Spans close in RAII order, so per lane the intervals must be

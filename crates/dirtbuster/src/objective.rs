@@ -111,6 +111,9 @@ mod tests {
             llc: Default::default(),
             device: Default::default(),
             func_cycles: Default::default(),
+            timeseries: Vec::new(),
+            timeseries_window_cycles: 0,
+            request_latency: Vec::new(),
             sites: vec![
                 (
                     FuncId(1),

@@ -415,6 +415,9 @@ mod tests {
             llc: Default::default(),
             device: Default::default(),
             func_cycles: Default::default(),
+            timeseries: Vec::new(),
+            timeseries_window_cycles: 0,
+            request_latency: Vec::new(),
             sites: vec![
                 (FuncId(1), SiteCounters { media_bytes: m1, ..Default::default() }),
                 (FuncId(2), SiteCounters { media_bytes: m2, ..Default::default() }),
@@ -507,6 +510,9 @@ mod tests {
                 llc: Default::default(),
                 device: Default::default(),
                 func_cycles: Default::default(),
+                timeseries: Vec::new(),
+                timeseries_window_cycles: 0,
+                request_latency: Vec::new(),
                 sites: Vec::new(),
             }))
         };

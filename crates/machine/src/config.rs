@@ -84,6 +84,15 @@ pub struct MachineConfig {
     /// When the budget is exceeded the engine reports
     /// [`crate::EngineError::StepBudgetExceeded`] instead of spinning.
     pub step_budget: Option<u64>,
+    /// Simulated-time telemetry sampling: `Some(w)` makes the engine close
+    /// one delta window of its temporal counters every `w` simulated
+    /// cycles, collected into [`crate::RunStats::timeseries`]. `None` (the
+    /// default) disables sampling entirely — the step loop then pays one
+    /// integer compare and `RunStats` is byte-identical to builds that
+    /// never heard of sampling. Keyed to *simulated* cycles, never
+    /// wall-clock, so the windows are deterministic across `--jobs`,
+    /// SIMD/scalar and streaming/materialized replay.
+    pub timeseries_window: Option<Cycles>,
 }
 
 impl MachineConfig {
@@ -108,6 +117,7 @@ impl MachineConfig {
             freq_ghz: 2.1,
             seed: 0xA,
             step_budget: None,
+            timeseries_window: None,
         }
     }
 
@@ -147,6 +157,7 @@ impl MachineConfig {
             freq_ghz: 2.0,
             seed: 0xB,
             step_budget: None,
+            timeseries_window: None,
         }
     }
 

@@ -33,6 +33,7 @@
 //! the same final durable line set as an uninterrupted run.
 
 use crate::stats::RunStats;
+use simcore::telemetry::flight::FlightEvent;
 use simcore::{Addr, Cycles, FuncId, FuncRegistry};
 use std::fmt::Write as _;
 
@@ -119,6 +120,15 @@ pub struct CrashReport {
     /// first-dirty tag before the crash, e.g. data already handed to the
     /// device).
     pub sites: Vec<(FuncId, LostSite)>,
+    /// Flight-recorder dump: the last (up to
+    /// [`simcore::telemetry::flight::FLIGHT_CAPACITY`]) retired memory
+    /// events before the freeze, oldest first, each stamped with its
+    /// scheduler step — and a final
+    /// [`simcore::telemetry::flight::FlightKind::Crash`] marker whose
+    /// `seq`/`a` are [`CrashReport::at_step`]. Pure simulated state (no
+    /// wall-clock), so the dump is byte-identical across builds and
+    /// determinism axes. Render with [`render_flight_jsonl`].
+    pub flight: Vec<FlightEvent>,
     /// The machine-independent resume state.
     pub image: CrashImage,
 }
@@ -128,6 +138,13 @@ impl CrashReport {
     pub fn durable_digest(&self) -> u64 {
         durable_digest(&self.image.durable)
     }
+}
+
+/// Render the report's flight-recorder dump as JSON Lines — the
+/// `.flight.jsonl` artifact written next to a `--crash-report`. One
+/// object per event, stable field order, no wall-clock content.
+pub fn render_flight_jsonl(report: &CrashReport) -> String {
+    simcore::telemetry::flight::render_jsonl(&report.flight)
 }
 
 /// FNV-1a digest of a *sorted* line-address set — the golden value the
@@ -222,6 +239,9 @@ pub fn render_crash_json(report: &CrashReport, registry: &FuncRegistry) -> Strin
         report.lost_device_buffered_bytes
     );
     let _ = writeln!(out, "  \"durable_digest\": {},", report.durable_digest());
+    // The flight dump itself goes to a sibling `.flight.jsonl` (it can be
+    // 10k lines); the report only carries its size for cross-checking.
+    let _ = writeln!(out, "  \"flight_events\": {},", report.flight.len());
     out.push_str("  \"sites\": [");
     for (i, (f, s)) in report.sites.iter().enumerate() {
         if i > 0 {
@@ -260,6 +280,7 @@ pub fn render_crash_json(report: &CrashReport, registry: &FuncRegistry) -> Strin
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simcore::telemetry::flight::FlightKind;
 
     fn tiny_report() -> CrashReport {
         CrashReport {
@@ -274,6 +295,10 @@ mod tests {
             lost_wc_bytes: 0,
             lost_device_buffered_bytes: 64,
             sites: vec![(FuncId(1), LostSite { lines: 1, bytes: 64 })],
+            flight: vec![
+                FlightEvent { seq: 41, kind: FlightKind::Write, a: 128, b: 900 },
+                FlightEvent { seq: 42, kind: FlightKind::Crash, a: 42, b: 1000 },
+            ],
             image: CrashImage {
                 durable: vec![0, 64],
                 lost: vec![128],
@@ -329,5 +354,16 @@ mod tests {
     #[test]
     fn json_escapes_hostile_site_names() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn flight_dump_renders_and_ends_with_the_crash_marker() {
+        let report = tiny_report();
+        let dump = render_flight_jsonl(&report);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], "{\"seq\":42,\"kind\":\"crash\",\"a\":42,\"b\":1000}");
+        let json = render_crash_json(&report, &registry());
+        assert!(json.contains("\"flight_events\": 2"), "{json}");
     }
 }

@@ -29,17 +29,19 @@
 use crate::config::{MachineConfig, MemModel};
 use crate::crash::{CrashImage, CrashOutcome, CrashReport, LostSite, CRASH_COLS};
 use crate::error::{BlockedAcquire, EngineError};
-use crate::stats::{site_col, CoreStats, RunStats, SiteCounters, SITE_COLS};
+use crate::stats::{site_col, ts_channel, CoreStats, RunStats, SiteCounters, SITE_COLS, TS_CAPACITY, TS_CHANNELS};
 use crate::tables::{take_scratch, FlatTables, HashTables, LineTables};
 use cachesim::{Cache, StoreBuffer, WriteCombiningBuffer};
 use cachesim::wcbuf::WcFlush;
 use memdev::{Device, MemDevice};
 use simcore::faultinject::CrashPlan;
-use simcore::telemetry::SiteTable;
+use simcore::telemetry::flight::{FlightEvent, FlightKind, FlightRing, FLIGHT_CAPACITY};
+use simcore::telemetry::timeseries::TimeSeries;
+use simcore::telemetry::{HistogramSample, SiteTable};
 use simcore::stream::{EventSource, StreamFeed};
 use simcore::{
     align_down, blocks_touched, Addr, CoreId, Cycles, EventKind, FuncId, FxHashMap, FxHashSet,
-    InternedTraces, LineId, ThreadTrace, TraceSet,
+    InternedTraces, LineId, RequestClasses, ThreadTrace, TraceSet,
 };
 
 /// Floor added to the derived step budget so tiny traces with legitimate
@@ -169,6 +171,31 @@ impl CrashCtx {
     }
 }
 
+/// Request-classification state of a classified replay: the workload's
+/// boundary state machine, one latency histogram per class, and each
+/// core's clock at its previous request boundary.
+struct ClassifierState {
+    classifier: Box<dyn RequestClasses>,
+    hist: Vec<HistogramSample>,
+    req_start: Vec<Cycles>,
+}
+
+/// Flight-recorder kind of a retired trace event, or `None` for pure
+/// clock advances (computes carry no memory state worth replaying in a
+/// post-mortem).
+fn flight_kind(kind: EventKind) -> Option<FlightKind> {
+    match kind {
+        EventKind::Read => Some(FlightKind::Read),
+        EventKind::Write => Some(FlightKind::Write),
+        EventKind::NtWrite => Some(FlightKind::NtWrite),
+        EventKind::PrestoreClean | EventKind::PrestoreDemote => Some(FlightKind::Prestore),
+        EventKind::Fence => Some(FlightKind::Fence),
+        EventKind::Atomic => Some(FlightKind::Atomic),
+        EventKind::Acquire => Some(FlightKind::Acquire),
+        EventKind::Compute => None,
+    }
+}
+
 /// The replay engine. Create one per run via [`simulate`].
 ///
 /// Generic over its per-line state representation: [`FlatTables`] (dense
@@ -222,6 +249,22 @@ pub struct Engine<'a, T: LineTables = FlatTables> {
     /// and hot path), `Some` only for [`Machine::try_run_until_crash`] /
     /// [`Machine::recover_and_resume`] replays.
     crash: Option<CrashCtx>,
+    /// Simulated-time sampler over the engine's own counters (`None`
+    /// unless [`MachineConfig::timeseries_window`] is set). Not the
+    /// wall-clock metrics registry: this feeds [`RunStats::timeseries`],
+    /// so it stays deterministic and feature-ungated.
+    ts: Option<TimeSeries<TS_CHANNELS>>,
+    /// Cached [`TimeSeries::next_boundary`], `u64::MAX` with sampling off:
+    /// the step loop pays exactly one integer compare for the feature.
+    ts_next_boundary: Cycles,
+    /// Cumulative bytes of dirty data handed to the device (the
+    /// [`ts_channel::DEVICE_BYTES`] feed; one add per device write).
+    ts_device_bytes: u64,
+    /// Per-request latency accounting (`None` on unclassified runs).
+    classes: Option<ClassifierState>,
+    /// Flight recorder: `Some` only on crash-armed replays, recording one
+    /// event per retired step so a crash can dump what led up to it.
+    flight: Option<FlightRing>,
 }
 
 /// Replay `traces` on the machine described by `cfg`.
@@ -320,6 +363,27 @@ pub fn try_simulate_threads(
     Engine::new_flat(cfg, &interned, threads.len()).try_run(threads)
 }
 
+/// [`try_simulate_threads`] with a request-boundary classifier: each
+/// request's retire-to-retire simulated cycles land in the per-class
+/// latency histograms of [`RunStats::request_latency`]. Classification
+/// observes retired events in per-thread program order — the one order
+/// shared by every replay path — so the histograms are byte-identical
+/// across `--jobs`, SIMD/scalar and streaming/materialized replay. All
+/// other statistics are unchanged by classification.
+pub fn try_simulate_threads_classified(
+    cfg: &MachineConfig,
+    threads: &[ThreadTrace],
+    classifier: Box<dyn RequestClasses>,
+) -> Result<RunStats, EngineError> {
+    if threads.is_empty() {
+        return Err(EngineError::EmptyTraceSet);
+    }
+    let interned = simcore::trace::validate_and_intern(threads, cfg.line_size)?;
+    let mut engine = Engine::new_flat(cfg, &interned, threads.len());
+    engine.set_classifier(classifier);
+    engine.try_run(threads)
+}
+
 /// Tuning knobs for the streaming replay pipeline.
 #[derive(Debug, Clone, Copy)]
 pub struct StreamOptions {
@@ -384,6 +448,29 @@ pub fn try_simulate_stream_opts<S: EventSource>(
     source: &mut S,
     opts: StreamOptions,
 ) -> Result<StreamReport, EngineError> {
+    stream_impl(cfg, source, opts, None)
+}
+
+/// [`try_simulate_stream_opts`] with a request-boundary classifier (the
+/// streaming twin of [`try_simulate_threads_classified`]): per-class
+/// latency histograms land in the report's
+/// [`RunStats::request_latency`], byte-identical to the materialized
+/// classified replay of the same stream.
+pub fn try_simulate_stream_classified<S: EventSource>(
+    cfg: &MachineConfig,
+    source: &mut S,
+    opts: StreamOptions,
+    classifier: Box<dyn RequestClasses>,
+) -> Result<StreamReport, EngineError> {
+    stream_impl(cfg, source, opts, Some(classifier))
+}
+
+fn stream_impl<S: EventSource>(
+    cfg: &MachineConfig,
+    source: &mut S,
+    opts: StreamOptions,
+    classifier: Option<Box<dyn RequestClasses>>,
+) -> Result<StreamReport, EngineError> {
     let threads = source.threads();
     if threads == 0 {
         return Err(EngineError::EmptyTraceSet);
@@ -395,6 +482,9 @@ pub fn try_simulate_stream_opts<S: EventSource>(
     // `finalize` resolves residual lines through the feed's interner.
     let empty = InternedTraces::empty(cfg.line_size);
     let mut engine = Engine::new_flat(cfg, &empty, threads);
+    if let Some(classifier) = classifier {
+        engine.set_classifier(classifier);
+    }
     let mut steps: u64 = 0;
     engine.replay_stream(source, &mut feed, &mut steps)?;
     let stats = match engine.finalize(feed.interner(), steps)? {
@@ -468,6 +558,16 @@ impl Machine {
         try_simulate_stream_opts(&self.cfg, source, opts)
     }
 
+    /// [`Machine::try_run`] with a request-boundary classifier; see
+    /// [`try_simulate_threads_classified`].
+    pub fn try_run_classified(
+        &self,
+        traces: &TraceSet,
+        classifier: Box<dyn RequestClasses>,
+    ) -> Result<RunStats, EngineError> {
+        try_simulate_threads_classified(&self.cfg, &traces.threads, classifier)
+    }
+
     /// Replay `traces` under a simulated power-failure plan.
     ///
     /// The crash fires immediately *after* the triggering step retires; the
@@ -511,6 +611,7 @@ impl Machine {
         let interned = simcore::trace::validate_and_intern(threads, self.cfg.line_size)?;
         let mut engine = Engine::new_flat(&self.cfg, &interned, threads.len());
         engine.crash = Some(CrashCtx::new(plan));
+        engine.flight = Some(FlightRing::new(FLIGHT_CAPACITY));
         engine.run_to_outcome(threads)
     }
 
@@ -553,6 +654,7 @@ impl Machine {
             ctx.releases.insert(line, count);
         }
         engine.crash = Some(ctx);
+        engine.flight = Some(FlightRing::new(FLIGHT_CAPACITY));
         for &(line, count) in &image.releases {
             if let Some(id) = interned.interner().id_of(line) {
                 engine.tables.release_restore(id, line, count);
@@ -633,7 +735,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
                 }
             })
             .collect();
-        Self {
+        let mut engine = Self {
             cfg,
             interned,
             llc: Cache::new(cfg.llc, cfg.seed ^ 0x5A5A),
@@ -650,7 +752,30 @@ impl<'a, T: LineTables> Engine<'a, T> {
             burst_bytes: 0,
             prev_write_line: None,
             crash: None,
+            ts: cfg.timeseries_window.map(|w| TimeSeries::new(w.max(1), TS_CAPACITY)),
+            ts_next_boundary: u64::MAX,
+            ts_device_bytes: 0,
+            classes: None,
+            flight: None,
+        };
+        if let Some(ts) = &engine.ts {
+            engine.ts_next_boundary = ts.next_boundary();
         }
+        engine
+    }
+
+    /// Attach a request-boundary classifier: each class gets a latency
+    /// histogram of retire-to-retire simulated cycles between consecutive
+    /// boundaries on a thread, collected into
+    /// [`RunStats::request_latency`].
+    fn set_classifier(&mut self, classifier: Box<dyn RequestClasses>) {
+        let hist =
+            classifier.class_names().iter().map(|n| HistogramSample::empty(n)).collect();
+        self.classes = Some(ClassifierState {
+            classifier,
+            hist,
+            req_start: vec![0; self.cores.len()],
+        });
     }
 
     /// Replay, panicking with a formatted [`EngineError`] on failure (thin
@@ -810,6 +935,19 @@ impl<'a, T: LineTables> Engine<'a, T> {
         if self.unknown_site != [0; SITE_COLS] {
             sites.push((FuncId::UNKNOWN, SiteCounters::from_row(&self.unknown_site)));
         }
+        // Close the time series through the end of simulated time. The
+        // totals are gathered *after* the final drains and the device
+        // flush above, so the per-channel window sums match the end-of-run
+        // aggregates (minus anything the bounded ring evicted).
+        let (timeseries, timeseries_window_cycles) = match self.ts.take() {
+            Some(ts) => {
+                let w = ts.window_cycles();
+                let totals = self.ts_totals();
+                (ts.finish(cpu_cycles, &totals), w)
+            }
+            None => (Vec::new(), 0),
+        };
+        let request_latency = self.classes.take().map_or_else(Vec::new, |cs| cs.hist);
         let stats = RunStats {
             cycles: cpu_cycles.max(media_busy),
             cpu_cycles,
@@ -820,6 +958,9 @@ impl<'a, T: LineTables> Engine<'a, T> {
             device: dstats,
             func_cycles: self.tables.take_func_cycles().into_iter().collect(),
             sites,
+            timeseries,
+            timeseries_window_cycles,
+            request_latency,
         };
         // Telemetry: end-of-run epoch-validity sweep — how many flat-table
         // entries still carry current-epoch state (vectorized; `None` on
@@ -920,6 +1061,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             if spent > 0 {
                 self.tables.func_add(ev.func, spent);
             }
+            self.after_step(cid, &ev);
             // Power-failure injection: the triggering step has retired (pc
             // already advanced), so every crash-recovery segment consumes
             // at least one event and iterated crash-recovery terminates.
@@ -977,6 +1119,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             if spent > 0 {
                 self.tables.func_add(ev.func, spent);
             }
+            self.after_step(0, &ev);
             if let Some((line, id, seq)) = self.cores[0].blocked {
                 // An acquire blocked (pc rewound to retry it). With one
                 // core the only releases that can satisfy it are ones this
@@ -1048,6 +1191,14 @@ impl<'a, T: LineTables> Engine<'a, T> {
                 if !feed.exhausted(cid) && self.cores[cid].pc >= feed.end(cid) {
                     feed.refill(source, cid)?;
                     grew = true;
+                    // Coarse marker in the process-global flight ring
+                    // (chunk-granular, so the lock is off the step path);
+                    // dumped only when a supervised job fails.
+                    simcore::telemetry::flight::note(
+                        FlightKind::Refill,
+                        cid as u64,
+                        feed.fetched(),
+                    );
                 }
             }
             if grew {
@@ -1111,6 +1262,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             if spent > 0 {
                 self.tables.func_add(ev.func, spent);
             }
+            self.after_step(cid, &ev);
         }
     }
 
@@ -1208,9 +1360,14 @@ impl<'a, T: LineTables> Engine<'a, T> {
         let lost_bytes = lost.len() as u64 * line_size;
         crate::probes::CRASHES.inc();
         crate::probes::CRASH_LOST_BYTES.record(lost_bytes);
+        let at_cycle = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
+        // Close the flight dump with the crash itself, so the dump's last
+        // event always names the frozen step.
+        let mut flight = self.flight.take().unwrap_or_else(|| FlightRing::new(1));
+        flight.push(FlightEvent { seq: at_step, kind: FlightKind::Crash, a: at_step, b: at_cycle });
         CrashReport {
             at_step,
-            at_cycle: self.cores.iter().map(|c| c.now).max().unwrap_or(0),
+            at_cycle,
             fences_seen: ctx.fences_seen,
             durable_lines: durable.len() as u64,
             durable_bytes: durable.len() as u64 * line_size,
@@ -1220,6 +1377,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
             lost_wc_bytes,
             lost_device_buffered_bytes,
             sites: site_rows,
+            flight: flight.to_vec(),
             image: CrashImage {
                 durable,
                 lost,
@@ -1323,6 +1481,67 @@ impl<'a, T: LineTables> Engine<'a, T> {
         Ok(())
     }
 
+    /// Post-step observation hooks, shared by all three replay paths and
+    /// called once per scheduler step, after the event executed and its
+    /// cycles were attributed. With every feature off this is one integer
+    /// compare and two `Option` checks. The classifier and the flight
+    /// recorder observe *retired* events only: an acquire that blocked
+    /// (`pc` rewound for retry) is skipped here and observed when it
+    /// re-runs and succeeds, so each trace event is seen exactly once, in
+    /// per-thread program order — identical across replay paths.
+    #[inline]
+    fn after_step(&mut self, cid: CoreId, ev: &simcore::Event) {
+        let now = self.cores[cid].now;
+        if now >= self.ts_next_boundary {
+            self.ts_tick(now);
+        }
+        if self.cores[cid].blocked.is_some() {
+            return; // the event did not retire; it will run again
+        }
+        if let Some(cs) = self.classes.as_mut() {
+            if let Some(class) = cs.classifier.on_event(cid, ev) {
+                if let Some(h) = cs.hist.get_mut(class) {
+                    h.record(now - cs.req_start[cid]);
+                }
+                cs.req_start[cid] = now;
+            }
+        }
+        if let Some(ring) = self.flight.as_mut() {
+            if let Some(kind) = flight_kind(ev.kind) {
+                ring.push(FlightEvent { seq: self.cur_step, kind, a: ev.addr, b: now });
+            }
+        }
+    }
+
+    /// Close time-series windows up to `now`. Cold: runs once per crossed
+    /// window boundary, never on the per-step path.
+    #[cold]
+    fn ts_tick(&mut self, now: Cycles) {
+        let totals = self.ts_totals();
+        let ts = self.ts.as_mut().expect("finite boundary implies an armed sampler");
+        ts.observe(now, &totals);
+        self.ts_next_boundary = ts.next_boundary();
+    }
+
+    /// Cumulative totals of the time-series channels — a handful of adds
+    /// over state the engine already maintains, so sampling perturbs
+    /// nothing.
+    fn ts_totals(&self) -> [u64; TS_CHANNELS] {
+        let mut t = [0u64; TS_CHANNELS];
+        t[ts_channel::STEPS] = self.cur_step;
+        for c in &self.cores {
+            t[ts_channel::READ_LINES] += c.stats.read_lines;
+            t[ts_channel::WRITE_LINES] += c.stats.write_lines;
+            t[ts_channel::STALL_CYCLES] += c.stats.fence_stall_cycles
+                + c.stats.atomic_stall_cycles
+                + c.stats.sb_pressure_stall_cycles
+                + c.stats.writeback_stall_cycles;
+            t[ts_channel::PRESTORES] += c.stats.prestores;
+        }
+        t[ts_channel::DEVICE_BYTES] = self.ts_device_bytes;
+        t
+    }
+
     /// Add `n` to column `col` of `site`'s attribution row.
     #[inline]
     fn site_add(&mut self, site: FuncId, col: usize, n: u64) {
@@ -1355,6 +1574,7 @@ impl<'a, T: LineTables> Engine<'a, T> {
         let before = *self.device.stats();
         self.device.receive_write(line, bytes);
         let after = *self.device.stats();
+        self.ts_device_bytes += bytes;
         self.site_add(site, site_col::DEVICE_BYTES, bytes);
         self.site_add(
             site,
@@ -2538,6 +2758,130 @@ mod tests {
         let via_run = simulate_single(&cfg, &trace);
         let via_try = try_simulate_single(&cfg, &trace).expect("valid");
         assert_eq!(via_run, via_try);
+    }
+
+    #[test]
+    fn timeseries_windows_tile_and_sum_to_totals() {
+        let trace = trace_of(|t| {
+            for i in 0..2000u64 {
+                t.write(i * 64, 64);
+                t.read((i % 31) * 64, 8);
+            }
+            t.fence();
+        });
+        let mut cfg = MachineConfig::machine_a();
+        cfg.timeseries_window = Some(1000);
+        let sampled = try_simulate_single(&cfg, &trace).unwrap();
+        assert!(!sampled.timeseries.is_empty());
+        assert_eq!(sampled.timeseries_window_cycles, 1000);
+        for pair in sampled.timeseries.windows(2) {
+            assert_eq!(pair[1].start, pair[0].start + 1000, "gap-free monotone tiling");
+        }
+        let sums = simcore::telemetry::timeseries::totals(&sampled.timeseries);
+        assert_eq!(sums[crate::stats::ts_channel::STEPS], 4001, "one step per event");
+        assert_eq!(
+            sums[crate::stats::ts_channel::READ_LINES],
+            sampled.cores.iter().map(|c| c.read_lines).sum::<u64>()
+        );
+        assert_eq!(
+            sums[crate::stats::ts_channel::WRITE_LINES],
+            sampled.cores.iter().map(|c| c.write_lines).sum::<u64>()
+        );
+        // Sampling must not perturb the simulation itself: everything but
+        // the series matches an unsampled run byte for byte.
+        let plain = try_simulate_single(&MachineConfig::machine_a(), &trace).unwrap();
+        assert!(plain.timeseries.is_empty());
+        assert_eq!(plain.timeseries_window_cycles, 0);
+        let mut stripped = sampled.clone();
+        stripped.timeseries = Vec::new();
+        stripped.timeseries_window_cycles = 0;
+        assert_eq!(stripped, plain);
+    }
+
+    #[test]
+    fn timeseries_is_identical_across_stream_and_materialized() {
+        let trace = trace_of(|t| {
+            for i in 0..1500u64 {
+                t.write(i * 64, 48);
+                if i % 5 == 0 {
+                    t.fence();
+                }
+            }
+        });
+        let mut cfg = MachineConfig::machine_a();
+        cfg.timeseries_window = Some(500);
+        let golden = try_simulate_single(&cfg, &trace).unwrap();
+        let threads = [trace];
+        for chunk_events in [9usize, 65_536] {
+            let mut src = simcore::SliceSource::new(&threads);
+            let report =
+                try_simulate_stream_opts(&cfg, &mut src, StreamOptions { chunk_events }).unwrap();
+            assert_eq!(report.stats.timeseries, golden.timeseries, "chunk_events={chunk_events}");
+            assert_eq!(report.stats, golden);
+        }
+    }
+
+    #[test]
+    fn classified_run_records_per_class_latency() {
+        use simcore::request::FenceDelimited;
+        let trace = trace_of(|t| {
+            for i in 0..50u64 {
+                t.write(i * 64, 64);
+                t.compute(10);
+                t.fence();
+            }
+        });
+        let cfg = MachineConfig::machine_a();
+        let stats = try_simulate_threads_classified(
+            &cfg,
+            std::slice::from_ref(&trace),
+            Box::new(FenceDelimited),
+        )
+        .unwrap();
+        let op = stats.request_class("op").expect("class histogram exists");
+        assert_eq!(op.count, 50, "one request per fence");
+        assert!(op.p50() > 0);
+        assert!(op.p999() >= op.p99() && op.p99() >= op.p50());
+        // Classification must not perturb the simulation.
+        let plain = try_simulate_single(&cfg, &trace).unwrap();
+        let mut stripped = stats.clone();
+        stripped.request_latency = Vec::new();
+        assert_eq!(stripped, plain);
+        // The streaming classified path agrees byte for byte.
+        let threads = [trace];
+        let mut src = simcore::SliceSource::new(&threads);
+        let report = try_simulate_stream_classified(
+            &cfg,
+            &mut src,
+            StreamOptions { chunk_events: 7 },
+            Box::new(FenceDelimited),
+        )
+        .unwrap();
+        assert_eq!(report.stats.request_latency, stats.request_latency);
+    }
+
+    #[test]
+    fn crash_flight_dump_ends_with_the_crash_step() {
+        use simcore::telemetry::flight::FlightKind;
+        let m = Machine::new(MachineConfig::machine_a());
+        let traces = TraceSet::new(vec![trace_of(|t| {
+            for i in 0..100u64 {
+                t.write(i * 64, 64);
+            }
+        })]);
+        let report = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(10)));
+        let last = report.flight.last().expect("dump is non-empty");
+        assert_eq!(last.kind, FlightKind::Crash);
+        assert_eq!((last.seq, last.a), (report.at_step, 10));
+        // Every retired step is in the dump in order: writes at steps
+        // 1..=10, then the crash marker stamped with the frozen step.
+        let seqs: Vec<u64> = report.flight.iter().map(|e| e.seq).collect();
+        let expected: Vec<u64> = (1..=10).chain(std::iter::once(10)).collect();
+        assert_eq!(seqs, expected);
+        assert!(report.flight[..10].iter().all(|e| e.kind == FlightKind::Write));
+        // Deterministic across runs: the dump is pure simulated state.
+        let again = crash_of(m.try_run_until_crash(&traces, CrashPlan::AtStep(10)));
+        assert_eq!(report.flight, again.flight);
     }
 
     #[test]

@@ -39,12 +39,15 @@ pub mod stats;
 pub mod tables;
 
 pub use config::{CostModel, MachineConfig, MemModel};
-pub use crash::{CrashImage, CrashOutcome, CrashReport, LostSite};
+pub use crash::{render_flight_jsonl, CrashImage, CrashOutcome, CrashReport, LostSite};
 pub use engine::{
     simulate, simulate_reference, simulate_single, try_simulate, try_simulate_single,
-    try_simulate_stream, try_simulate_stream_opts, try_simulate_threads,
-    try_simulate_threads_reference, Engine, Machine, StreamOptions, StreamReport,
+    try_simulate_stream, try_simulate_stream_classified, try_simulate_stream_opts,
+    try_simulate_threads, try_simulate_threads_classified, try_simulate_threads_reference,
+    Engine, Machine, StreamOptions, StreamReport,
 };
 pub use error::{BlockedAcquire, EngineError};
 pub use simcore::faultinject::CrashPlan;
-pub use stats::{CoreStats, RunStats, SiteCounters, SiteScore};
+pub use stats::{
+    ts_channel, CoreStats, RunStats, SiteCounters, SiteScore, TsWindow, TS_CAPACITY, TS_CHANNELS,
+};

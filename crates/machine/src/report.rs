@@ -215,6 +215,9 @@ mod tests {
             device: Default::default(),
             func_cycles: Default::default(),
             sites: Vec::new(),
+            timeseries: Vec::new(),
+            timeseries_window_cycles: 0,
+            request_latency: Vec::new(),
         };
         let table = render_site_table(&stats, &simcore::FuncRegistry::new(), 10);
         assert!(table.contains("no attributed device traffic or stalls"), "{table}");
@@ -238,6 +241,9 @@ mod tests {
             device: Default::default(),
             func_cycles: Default::default(),
             sites: vec![(f, crate::stats::SiteCounters { cleans: 3, ..Default::default() })],
+            timeseries: Vec::new(),
+            timeseries_window_cycles: 0,
+            request_latency: Vec::new(),
         };
         let table = render_site_table(&stats, &reg, 10);
         assert!(

@@ -2,12 +2,50 @@
 
 use cachesim::CacheStats;
 use memdev::DeviceStats;
+use simcore::telemetry::HistogramSample;
 use simcore::{Cycles, FuncId};
 use std::collections::HashMap;
 
 /// Column count of the engine's per-site attribution rows (one column per
 /// [`SiteCounters`] field).
 pub(crate) const SITE_COLS: usize = 12;
+
+/// Channel count of the engine's simulated-time series (one per
+/// [`ts_channel`] index).
+pub const TS_CHANNELS: usize = 6;
+
+/// Maximum closed windows the engine's time-series ring retains; older
+/// windows are evicted (and counted) so a long run with a tiny window
+/// cannot grow memory.
+pub const TS_CAPACITY: usize = 4096;
+
+/// One closed delta window of the engine's simulated-time series; channel
+/// schema in [`ts_channel`].
+pub type TsWindow = simcore::telemetry::timeseries::Window<TS_CHANNELS>;
+
+/// Channel indexes of the engine's time series ([`RunStats::timeseries`]).
+/// Every channel is a *delta* over the window: events retired, lines
+/// moved, cycles stalled, bytes pushed to the device during those
+/// simulated cycles.
+pub mod ts_channel {
+    /// Scheduler steps (events) retired in the window.
+    pub const STEPS: usize = 0;
+    /// Cache lines read in the window (all cores).
+    pub const READ_LINES: usize = 1;
+    /// Cache lines written in the window (all cores).
+    pub const WRITE_LINES: usize = 2;
+    /// Stall cycles paid in the window (fence + atomic + store-buffer
+    /// pressure + writeback-wait, all cores).
+    pub const STALL_CYCLES: usize = 3;
+    /// Pre-store operations issued in the window (all cores).
+    pub const PRESTORES: usize = 4;
+    /// Bytes of dirty data handed to the device in the window.
+    pub const DEVICE_BYTES: usize = 5;
+
+    /// Stable channel names, indexed by channel (for renderers).
+    pub const NAMES: [&str; super::TS_CHANNELS] =
+        ["steps", "read_lines", "write_lines", "stall_cycles", "prestores", "device_bytes"];
+}
 
 /// Column indexes into a site attribution row. The engine accumulates
 /// into `SiteTable<SITE_COLS>` rows by these indexes;
@@ -171,6 +209,21 @@ pub struct RunStats {
     /// [`FuncId::UNKNOWN`] row collects traffic the engine could not tie
     /// to a site (untraced callers, end-of-run device flush remainders).
     pub sites: Vec<(FuncId, SiteCounters)>,
+    /// Simulated-time delta windows of the run (channel schema in
+    /// [`ts_channel`]). Empty unless
+    /// [`crate::MachineConfig::timeseries_window`] was set; windows tile
+    /// simulated time gap-free and their per-channel sums equal the
+    /// end-of-run totals (minus anything evicted from the bounded ring).
+    pub timeseries: Vec<TsWindow>,
+    /// Window width of [`RunStats::timeseries`] in simulated cycles (0
+    /// when sampling was disabled).
+    pub timeseries_window_cycles: Cycles,
+    /// Per-request-class latency histograms: retire-to-retire simulated
+    /// cycles between consecutive request boundaries on each thread, one
+    /// histogram per class of the [`simcore::RequestClasses`] classifier
+    /// the run was given (empty without one). Sampled in units of
+    /// simulated cycles; deterministic across all replay axes.
+    pub request_latency: Vec<HistogramSample>,
 }
 
 impl RunStats {
@@ -276,6 +329,22 @@ impl RunStats {
         });
         scores
     }
+
+    /// The latency histogram of request class `name`, if the run was
+    /// classified and produced one.
+    pub fn request_class(&self, name: &str) -> Option<&HistogramSample> {
+        self.request_latency.iter().find(|h| h.name == name)
+    }
+
+    /// One latency histogram merging every request class of the run
+    /// (labelled `all`; empty if the run was not classified).
+    pub fn request_latency_all(&self) -> HistogramSample {
+        let mut all = HistogramSample::empty("all");
+        for h in &self.request_latency {
+            all.merge(h);
+        }
+        all
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +362,9 @@ mod tests {
             device: DeviceStats::default(),
             func_cycles: HashMap::new(),
             sites: Vec::new(),
+            timeseries: Vec::new(),
+            timeseries_window_cycles: 0,
+            request_latency: Vec::new(),
         }
     }
 
@@ -343,6 +415,28 @@ mod tests {
         assert_eq!(r.site(FuncId(3)), None);
         assert_eq!(r.attributed_media_bytes(), 356, "unknown row excluded");
         assert_eq!(r.attributed_stall_cycles(), 15);
+    }
+
+    #[test]
+    fn request_class_lookup_and_merge() {
+        let mut r = stats(100);
+        let mut get = HistogramSample::empty("get");
+        get.record(10);
+        get.record(30);
+        let mut put = HistogramSample::empty("put");
+        put.record(50);
+        r.request_latency = vec![get.clone(), put];
+        assert_eq!(r.request_class("get"), Some(&get));
+        assert!(r.request_class("del").is_none());
+        let all = r.request_latency_all();
+        assert_eq!((all.count, all.max, all.name), (3, 50, "all"));
+    }
+
+    #[test]
+    fn ts_channel_names_cover_every_channel() {
+        assert_eq!(ts_channel::NAMES.len(), TS_CHANNELS);
+        assert_eq!(ts_channel::NAMES[ts_channel::STEPS], "steps");
+        assert_eq!(ts_channel::NAMES[ts_channel::DEVICE_BYTES], "device_bytes");
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod fxhash;
 pub mod intern;
 pub mod loc;
 pub mod par;
+pub mod request;
 pub mod rng;
 pub mod serialize;
 pub mod simd;
@@ -36,6 +37,7 @@ pub use event::{Event, EventKind, PrestoreOp};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{InternedTraces, LineId, LineInterner};
 pub use loc::{FuncId, FuncInfo, FuncRegistry};
+pub use request::RequestClasses;
 pub use stats::Histogram;
 pub use stream::{EventSource, SliceSource, StreamDigest, StreamFeed, StreamValidator};
 pub use trace::{ThreadTrace, TraceSet, Tracer};

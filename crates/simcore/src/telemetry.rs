@@ -67,6 +67,9 @@
 //!
 //! [`RunStats`]: crate::stats
 
+pub mod flight;
+pub mod timeseries;
+
 /// What a [`Metric`] measures — how to interpret its `value`/`count` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum MetricKind {
@@ -227,6 +230,12 @@ impl HistogramSample {
     /// 99th percentile (see [`HistogramSample::percentile`]).
     pub fn p99(&self) -> u64 {
         self.percentile(99.0)
+    }
+
+    /// 99.9th percentile (see [`HistogramSample::percentile`]) — the
+    /// serving-tail quantile `kv_serving --slo` gates on.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
     }
 
     /// Mean of the recorded values (0.0 when empty).

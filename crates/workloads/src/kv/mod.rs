@@ -14,7 +14,7 @@ pub mod ycsb;
 
 pub use clht::Clht;
 pub use masstree::Masstree;
-pub use serving::{KvServingSource, ServingParams};
+pub use serving::{serving_class, KvServingSource, ServingClasses, ServingParams};
 
 use prestore::PrestoreMode;
 use simcore::{Addr, AddressSpace, Tracer};

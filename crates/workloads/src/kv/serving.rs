@@ -18,7 +18,7 @@
 use prestore::PrestoreMode;
 use simcore::rng::{SimRng, Zipfian};
 use simcore::stream::EventSource;
-use simcore::{align_up, Addr, Event, EventKind, FuncId, FuncRegistry, ThreadTrace};
+use simcore::{align_up, Addr, Event, EventKind, FuncId, FuncRegistry, RequestClasses, ThreadTrace};
 
 /// Simulated base of the bucket table region.
 const BUCKET_BASE: Addr = 1 << 32;
@@ -174,6 +174,20 @@ impl KvServingSource {
         VALUE_BASE + user * self.value_stride
     }
 
+    /// A [`RequestClasses`] classifier for this source's event stream,
+    /// splitting requests by op type and tenant temperature. Hand it to
+    /// `machine::try_simulate_stream_classified` alongside the source to
+    /// get per-class retire-to-retire latency histograms.
+    pub fn classifier(&self) -> ServingClasses {
+        ServingClasses {
+            get_value: self.sites.get_value,
+            put_fence: self.sites.put_fence,
+            value_stride: self.value_stride,
+            hot_users: (self.params.users / 100).max(1),
+            last_user: vec![0; self.params.threads],
+        }
+    }
+
     /// Append one whole request to `buf`, returning its event count.
     fn emit_request(&self, tid: usize, rng: &mut SimRng, buf: &mut Vec<Event>) -> u64 {
         let _ = tid;
@@ -216,6 +230,71 @@ impl KvServingSource {
             buf.push(ev(0, 0, EventKind::Fence, s.put_fence));
         }
         (buf.len() - before) as u64
+    }
+}
+
+/// Class indices produced by [`ServingClasses`] (see
+/// [`ServingClasses::NAMES`] for the histogram names).
+pub mod serving_class {
+    /// GET of a hot-set tenant (top ~1% of the Zipfian ranking).
+    pub const GET_HOT: usize = 0;
+    /// GET of a long-tail tenant.
+    pub const GET_COLD: usize = 1;
+    /// PUT of a hot-set tenant.
+    pub const PUT_HOT: usize = 2;
+    /// PUT of a long-tail tenant.
+    pub const PUT_COLD: usize = 3;
+}
+
+/// Request-boundary classifier for [`KvServingSource`] streams.
+///
+/// Works purely off the events the engine retires — no RNG replay, no
+/// shadow state machine. Each request ends at a structurally unique
+/// event: a GET at its `serving_get_value` read, a PUT at its
+/// `serving_put_fence` durability fence. Tenant temperature is recovered
+/// from the value-slot address (rank = offset / stride; Zipfian rank 0
+/// is the hottest tenant), so the classification is deterministic and
+/// identical across streaming and materialized replay.
+#[derive(Debug, Clone)]
+pub struct ServingClasses {
+    get_value: FuncId,
+    put_fence: FuncId,
+    value_stride: u64,
+    /// Tenants ranked below this are "hot" (top ~1%, at least one).
+    hot_users: u64,
+    /// Per-thread tenant of the most recent value-slot access, pending
+    /// until the request's closing event arrives.
+    last_user: Vec<u64>,
+}
+
+impl ServingClasses {
+    /// Histogram names, indexed by [`serving_class`] constants.
+    pub const NAMES: [&'static str; 4] = ["get_hot", "get_cold", "put_hot", "put_cold"];
+
+    fn temperature(&self, user: u64) -> usize {
+        usize::from(user >= self.hot_users)
+    }
+}
+
+impl RequestClasses for ServingClasses {
+    fn class_names(&self) -> &'static [&'static str] {
+        &Self::NAMES
+    }
+
+    fn on_event(&mut self, thread: usize, ev: &Event) -> Option<usize> {
+        if thread >= self.last_user.len() {
+            self.last_user.resize(thread + 1, 0);
+        }
+        if ev.addr >= VALUE_BASE && ev.kind.is_access() {
+            self.last_user[thread] = (ev.addr - VALUE_BASE) / self.value_stride;
+        }
+        if ev.func == self.get_value && ev.kind == EventKind::Read {
+            Some(serving_class::GET_HOT + self.temperature(self.last_user[thread]))
+        } else if ev.func == self.put_fence && ev.kind == EventKind::Fence {
+            Some(serving_class::PUT_HOT + self.temperature(self.last_user[thread]))
+        } else {
+            None
+        }
     }
 }
 
@@ -301,6 +380,43 @@ mod tests {
                 t.events.iter().rposition(|e| e.kind.is_store()).unwrap();
             assert!(t.events[last_store + 1..].iter().any(|e| e.kind == EventKind::Fence));
         }
+    }
+
+    #[test]
+    fn classifier_fires_once_per_request_with_both_temperatures() {
+        let p = ServingParams { read_fraction: 0.5, ..ServingParams::quick() };
+        let src = KvServingSource::new(p);
+        let mut classes = src.classifier();
+        let mut src = src;
+        let traces = materialize(&mut src, 4096);
+        let mut counts = [0u64; 4];
+        for (tid, t) in traces.iter().enumerate() {
+            for ev in &t.events {
+                if let Some(c) = classes.on_event(tid, ev) {
+                    counts[c] += 1;
+                }
+            }
+        }
+        let gets: u64 = traces
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == EventKind::Read && e.addr >= VALUE_BASE)
+            .count() as u64;
+        let puts: u64 = traces
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == EventKind::Fence)
+            .count() as u64;
+        assert_eq!(counts[serving_class::GET_HOT] + counts[serving_class::GET_COLD], gets);
+        assert_eq!(counts[serving_class::PUT_HOT] + counts[serving_class::PUT_COLD], puts);
+        // Zipf theta 0.99 over 10K tenants: the top-1% hot set absorbs a
+        // large share, yet the long tail is still visited — every class
+        // is populated.
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        assert!(
+            counts[serving_class::GET_HOT] > counts[serving_class::GET_COLD] / 4,
+            "hot set should absorb a sizable share: {counts:?}"
+        );
     }
 
     #[test]
